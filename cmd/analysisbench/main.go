@@ -1,0 +1,139 @@
+// Command analysisbench exercises the paper's §III performance model:
+// it prints the roofline/CI tables (Eqs. 4–7), the √M-over-GEMM headline
+// factor, a STREAM bandwidth + RNG-rate measurement of the host (the role
+// STREAMBenchmark.jl plays in §V), and a cache-simulator validation showing
+// the data movement that on-the-fly generation removes.
+//
+// Usage:
+//
+//	analysisbench            # model tables with default parameters
+//	analysisbench -stream    # measure this host's bandwidth and RNG rate
+//	analysisbench -cachesim  # trace the kernels through the LRU cache model
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+
+	"sketchsp/internal/analysis"
+	"sketchsp/internal/bench"
+	"sketchsp/internal/sparse"
+)
+
+var (
+	doStream = flag.Bool("stream", false, "run the STREAM-style bandwidth and RNG-rate measurement")
+	doCache  = flag.Bool("cachesim", false, "run the cache-simulator validation")
+	doModel  = flag.Bool("model", true, "print the roofline-model tables")
+	doTune   = flag.Bool("tune", false, "run the b_n auto-tuner demo (§III-B sample-count minimisation)")
+	cacheM   = flag.Float64("M", 1<<17, "model cache size in doubles")
+	hCost    = flag.Float64("h", 0.05, "relative cost of generating one random number")
+	balance  = flag.Float64("B", 40, "machine balance (flops per double moved)")
+)
+
+func main() {
+	flag.Parse()
+	if *doModel {
+		modelTables()
+	}
+	if *doStream {
+		stream()
+	}
+	if *doCache {
+		cacheSim()
+	}
+	if *doTune {
+		tune()
+	}
+}
+
+// tune demonstrates §III-B's "one could tune b_n to minimize the number of
+// random variables generated": rank slab widths for Algorithm 4 on a
+// row-concentrated matrix, using this host's measured h.
+func tune() {
+	h := analysis.EstimateH(1<<22, 2)
+	fmt.Printf("b_n auto-tuner (measured h = %.3g on this host)\n", h)
+	for _, wl := range []struct {
+		name string
+		a    *sparse.CSC
+	}{
+		{"uniform 20000x2000 rho=2.5e-3", sparse.RandomUniform(20000, 2000, 2.5e-3, 1)},
+		{"dense-rows (Abnormal_A-like)", sparse.AbnormalA(20000, 2000, 200, 2)},
+	} {
+		d := 3 * wl.a.N
+		t := bench.NewTable(wl.name, "b_n", "predicted samples", "model cost")
+		for _, r := range analysis.TuneBlockN(wl.a, d, h, nil) {
+			t.AddRow(r.BlockN, r.Samples, r.Cost)
+		}
+		fmt.Println(t)
+	}
+}
+
+func modelTables() {
+	t := bench.NewTable(fmt.Sprintf(
+		"§III-A roofline model (M=%.3g doubles, h=%.3g, B=%.3g): optimal blocks and CI vs density",
+		*cacheM, *hCost, *balance),
+		"rho", "d1*", "m1*", "n1*", "CI", "frac-of-peak", "CI/GEMM-CI")
+	for _, rho := range []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 0.5, 0.9} {
+		m := analysis.Model{M: *cacheM, H: *hCost, Rho: rho, B: *balance}
+		d1, m1, n1, ci := m.OptimalBlocks()
+		frac := m.FractionOfPeak(ci)
+		t.AddRow(fmt.Sprintf("%.0e", rho),
+			fmt.Sprintf("%.3g", d1), fmt.Sprintf("%.3g", m1), fmt.Sprintf("%.3g", n1),
+			ci, frac, ci/m.GEMMCI())
+	}
+	fmt.Println(t)
+
+	small := analysis.Model{M: *cacheM, H: *hCost, Rho: 1e-6, B: *balance}
+	fmt.Printf("Eq.(5) small-rho CI          : %.4g\n", small.SmallRhoCI())
+	fmt.Printf("Eq.(7) large-rho frac-of-peak: %.4g (rho=0.9)\n",
+		analysis.Model{M: *cacheM, H: *hCost, Rho: 0.9, B: *balance}.LargeRhoFractionOfPeak())
+	hFree := analysis.Model{M: *cacheM, H: 1e-9, Rho: 1e-6, B: *balance}
+	fmt.Printf("sqrt(M) headline (h→0)       : speedup over GEMM bound = %.4g (√M/2 = %.4g)\n\n",
+		hFree.SpeedupOverGEMMBound(), 0.5*math.Sqrt(*cacheM))
+}
+
+func stream() {
+	fmt.Println("STREAM-style measurement (best of 3, 16 Mi-double vectors):")
+	res := analysis.RunStream(1<<24, 3)
+	t := bench.NewTable("", "kernel", "value")
+	t.AddRow("copy GB/s", res.CopyGBs)
+	t.AddRow("scale GB/s", res.ScaleGBs)
+	t.AddRow("add GB/s", res.AddGBs)
+	t.AddRow("triad GB/s", res.TriadGBs)
+	t.AddRow("RNG short-vector Gsamples/s", res.RNGShortGSs)
+	t.AddRow("in-cache peak GF/s", res.PeakGFs)
+	t.AddRow("machine balance B", res.MachineBalance())
+	// The paper's h: cost of one random number relative to one memory
+	// access (one double moved at triad bandwidth).
+	if res.RNGShortGSs > 0 && res.TriadGBs > 0 {
+		memPerDouble := 8 / (res.TriadGBs * 1e9)
+		genPerSample := 1 / (res.RNGShortGSs * 1e9)
+		t.AddRow("measured h (gen/memaccess)", genPerSample/memPerDouble)
+	}
+	fmt.Println(t)
+}
+
+func cacheSim() {
+	fmt.Println("Cache-simulator validation: one-level LRU, 64-byte lines")
+	a := sparse.RandomUniform(2000, 200, 0.02, 1)
+	d := 3 * a.N
+	t := bench.NewTable(fmt.Sprintf("matrix %dx%d nnz=%d, d=%d, blocks (64, 16)", a.M, a.N, a.NNZ(), d),
+		"kernel", "cache lines", "misses", "moved MB", "samples", "CI(h=0.05)")
+	for _, lines := range []int{1 << 8, 1 << 10, 1 << 12} {
+		for _, k := range []string{"alg3-fly", "alg4-fly", "pregen"} {
+			c := analysis.NewCache(lines)
+			var tr analysis.Traffic
+			switch k {
+			case "alg3-fly":
+				tr = analysis.TraceAlg3(a, d, 64, 16, c)
+			case "alg4-fly":
+				tr = analysis.TraceAlg4(a, d, 64, 16, c)
+			default:
+				tr = analysis.TracePregen(a, d, 64, 16, c)
+			}
+			t.AddRow(k, lines, tr.Misses, float64(tr.Misses)*64/1e6, tr.Samples, tr.CI(0.05))
+		}
+	}
+	fmt.Println(t)
+}

@@ -1,0 +1,228 @@
+// Command lsqbench regenerates the paper's least-squares evaluation:
+// Tables VIII–XI and Figure 6. The seven Table VIII matrices are synthetic
+// stand-ins matched to the published dimensions, sparsity and conditioning
+// regimes (see DESIGN.md §1); the reproduction targets are the qualitative
+// relationships — SAP's flat iteration counts, its speedups over LSQR-D and
+// the direct solver on highly overdetermined problems, the accuracy parity
+// of Table X, and the workspace-memory ordering of Table XI.
+//
+// Usage:
+//
+//	lsqbench -all
+//	lsqbench -table 9 -scale 0.02
+//	lsqbench -fig 6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sketchsp/internal/bench"
+	"sketchsp/internal/core"
+	"sketchsp/internal/linalg"
+	"sketchsp/internal/plot"
+	"sketchsp/internal/rng"
+	"sketchsp/internal/solver"
+)
+
+var (
+	scale   = flag.Float64("scale", 0.05, "linear matrix scale (1 = paper size; the direct solver and SVD dominate cost as this grows)")
+	seed    = flag.Int64("seed", 1, "workload generation seed")
+	table   = flag.Int("table", 0, "regenerate one table (8–11)")
+	fig     = flag.Int("fig", 0, "regenerate one figure (6)")
+	all     = flag.Bool("all", false, "run every table and figure")
+	workers = flag.Int("workers", 0, "sketching workers (0 = GOMAXPROCS; paper used 32 threads)")
+	gamma   = flag.Float64("gamma", 2, "sketch size factor d = gamma*n (paper: 2)")
+	figDir  = flag.String("figdir", "", "also write Figure 6 as an SVG chart into this directory")
+	csvOut  = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
+)
+
+// result caches one solver run for reuse across tables.
+type result struct {
+	x    []float64
+	info solver.Info
+	err  error
+}
+
+type row struct {
+	w       bench.LSWorkload
+	lsqrd   result
+	sap     result
+	direct  result
+	sapName string
+}
+
+func main() {
+	flag.Parse()
+	if !*all && *table == 0 && *fig == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *all || *table == 8 {
+		table8()
+	}
+	needRows := *all || *table == 9 || *table == 10 || *table == 11 || *fig == 6
+	if !needRows {
+		return
+	}
+	rows := solveAll()
+	if *all || *table == 9 {
+		table9(rows)
+	}
+	if *all || *table == 10 {
+		table10(rows)
+	}
+	if *all || *table == 11 {
+		table11(rows)
+	}
+	if *all || *fig == 6 {
+		fig6(rows)
+	}
+}
+
+func table8() {
+	t := bench.NewTable(fmt.Sprintf(
+		"TABLE VIII — least-squares test data (stand-ins at scale %g; paper size/nnz/cond in parentheses)", *scale),
+		"A", "m", "n", "nnz(A)", "cond est", "mem(A) MB", "density", "paper (m, n, nnz, cond)")
+	for _, w := range bench.LSWorkloads(*scale, *seed) {
+		cond := linalg.CondEstimate(w.A)
+		sp := w.Spec
+		t.AddRow(w.Name, w.A.M, w.A.N, w.A.NNZ(),
+			fmt.Sprintf("%.3g", cond),
+			float64(w.A.MemoryBytes())/1e6,
+			fmt.Sprintf("%.2e", w.A.Density()),
+			fmt.Sprintf("(%d, %d, %d, %.3g)", sp.M, sp.N, sp.NNZ, sp.Cond))
+	}
+	emit(t)
+}
+
+func solveAll() []row {
+	opts := solver.Options{
+		Gamma: *gamma,
+		Sketch: core.Options{
+			Seed: uint64(*seed), Workers: *workers, Dist: rng.Uniform11,
+		},
+	}
+	var rows []row
+	for _, w := range bench.LSWorkloads(*scale, *seed) {
+		r := row{w: w, sapName: "SAP-QR"}
+		var x []float64
+		var info solver.Info
+		var err error
+		if w.UseSVD {
+			r.sapName = "SAP-SVD"
+			x, info, err = solver.SolveSAPSVD(w.A, w.B, opts)
+		} else {
+			x, info, err = solver.SolveSAPQR(w.A, w.B, opts)
+		}
+		r.sap = result{x, info, err}
+		x, info, err = solver.SolveLSQRD(w.A, w.B, opts)
+		r.lsqrd = result{x, info, err}
+		x, info, err = solver.SolveDirect(w.A, w.B, opts)
+		r.direct = result{x, info, err}
+		rows = append(rows, r)
+	}
+	return rows
+}
+
+func table9(rows []row) {
+	t := bench.NewTable("TABLE IX — runtime and iteration counts",
+		"A", "LSQR-D time", "LSQR-D iter", "method", "sketch(s)", "SAP time", "SAP iter", "Direct time")
+	for _, r := range rows {
+		t.AddRow(r.w.Name,
+			r.lsqrd.info.Total, r.lsqrd.info.Iters,
+			r.sapName, r.sap.info.SketchTime, r.sap.info.Total, r.sap.info.Iters,
+			r.direct.info.Total)
+		reportErr(r)
+	}
+	emit(t)
+}
+
+func table10(rows []row) {
+	t := bench.NewTable("TABLE X — numerical error ‖Aᵀ(Ax−b)‖/(‖A‖_F·‖Ax−b‖)",
+		"A", "LSQR-D", "SAP", "Direct")
+	for _, r := range rows {
+		em := func(res result) string {
+			if res.err != nil {
+				return "err"
+			}
+			return fmt.Sprintf("%.2e", solver.ErrorMetric(r.w.A, res.x, r.w.B))
+		}
+		t.AddRow(r.w.Name, em(r.lsqrd), em(r.sap), em(r.direct))
+	}
+	emit(t)
+}
+
+func table11(rows []row) {
+	t := bench.NewTable("TABLE XI — workspace memory (MB)",
+		"A", "SAP", "Direct (SuiteSparse-like)", "mem(A)")
+	for _, r := range rows {
+		t.AddRow(r.w.Name,
+			float64(r.sap.info.MemoryBytes)/1e6,
+			float64(r.direct.info.MemoryBytes)/1e6,
+			float64(r.w.A.MemoryBytes())/1e6)
+	}
+	emit(t)
+}
+
+func fig6(rows []row) {
+	t := bench.NewTable("FIGURE 6 — speedups over SAP: t(LSQR-D)/t(SAP) and t(Direct)/t(SAP)",
+		"A", "LSQR-D / SAP", "Direct / SAP")
+	var labels []string
+	var g1, g2 []float64
+	for _, r := range rows {
+		sap := r.sap.info.Total.Seconds()
+		if sap == 0 {
+			continue
+		}
+		v1 := r.lsqrd.info.Total.Seconds() / sap
+		v2 := r.direct.info.Total.Seconds() / sap
+		t.AddRow(r.w.Name, v1, v2)
+		labels = append(labels, r.w.Name)
+		g1 = append(g1, v1)
+		g2 = append(g2, v2)
+	}
+	emit(t)
+	if *figDir != "" && len(labels) > 0 {
+		path := *figDir + "/fig6.svg"
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lsqbench:", err)
+			return
+		}
+		bars := plot.Bars{
+			Title:   "Figure 6 — speedup of SAP over LSQR-D and the direct solver",
+			YLabel:  "time ratio (vs SAP)",
+			Labels:  labels,
+			RefLine: 1,
+			Groups: []plot.Series{
+				{Name: "LSQR-D / SAP", Y: g1},
+				{Name: "Direct / SAP", Y: g2},
+			},
+		}
+		if err := bars.WriteSVG(f); err != nil {
+			fmt.Fprintln(os.Stderr, "lsqbench:", err)
+		}
+		f.Close()
+		fmt.Printf("(wrote %s)\n", path)
+	}
+}
+
+// emit prints a table in the selected format.
+func emit(t *bench.Table) {
+	if *csvOut {
+		fmt.Println("# " + t.Title)
+		fmt.Print(t.CSV())
+		return
+	}
+	fmt.Println(t)
+}
+
+func reportErr(r row) {
+	for _, res := range []result{r.lsqrd, r.sap, r.direct} {
+		if res.err != nil {
+			fmt.Fprintf(os.Stderr, "lsqbench: %s: %v\n", r.w.Name, res.err)
+		}
+	}
+}

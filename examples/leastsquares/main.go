@@ -1,0 +1,68 @@
+// Least-squares example: the paper's §V-C pipeline end to end. Builds an
+// ill-conditioned, strongly overdetermined sparse problem whose conditioning
+// survives column equilibration (the rail-matrix regime), then solves it
+// with all three methods the paper compares — sketch-and-precondition
+// (SAP-QR), LSQR with a diagonal preconditioner, and a direct sparse QR —
+// reporting time, iterations, workspace memory, and the backward-error
+// metric of Table X.
+//
+// Run with:
+//
+//	go run ./examples/leastsquares
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"sketchsp"
+)
+
+func main() {
+	// Interval set-cover structure (the rail shape): conditioning grows
+	// with n and a diagonal preconditioner cannot remove it.
+	m, n := 60000, 150
+	coo := sketchsp.NewCOO(m, n, m*10)
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < m; i++ {
+		l := 1 + int(8*r.ExpFloat64())
+		if l > n {
+			l = n
+		}
+		start := r.Intn(n - l + 1)
+		for j := start; j < start+l; j++ {
+			coo.Append(i, j, 1)
+		}
+	}
+	a := coo.ToCSC()
+
+	// b = A·x_true + noise, so the residual is genuinely nonzero.
+	xTrue := make([]float64, n)
+	for i := range xTrue {
+		xTrue[i] = r.NormFloat64()
+	}
+	b := make([]float64, m)
+	a.MulVec(xTrue, b)
+	for i := range b {
+		b[i] += 0.1 * r.NormFloat64()
+	}
+	fmt.Printf("problem: %d x %d, nnz = %d\n\n", a.M, a.N, a.NNZ())
+
+	opts := sketchsp.SolveOptions{Gamma: 2} // d = 2n sketch, as in the paper
+	for _, method := range []sketchsp.Method{sketchsp.SAPQR, sketchsp.LSQRD, sketchsp.Direct} {
+		x, info, err := sketchsp.SolveLeastSquares(method, a, b, opts)
+		if err != nil {
+			log.Fatalf("%v: %v", method, err)
+		}
+		fmt.Printf("%-24v total %-12v iters %-5d workspace %8.2f MB   error metric %.2e\n",
+			method, info.Total, info.Iters,
+			float64(info.MemoryBytes)/1e6, sketchsp.LeastSquaresError(a, x, b))
+		if method == sketchsp.SAPQR {
+			fmt.Printf("%24s   (sketch %v, factor %v, LSQR %v)\n", "",
+				info.SketchTime, info.FactorTime, info.IterTime)
+		}
+	}
+	fmt.Println("\nthe SAP pattern to look for: few iterations regardless of conditioning,")
+	fmt.Println("workspace ≈ a (gamma+1)·n × n dense matrix, far below the direct factors.")
+}

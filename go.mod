@@ -1,0 +1,3 @@
+module sketchsp
+
+go 1.22

@@ -1,0 +1,235 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sketchsp/internal/sparse"
+)
+
+func TestModelValidate(t *testing.T) {
+	good := Model{M: 1e6, H: 0.1, Rho: 0.01, B: 10}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bads := []Model{
+		{M: 0, H: 0.1, Rho: 0.01, B: 10},
+		{M: 1e6, H: -1, Rho: 0.01, B: 10},
+		{M: 1e6, H: 0.1, Rho: 2, B: 10},
+		{M: 1e6, H: 0.1, Rho: 0.01, B: 0},
+	}
+	for i, m := range bads {
+		if err := m.Validate(); err == nil {
+			t.Errorf("bad model %d accepted", i)
+		}
+	}
+}
+
+func TestCIRespectsCacheConstraint(t *testing.T) {
+	m := Model{M: 1000, H: 0.1, Rho: 0.01, B: 10}
+	// d1·n1 + m1·n1·ρ must be ≤ M; violate it.
+	if ci := m.CI(1000, 1000, 10); ci != 0 {
+		t.Fatalf("constraint-violating block got CI %g", ci)
+	}
+	if ci := m.CI(100, 100, 5); ci <= 0 {
+		t.Fatalf("feasible block got CI %g", ci)
+	}
+}
+
+func TestOptimalBlocksBeatNaive(t *testing.T) {
+	m := Model{M: 1 << 17, H: 0.05, Rho: 1e-3, B: 20}
+	d1, m1, n1, ci := m.OptimalBlocks()
+	if ci <= 0 {
+		t.Fatal("no positive CI found")
+	}
+	// The optimum must beat arbitrary feasible alternatives.
+	for _, alt := range [][3]float64{{16, 16, 16}, {100, 1000, 1}, {1000, 100, 8}} {
+		if c := m.CI(alt[0], alt[1], alt[2]); c > ci*1.0001 {
+			t.Fatalf("alt block %v CI %g beats 'optimal' %g", alt, c, ci)
+		}
+	}
+	// Substitution identities: d1·n1 ≈ M/2 and m1 = d1/ρ.
+	if math.Abs(d1*n1-m.M/2) > 1e-6*m.M {
+		t.Fatalf("d1·n1 = %g, want M/2 = %g", d1*n1, m.M/2)
+	}
+	if math.Abs(m1*m.Rho-d1) > 1e-6*d1 {
+		t.Fatalf("m1·ρ = %g, want d1 = %g", m1*m.Rho, d1)
+	}
+}
+
+func TestSmallRhoLimit(t *testing.T) {
+	// As ρ → 0 the optimal n1 approaches 1 and CI approaches Eq. (5).
+	m := Model{M: 1 << 16, H: 0.1, Rho: 1e-7, B: 10}
+	_, _, n1, ci := m.OptimalBlocks()
+	if n1 > 2 {
+		t.Fatalf("small-ρ optimal n1 = %g, want ≈1", n1)
+	}
+	want := m.SmallRhoCI()
+	if math.Abs(ci-want)/want > 0.05 {
+		t.Fatalf("small-ρ CI %g, Eq.(5) predicts %g", ci, want)
+	}
+}
+
+func TestLargeRhoLimit(t *testing.T) {
+	m := Model{M: 1 << 16, H: 0.5, Rho: 0.9, B: 10}
+	_, _, n1, _ := m.OptimalBlocks()
+	want := m.LargeRhoN1()
+	if math.Abs(n1-want)/want > 0.25 {
+		t.Fatalf("large-ρ optimal n1 = %g, §III-A2 predicts %g", n1, want)
+	}
+}
+
+func TestSmallRhoCIFormula(t *testing.T) {
+	m := Model{M: 100, H: 0.02, Rho: 1e-6, B: 1}
+	// 2·100/(4 + 100·0.02) = 200/6.
+	if got := m.SmallRhoCI(); math.Abs(got-200.0/6) > 1e-12 {
+		t.Fatalf("SmallRhoCI = %g", got)
+	}
+}
+
+func TestLargeRhoFractionOfPeakFormula(t *testing.T) {
+	m := Model{M: 400, H: 0.25, Rho: 1, B: 10}
+	// √(400·1)/(2·10·0.5) = 20/10 = 2 → clamps conceptually at caller.
+	if got := m.LargeRhoFractionOfPeak(); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("LargeRhoFractionOfPeak = %g", got)
+	}
+}
+
+// The abstract's √M claim: with h → 0 the sketching CI beats the GEMM CI
+// bound by Θ(√M), independent of machine balance.
+func TestSqrtMSpeedupClaim(t *testing.T) {
+	for _, b := range []float64{10, 100, 1 << 19} {
+		m := Model{M: 1 << 20, H: 1e-9, Rho: 1e-6, B: b}
+		sp := m.SpeedupOverGEMMBound()
+		want := math.Sqrt(m.M) / 2
+		if sp < want*0.8 || sp > want*1.2 {
+			t.Fatalf("B=%g: speedup over GEMM bound %g, √M/2 = %g", b, sp, want)
+		}
+	}
+}
+
+func TestFractionOfPeakClamps(t *testing.T) {
+	m := Model{M: 100, H: 0, Rho: 0.5, B: 1}
+	if f := m.FractionOfPeak(1e12); f != 1 {
+		t.Fatalf("fraction of peak %g > 1", f)
+	}
+}
+
+func TestCacheLRUSemantics(t *testing.T) {
+	c := NewCache(2) // two 64-byte lines
+	if c.Access(0) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(8) {
+		t.Fatal("same-line access missed")
+	}
+	c.Access(64)  // second line
+	c.Access(128) // evicts line 0 (LRU)
+	if c.Access(0) {
+		t.Fatal("evicted line still resident")
+	}
+	if !c.Access(128) {
+		t.Fatal("recent line evicted")
+	}
+}
+
+func TestCacheAccessCounting(t *testing.T) {
+	c := NewCache(4)
+	for i := 0; i < 100; i++ {
+		c.Access(uint64(i) * 8)
+	}
+	if c.Accesses != 100 {
+		t.Fatalf("accesses = %d", c.Accesses)
+	}
+	// 100 doubles = 800 bytes = 13 lines (ceil(800/64)).
+	if c.Misses != 13 {
+		t.Fatalf("misses = %d, want 13", c.Misses)
+	}
+}
+
+// Traffic identity: Alg3 flop count equals 2·d·nnz and samples d·nnz.
+func TestTraceAlg3Accounting(t *testing.T) {
+	a := sparse.RandomUniform(200, 40, 0.05, 1)
+	d := 60
+	tr := TraceAlg3(a, d, 30, 10, NewCache(1<<10))
+	if tr.Flops != 2*int64(d)*int64(a.NNZ()) {
+		t.Fatalf("flops = %d, want %d", tr.Flops, 2*int64(d)*int64(a.NNZ()))
+	}
+	if tr.Samples != int64(d)*int64(a.NNZ()) {
+		t.Fatalf("samples = %d, want %d", tr.Samples, int64(d)*int64(a.NNZ()))
+	}
+}
+
+// The paper's core claim, measured: with S regenerated on the fly, the
+// blocked kernel moves far less data than the pre-generated variant
+// whenever S exceeds the cache.
+func TestRecomputationReducesTraffic(t *testing.T) {
+	a := sparse.RandomUniform(400, 80, 0.03, 2)
+	d := 240
+	lines := 1 << 9 // 4096 entries: S (d·m = 96000 entries) is far bigger
+	bd, bn := 64, 16
+	fly := TraceAlg3(a, d, bd, bn, NewCache(lines))
+	pre := TracePregen(a, d, bd, bn, NewCache(lines))
+	if fly.Misses >= pre.Misses {
+		t.Fatalf("on-the-fly misses %d not below pregen %d", fly.Misses, pre.Misses)
+	}
+	// With cheap generation (h small) the measured CI ordering follows.
+	if fly.CI(0.01) <= pre.CI(0.01) {
+		t.Fatalf("on-the-fly CI %g not above pregen %g", fly.CI(0.01), pre.CI(0.01))
+	}
+}
+
+// Alg4 generates strictly fewer samples than Alg3 on the same problem
+// (§III-B), at equal flops.
+func TestTraceAlg4FewerSamples(t *testing.T) {
+	a := sparse.RandomUniform(300, 60, 0.05, 3)
+	d := 120
+	t3 := TraceAlg3(a, d, 60, 15, NewCache(1<<10))
+	t4 := TraceAlg4(a, d, 60, 15, NewCache(1<<10))
+	if t3.Flops != t4.Flops {
+		t.Fatalf("flop counts differ: %d vs %d", t3.Flops, t4.Flops)
+	}
+	if t4.Samples >= t3.Samples {
+		t.Fatalf("Alg4 samples %d not below Alg3 %d", t4.Samples, t3.Samples)
+	}
+}
+
+// Property: measured CI never exceeds the model's optimal CI for the same
+// effective cache and density (the model is an upper bound in its own
+// accounting).
+func TestMeasuredCIBelowModelBound(t *testing.T) {
+	f := func(seedRaw uint8) bool {
+		seed := int64(seedRaw)
+		a := sparse.RandomUniform(200, 50, 0.05, seed)
+		d := 100
+		cache := NewCache(1 << 12)
+		tr := TraceAlg3(a, d, 50, 10, cache)
+		h := 0.05
+		model := Model{M: cache.CapacityEntries(), H: h, Rho: a.Density(), B: 1}
+		_, _, _, bound := model.OptimalBlocks()
+		return tr.CI(h) <= bound*1.5 // slack for integer effects
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunStreamSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stream benchmark in -short mode")
+	}
+	res := RunStream(1<<18, 2)
+	if res.CopyGBs <= 0 || res.TriadGBs <= 0 {
+		t.Fatalf("bandwidths not measured: %+v", res)
+	}
+	if res.RNGShortGSs <= 0 {
+		t.Fatal("RNG rate not measured")
+	}
+	if res.PeakGFs <= 0 {
+		t.Fatal("peak not measured")
+	}
+	if res.MachineBalance() <= 0 {
+		t.Fatal("machine balance not computable")
+	}
+}

@@ -1,0 +1,138 @@
+// Package analysis implements the paper's §III performance model: the
+// computational-intensity (CI) optimization of Eq. (4) with its small-ρ and
+// large-ρ closed forms (Eqs. 5–7), a STREAM-style bandwidth benchmark for
+// estimating machine balance, and a one-level LRU cache simulator that
+// measures the actual data movement of the kernels to validate the model.
+package analysis
+
+import (
+	"fmt"
+	"math"
+)
+
+// Model carries the §III-A machine/model parameters.
+type Model struct {
+	// M is the cache size in matrix entries (doubles), the paper's M.
+	M float64
+	// H is the cost of generating one random number relative to one
+	// memory access, the paper's h. The interesting regime is h < 1.
+	H float64
+	// Rho is the nonzero density of the uniformly sparse matrix.
+	Rho float64
+	// B is the machine balance: peak flops divided by memory bandwidth
+	// in entries/second.
+	B float64
+}
+
+// Validate checks the model parameters are in the analysable regime.
+func (mo Model) Validate() error {
+	if mo.M <= 0 || mo.B <= 0 {
+		return fmt.Errorf("analysis: M=%g and B=%g must be positive", mo.M, mo.B)
+	}
+	if mo.Rho < 0 || mo.Rho > 1 {
+		return fmt.Errorf("analysis: rho=%g outside [0,1]", mo.Rho)
+	}
+	if mo.H < 0 {
+		return fmt.Errorf("analysis: h=%g negative", mo.H)
+	}
+	return nil
+}
+
+// CI returns the computational intensity of one blocked step with block
+// sizes (d1, m1, n1): useful flops divided by (memory movement + h·samples),
+// the quantity Eq. (4) maximises. Blocks violating the cache constraint
+// d1·n1 + m1·n1·ρ ≤ M return 0.
+func (mo Model) CI(d1, m1, n1 float64) float64 {
+	if d1 <= 0 || m1 <= 0 || n1 <= 0 {
+		return 0
+	}
+	if d1*n1+m1*n1*mo.Rho > mo.M {
+		return 0
+	}
+	flops := 2 * mo.Rho * d1 * m1 * n1
+	cost := mo.M + mo.H*d1*m1*(1-math.Pow(1-mo.Rho, n1))
+	return flops / cost
+}
+
+// OptimalBlocks numerically minimises the reciprocal CI of Eq. (4) under
+// the cache constraint, using the paper's substitution d1 = M/(2·n1),
+// m1 = M/(2·n1·ρ) and a log-spaced scan over n1. It returns the optimal
+// block sizes and the attained CI.
+func (mo Model) OptimalBlocks() (d1, m1, n1, ci float64) {
+	if mo.Rho == 0 {
+		return mo.M / 2, mo.M / 2, 1, 0
+	}
+	bestCI := -1.0
+	bestN1 := 1.0
+	// n1 ranges from 1 to the largest value keeping d1 ≥ 1.
+	maxN1 := mo.M / 2
+	if maxN1 < 1 {
+		maxN1 = 1
+	}
+	steps := 400
+	for i := 0; i <= steps; i++ {
+		n1c := math.Exp(math.Log(maxN1) * float64(i) / float64(steps))
+		d1c := mo.M / (2 * n1c)
+		m1c := mo.M / (2 * n1c * mo.Rho)
+		c := mo.CI(d1c, m1c, n1c)
+		if c > bestCI {
+			bestCI = c
+			bestN1 = n1c
+		}
+	}
+	d1 = mo.M / (2 * bestN1)
+	m1 = mo.M / (2 * bestN1 * mo.Rho)
+	return d1, m1, bestN1, bestCI
+}
+
+// SmallRhoCI is Eq. (5): the CI at the optimal n1 = 1 when ρ → 0,
+// 2M/(4 + M·h).
+func (mo Model) SmallRhoCI() float64 {
+	return 2 * mo.M / (4 + mo.M*mo.H)
+}
+
+// LargeRhoN1 is the ρ → 1 minimiser n1 = √(h·M)/(2√ρ) from §III-A2.
+func (mo Model) LargeRhoN1() float64 {
+	return math.Sqrt(mo.H*mo.M) / (2 * math.Sqrt(mo.Rho))
+}
+
+// LargeRhoFractionOfPeak is Eq. (7): √(M·ρ)/(2·B·√h), the theoretical
+// fraction of machine peak in the dense regime.
+func (mo Model) LargeRhoFractionOfPeak() float64 {
+	return math.Sqrt(mo.M*mo.Rho) / (2 * mo.B * math.Sqrt(mo.H))
+}
+
+// FractionOfPeak converts a CI into a fraction of machine peak under the
+// roofline model: min(1, CI/B).
+func (mo Model) FractionOfPeak(ci float64) float64 {
+	f := ci / mo.B
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// GEMMCI is the classical √M computational-intensity bound for
+// cache-blocked GEMM, the reference Eq. (6) beats by a factor of √M.
+func (mo Model) GEMMCI() float64 {
+	return math.Sqrt(mo.M)
+}
+
+// GEMMFractionOfPeak is the GEMM bound expressed as a fraction of peak
+// (√M/B, clamped at 1).
+func (mo Model) GEMMFractionOfPeak() float64 {
+	f := mo.GEMMCI() / mo.B
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// SpeedupOverGEMMBound is the headline √M factor of the abstract: the ratio
+// of the small-ρ sketching CI (Eq. 5, which with h → 0 tends to M/2) to the
+// GEMM CI bound √M — i.e. √M/2 when generation is cheap. CIs are compared
+// unclamped: the claim is about admissible data movement, not about any
+// particular machine's roofline ceiling.
+func (mo Model) SpeedupOverGEMMBound() float64 {
+	return mo.SmallRhoCI() / mo.GEMMCI()
+}

@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"time"
+
+	"sketchsp/internal/rng"
+)
+
+// StreamResult reports the STREAM-style bandwidth measurements (§V's
+// STREAMBenchmark.jl role: estimating the machine's data-movement rate) and
+// the short-vector RNG fill rate that decides the Frontera-vs-Perlmutter
+// Alg3/Alg4 split.
+type StreamResult struct {
+	// CopyGBs, ScaleGBs, AddGBs, TriadGBs are the four STREAM kernels'
+	// sustained bandwidths in GB/s.
+	CopyGBs, ScaleGBs, AddGBs, TriadGBs float64
+	// RNGShortGSs is the rate of filling length-10000 vectors with
+	// uniform (-1,1) samples, in gigasamples/s (the "short vectors"
+	// measurement: blocking means the sketch only ever generates short
+	// runs).
+	RNGShortGSs float64
+	// PeakGFs estimates attainable peak GFLOP/s with an in-cache
+	// unrolled FMA loop.
+	PeakGFs float64
+}
+
+// MachineBalance returns B = peak flops / bandwidth in doubles/s, the
+// roofline-model denominator.
+func (s StreamResult) MachineBalance() float64 {
+	bw := s.TriadGBs * 1e9 / 8 // doubles per second
+	if bw == 0 {
+		return 0
+	}
+	return s.PeakGFs * 1e9 / bw
+}
+
+// RunStream measures the four STREAM kernels on vectors of n doubles
+// (n should exceed the last-level cache; 1<<24 is a reasonable default),
+// repeating `reps` times and keeping the best (standard STREAM practice).
+func RunStream(n, reps int) StreamResult {
+	if n < 1024 {
+		n = 1024
+	}
+	if reps < 1 {
+		reps = 3
+	}
+	a := make([]float64, n)
+	b := make([]float64, n)
+	c := make([]float64, n)
+	for i := range a {
+		a[i] = 1.0
+		b[i] = 2.0
+		c[i] = 0.0
+	}
+	const scalar = 3.0
+	best := func(bytes float64, f func()) float64 {
+		var bestRate float64
+		for r := 0; r < reps; r++ {
+			t0 := time.Now()
+			f()
+			dt := time.Since(t0).Seconds()
+			if dt > 0 {
+				if rate := bytes / dt / 1e9; rate > bestRate {
+					bestRate = rate
+				}
+			}
+		}
+		return bestRate
+	}
+	res := StreamResult{}
+	res.CopyGBs = best(16*float64(n), func() { copy(c, a) })
+	res.ScaleGBs = best(16*float64(n), func() {
+		for i := range b {
+			b[i] = scalar * c[i]
+		}
+	})
+	res.AddGBs = best(24*float64(n), func() {
+		for i := range c {
+			c[i] = a[i] + b[i]
+		}
+	})
+	res.TriadGBs = best(24*float64(n), func() {
+		for i := range a {
+			a[i] = b[i] + scalar*c[i]
+		}
+	})
+	res.RNGShortGSs = measureRNGShort()
+	res.PeakGFs = measurePeakFlops()
+	return res
+}
+
+// measureRNGShort times filling length-10000 vectors (the paper's probe for
+// "generating short random vectors", which is what a blocked sketch does).
+func measureRNGShort() float64 {
+	s := rng.NewSampler(rng.NewBatchXoshiro(1), rng.Uniform11)
+	buf := make([]float64, 10000)
+	const fills = 2000
+	t0 := time.Now()
+	for i := 0; i < fills; i++ {
+		s.SetState(0, uint64(i))
+		s.Fill(buf)
+	}
+	dt := time.Since(t0).Seconds()
+	if dt == 0 {
+		return 0
+	}
+	return float64(fills) * 10000 / dt / 1e9
+}
+
+// measurePeakFlops runs an in-cache 8-way unrolled multiply-add loop as a
+// rough attainable-peak probe for the roofline ceiling.
+func measurePeakFlops() float64 {
+	const n = 512 // 4 KiB, L1-resident
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = 1.0000001
+		y[i] = 0.9999999
+	}
+	var acc0, acc1, acc2, acc3 float64 = 1, 1, 1, 1
+	const iters = 20000
+	t0 := time.Now()
+	for it := 0; it < iters; it++ {
+		for i := 0; i+4 <= n; i += 4 {
+			acc0 = acc0*x[i] + y[i]
+			acc1 = acc1*x[i+1] + y[i+1]
+			acc2 = acc2*x[i+2] + y[i+2]
+			acc3 = acc3*x[i+3] + y[i+3]
+		}
+	}
+	dt := time.Since(t0).Seconds()
+	sink := acc0 + acc1 + acc2 + acc3
+	_ = sink
+	if dt == 0 {
+		return 0
+	}
+	return 2 * float64(iters) * float64(n) / dt / 1e9
+}

@@ -1,0 +1,101 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"sketchsp/internal/dense"
+	"sketchsp/internal/sparse"
+)
+
+func setup(t *testing.T, seed int64) (*dense.Matrix, *sparse.CSC, *dense.Matrix) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	d, m, n := 6+r.Intn(10), 8+r.Intn(20), 4+r.Intn(10)
+	s := dense.NewMatrix(d, m)
+	for k := range s.Data {
+		s.Data[k] = r.NormFloat64()
+	}
+	a := sparse.RandomUniform(m, n, 0.2, seed)
+	want := dense.NewMatrix(d, n)
+	dense.Gemm(1, s, a.ToDense(), 0, want)
+	return s, a, want
+}
+
+func TestMKLStyle(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		s, a, want := setup(t, seed)
+		at := a.Transpose().ToCSR()
+		got := dense.NewMatrix(s.Rows, a.N)
+		MKLStyle(s, at, got)
+		if got.MaxAbsDiff(want) > 1e-10 {
+			t.Fatalf("seed %d: MKLStyle off by %g", seed, got.MaxAbsDiff(want))
+		}
+	}
+}
+
+func TestEigenStyle(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		s, a, want := setup(t, seed)
+		got := dense.NewMatrix(s.Rows, a.N)
+		EigenStyle(s, a, got)
+		if got.MaxAbsDiff(want) > 1e-10 {
+			t.Fatalf("seed %d: EigenStyle off by %g", seed, got.MaxAbsDiff(want))
+		}
+	}
+}
+
+func TestJuliaStyle(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		s, a, want := setup(t, seed)
+		got := dense.NewMatrix(s.Rows, a.N)
+		JuliaStyle(s, a, got)
+		if got.MaxAbsDiff(want) > 1e-10 {
+			t.Fatalf("seed %d: JuliaStyle off by %g", seed, got.MaxAbsDiff(want))
+		}
+	}
+}
+
+func TestNaive(t *testing.T) {
+	s, a, want := setup(t, 99)
+	got := dense.NewMatrix(s.Rows, a.N)
+	Naive(s, a, got)
+	if got.MaxAbsDiff(want) > 1e-10 {
+		t.Fatal("Naive disagrees with Gemm oracle")
+	}
+}
+
+func TestBaselinesOverwriteNotAccumulate(t *testing.T) {
+	s, a, want := setup(t, 5)
+	got := dense.NewMatrix(s.Rows, a.N)
+	got.Fill(123)
+	EigenStyle(s, a, got)
+	if got.MaxAbsDiff(want) > 1e-10 {
+		t.Fatal("EigenStyle accumulated into stale output")
+	}
+	got.Fill(-7)
+	MKLStyle(s, a.Transpose().ToCSR(), got)
+	if got.MaxAbsDiff(want) > 1e-10 {
+		t.Fatal("MKLStyle accumulated into stale output")
+	}
+}
+
+func TestBaselineDimensionPanics(t *testing.T) {
+	s := dense.NewMatrix(4, 8)
+	a := sparse.RandomUniform(9, 5, 0.3, 1) // m=9 != s.Cols=8
+	out := dense.NewMatrix(4, 5)
+	for i, fn := range []func(){
+		func() { EigenStyle(s, a, out) },
+		func() { JuliaStyle(s, a, out) },
+		func() { MKLStyle(s, a.Transpose().ToCSR(), out) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

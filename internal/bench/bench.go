@@ -1,0 +1,225 @@
+// Package bench provides the shared plumbing of the reproduction harness:
+// paper-style table rendering, best-of-N timing, and the workload registry
+// that maps experiment IDs (Table II … Table XI, Figure 4/6) to generated
+// problem instances at a chosen scale.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"sketchsp/internal/sparse"
+)
+
+// Table renders aligned text tables shaped like the paper's.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// AddRow appends a row; cells are stringified with %v, floats with %.4g.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case time.Duration:
+			row[i] = fmt.Sprintf("%.4g", v.Seconds())
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	cols := len(t.headers)
+	for _, r := range t.rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	width := make([]int, cols)
+	measure := func(r []string) {
+		for i, c := range r {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	measure(t.headers)
+	for _, r := range t.rows {
+		measure(r)
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	writeRow := func(r []string) {
+		for i := 0; i < cols; i++ {
+			c := ""
+			if i < len(r) {
+				c = r[i]
+			}
+			fmt.Fprintf(&sb, "%-*s", width[i]+2, c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	total := 0
+	for _, w := range width {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return sb.String()
+}
+
+// BestOf runs f `trials` times and returns the minimum duration (standard
+// benchmarking practice for noisy shared machines).
+func BestOf(trials int, f func()) time.Duration {
+	if trials < 1 {
+		trials = 1
+	}
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < trials; i++ {
+		t0 := time.Now()
+		f()
+		if dt := time.Since(t0); dt < best {
+			best = dt
+		}
+	}
+	return best
+}
+
+// SpMMWorkload is one Table I/II/…/VII problem instance.
+type SpMMWorkload struct {
+	Name string
+	A    *sparse.CSC
+	// D is the sketch size, d = 3·n per the paper's SpMM experiments.
+	D int
+	// Spec echoes the paper-scale dimensions for the property table.
+	Spec sparse.SpMMSpec
+}
+
+// SpMMWorkloads generates the five Table I matrices at the given scale
+// (1 = paper size) with d = 3n.
+func SpMMWorkloads(scale float64, seed int64) []SpMMWorkload {
+	specs := sparse.SpMMSpecs()
+	out := make([]SpMMWorkload, 0, len(specs))
+	for i, sp := range specs {
+		a := sp.Generate(scale, seed+int64(i))
+		out = append(out, SpMMWorkload{Name: sp.Name, A: a, D: 3 * a.N, Spec: sp})
+	}
+	return out
+}
+
+// AbnormalWorkloads generates the three Table VI exotic patterns at scale
+// (paper: m = 100000, n = 10000, density ≈ 1e-3, d = 3n).
+func AbnormalWorkloads(scale float64, seed int64) []SpMMWorkload {
+	m := int(100000 * scale)
+	n := int(10000 * scale)
+	if m < 1000 {
+		m = 1000
+	}
+	if n < 100 {
+		n = 100
+	}
+	// The paper makes every 1000th row (resp. column) dense, which pins
+	// the density at 1e-3 independent of matrix size — keep the stride.
+	stride := 1000
+	if stride > m {
+		stride = m
+	}
+	colStride := 1000
+	if colStride > n {
+		colStride = n
+	}
+	nnz := int(1e-3 * float64(m) * float64(n))
+	return []SpMMWorkload{
+		{Name: "Abnormal_A", A: sparse.AbnormalA(m, n, stride, seed), D: 3 * n},
+		{Name: "Abnormal_B", A: sparse.AbnormalB(m, n, nnz, 2998.0/3000.0, seed+1), D: 3 * n},
+		{Name: "Abnormal_C", A: sparse.AbnormalC(m, n, colStride, seed+2), D: 3 * n},
+	}
+}
+
+// LSWorkload is one Table VIII/IX/X/XI least-squares instance.
+type LSWorkload struct {
+	Name string
+	A    *sparse.CSC
+	B    []float64
+	// UseSVD selects SAP-SVD (the paper uses it for the three
+	// near-rank-deficient matrices, QR for the rest).
+	UseSVD bool
+	Spec   sparse.LSSpec
+}
+
+// LSWorkloads generates the seven Table VIII problems at the given scale
+// with the paper's right-hand side: a random vector in range(A) plus
+// standard Gaussian noise.
+func LSWorkloads(scale float64, seed int64) []LSWorkload {
+	specs := sparse.LSSpecs()
+	out := make([]LSWorkload, 0, len(specs))
+	for i, sp := range specs {
+		a := sp.Generate(scale, seed+int64(i))
+		b := PaperRHS(a, seed+100+int64(i))
+		useSVD := sp.Name == "specular" || sp.Name == "connectus" || sp.Name == "landmark"
+		out = append(out, LSWorkload{Name: sp.Name, A: a, B: b, UseSVD: useSVD, Spec: sp})
+	}
+	return out
+}
+
+// PaperRHS builds b = A·x_rand + N(0, I) noise (§V-C).
+func PaperRHS(a *sparse.CSC, seed int64) []float64 {
+	r := rand.New(rand.NewSource(seed))
+	x := make([]float64, a.N)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	b := make([]float64, a.M)
+	a.MulVec(x, b)
+	for i := range b {
+		b[i] += r.NormFloat64()
+	}
+	return b
+}
+
+// CSV renders the table as RFC-4180-ish CSV (header row first, title
+// omitted) for downstream plotting tools.
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	writeRow := func(r []string) {
+		for i, c := range r {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				sb.WriteByte('"')
+				sb.WriteString(strings.ReplaceAll(c, "\"", "\"\""))
+				sb.WriteByte('"')
+			} else {
+				sb.WriteString(c)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return sb.String()
+}

@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("TABLE II", "Matrices", "MKL", "Alg3")
+	tb.AddRow("mk-12", 0.137, 0.07)
+	tb.AddRow("ch7-9-b3", 16.43, 7.74)
+	out := tb.String()
+	if !strings.Contains(out, "TABLE II") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "mk-12") || !strings.Contains(out, "0.137") {
+		t.Fatalf("missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestTableDurationFormatting(t *testing.T) {
+	tb := NewTable("", "t")
+	tb.AddRow(1500 * time.Millisecond)
+	if !strings.Contains(tb.String(), "1.5") {
+		t.Fatalf("duration not rendered in seconds:\n%s", tb.String())
+	}
+}
+
+func TestBestOf(t *testing.T) {
+	calls := 0
+	d := BestOf(5, func() { calls++ })
+	if calls != 5 {
+		t.Fatalf("f called %d times", calls)
+	}
+	if d < 0 {
+		t.Fatal("negative duration")
+	}
+	BestOf(0, func() { calls++ })
+	if calls != 6 {
+		t.Fatal("BestOf(0) should clamp to one trial")
+	}
+}
+
+func TestSpMMWorkloads(t *testing.T) {
+	ws := SpMMWorkloads(0.02, 1)
+	if len(ws) != 5 {
+		t.Fatalf("want 5 workloads, got %d", len(ws))
+	}
+	for _, w := range ws {
+		if w.D != 3*w.A.N {
+			t.Fatalf("%s: d=%d != 3n=%d", w.Name, w.D, 3*w.A.N)
+		}
+		if err := w.A.Validate(); err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+	}
+}
+
+func TestAbnormalWorkloads(t *testing.T) {
+	ws := AbnormalWorkloads(0.05, 2)
+	if len(ws) != 3 {
+		t.Fatalf("want 3, got %d", len(ws))
+	}
+	names := []string{"Abnormal_A", "Abnormal_B", "Abnormal_C"}
+	for i, w := range ws {
+		if w.Name != names[i] {
+			t.Fatalf("workload %d named %s", i, w.Name)
+		}
+		if w.A.NNZ() == 0 {
+			t.Fatalf("%s empty", w.Name)
+		}
+	}
+	// Densities comparable (the Table VI premise).
+	d0 := ws[0].A.Density()
+	for _, w := range ws[1:] {
+		ratio := w.A.Density() / d0
+		if ratio < 0.2 || ratio > 5 {
+			t.Fatalf("densities not comparable: %g vs %g", w.A.Density(), d0)
+		}
+	}
+}
+
+func TestLSWorkloads(t *testing.T) {
+	ws := LSWorkloads(0.01, 3)
+	if len(ws) != 7 {
+		t.Fatalf("want 7, got %d", len(ws))
+	}
+	svdCount := 0
+	for _, w := range ws {
+		if len(w.B) != w.A.M {
+			t.Fatalf("%s: rhs length %d != m %d", w.Name, len(w.B), w.A.M)
+		}
+		if w.UseSVD {
+			svdCount++
+		}
+	}
+	if svdCount != 3 {
+		t.Fatalf("%d SVD workloads, want 3 (specular, connectus, landmark)", svdCount)
+	}
+}
+
+func TestPaperRHSInRangePlusNoise(t *testing.T) {
+	ws := LSWorkloads(0.01, 4)
+	w := ws[0]
+	// The rhs should not be exactly in range(A): the noise guarantees a
+	// nonzero residual for any x.
+	var norm float64
+	for _, v := range w.B {
+		norm += v * v
+	}
+	if norm == 0 {
+		t.Fatal("rhs is zero")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("title ignored", "a", "b")
+	tb.AddRow("plain", 1.5)
+	tb.AddRow("needs,quoting", `has "quotes"`)
+	got := tb.CSV()
+	want := "a,b\nplain,1.5\n\"needs,quoting\",\"has \"\"quotes\"\"\"\n"
+	if got != want {
+		t.Fatalf("CSV:\n%q\nwant\n%q", got, want)
+	}
+}

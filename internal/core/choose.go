@@ -1,0 +1,70 @@
+package core
+
+import (
+	"sketchsp/internal/analysis"
+	"sketchsp/internal/sparse"
+)
+
+// AlgAuto asks the Sketcher to inspect the matrix and pick between Alg3 and
+// Alg4 with the §III-B cost model — a lightweight take on the
+// inspector-executor idea the paper cites from MKL's sparse library.
+const AlgAuto Algorithm = -1
+
+// ChooseAlgorithm inspects a and picks the cheaper kernel for sketch size d
+// under the blocking the options resolve to. The §III-B accounting, in
+// memory-access equivalents:
+//
+//   - Algorithm 3 generates d·nnz samples at relative cost h each.
+//   - Algorithm 4 generates d·(nonempty rows per slab) samples (counted
+//     exactly), pays the blocked-CSR conversion O(m·⌈n/bn⌉ + nnz), and — on
+//     random-access-sensitive hosts — a scatter penalty when the Â block
+//     (d1×bn doubles) exceeds the cache: every nonzero then touches a cold
+//     d1-entry column (d1/8 lines), which Algorithm 3's column-ordered walk
+//     avoids.
+//
+// h ≤ 0 selects 1 (pessimistic for recomputation); cacheBytes ≤ 0 selects
+// 32 MiB. The choice is a heuristic ranking, not a guarantee; Table VI's
+// lesson — Algorithm 3 for wildly varying patterns — corresponds to the
+// penalty term dominating.
+func ChooseAlgorithm(a *sparse.CSC, d int, opts Options, h float64, cacheBytes int64) Algorithm {
+	if h <= 0 {
+		h = 1
+	}
+	if cacheBytes <= 0 {
+		cacheBytes = 32 << 20
+	}
+	sk := Sketcher{d: d, opts: opts}
+
+	sk.opts.Algorithm = Alg3
+	bd3, _ := sk.blockSizes(a.N)
+	sk.opts.Algorithm = Alg4
+	bd4, bn4 := sk.blockSizes(a.N)
+
+	cost3 := h * float64(analysis.PredictAlg3Samples(a, d))
+	_ = bd3
+
+	samples4 := float64(analysis.PredictAlg4Samples(a, d, bn4))
+	slabs := (a.N + bn4 - 1) / bn4
+	conversion := float64(a.M*slabs + a.NNZ())
+	cost4 := h*samples4 + conversion
+	if int64(bd4)*int64(bn4)*8 > cacheBytes {
+		// Â block spills the cache: charge Alg4's scattered rank-1
+		// updates one cold column read per nonzero.
+		cost4 += float64(a.NNZ()) * float64(bd4) / 8
+	}
+	if cost4 < cost3 {
+		return Alg4
+	}
+	return Alg3
+}
+
+// resolveAlgorithm maps AlgAuto to a concrete kernel at sketch time.
+func (sk *Sketcher) resolveAlgorithm(a *sparse.CSC) Algorithm {
+	if sk.opts.Algorithm != AlgAuto {
+		return sk.opts.Algorithm
+	}
+	h := sk.opts.RNGCost
+	return ChooseAlgorithm(a, sk.d, Options{
+		BlockD: sk.opts.BlockD, BlockN: sk.opts.BlockN,
+	}, h, 0)
+}

@@ -1,0 +1,324 @@
+// Package core implements the paper's primary contribution: the outer
+// blocking scheme of Algorithm 1 wrapped around the on-the-fly-RNG compute
+// kernels (Algorithm 3 and Algorithm 4), in sequential and shared-memory
+// parallel form, together with the block-size heuristics of §III-A/§V-B.
+//
+// The central object is Sketcher, which computes Â = S·A for a CSC matrix A
+// without ever materialising the random d×m sketching matrix S: every
+// (block-row, sparse-row) pair (r, j) is an O(1) RNG checkpoint from which
+// the needed d₁ entries of S's column j are regenerated on demand.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"sketchsp/internal/dense"
+	"sketchsp/internal/kernels"
+	"sketchsp/internal/rng"
+	"sketchsp/internal/sparse"
+)
+
+// Algorithm selects the compute kernel.
+type Algorithm int
+
+const (
+	// Alg3 is compute-kernel variant kji over CSC (Algorithm 3):
+	// strided access to all operands, oblivious to the sparsity pattern,
+	// generates d·nnz(A) samples. Preferred on architectures that
+	// penalise random access or have fast RNG (the "Frontera" regime).
+	Alg3 Algorithm = iota
+	// Alg4 is compute-kernel variant jki over blocked CSR (Algorithm 4):
+	// reuses each generated column of S across a whole sparse row,
+	// cutting samples to ≤ d·m·⌈n/b_n⌉, at the price of
+	// sparsity-dependent access and a format conversion. Preferred where
+	// memory access is cheap relative to RNG (the "Perlmutter" regime).
+	Alg4
+)
+
+// String implements fmt.Stringer for Algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case Alg3:
+		return "alg3-kji-csc"
+	case Alg4:
+		return "alg4-jki-blockedcsr"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Options configures a Sketcher. The zero value gives the paper's defaults:
+// Algorithm 3, 4-lane xoshiro, uniform (-1,1) entries, auto block sizes,
+// sequential execution.
+type Options struct {
+	// Algorithm picks the compute kernel (default Alg3).
+	Algorithm Algorithm
+	// Dist is the distribution of the entries of S (default Uniform11).
+	Dist rng.Distribution
+	// Source is the RNG engine (default 4-lane batched xoshiro256++).
+	Source rng.SourceKind
+	// Seed makes the sketch reproducible: same seed, same d, same
+	// blocking → identical Â, independent of Workers.
+	Seed uint64
+	// BlockD is b_d, the block size along the sketch dimension d.
+	// 0 selects the paper's default (3000, clipped to d).
+	BlockD int
+	// BlockN is b_n, the block size along the n (column) dimension.
+	// 0 selects the paper's default (500 for Alg3, 1200 for Alg4,
+	// clipped to n).
+	BlockN int
+	// Workers is the number of parallel workers over outer blocks;
+	// 0 means GOMAXPROCS, 1 forces sequential execution.
+	Workers int
+	// Timed enables the per-kernel sampling timers used by the
+	// Table III/V breakdowns (slightly slows the kernels, as the paper
+	// notes of its own instrumented runs).
+	Timed bool
+	// RNGCost is the relative cost h of generating one random value,
+	// used only by AlgAuto's inspector (0 selects 1; measure the host's
+	// value with analysis.EstimateH).
+	RNGCost float64
+}
+
+// Stats reports what a sketch invocation did.
+type Stats struct {
+	// Samples is the number of random values generated.
+	Samples int64
+	// Flops is the useful floating-point work, 2·d·nnz(A).
+	Flops int64
+	// SampleTime is the time spent generating random numbers
+	// (only populated when Options.Timed is set).
+	SampleTime time.Duration
+	// ConvertTime is the CSC→BlockedCSR conversion time (Alg4 only).
+	ConvertTime time.Duration
+	// Total is the wall-clock time of the whole sketch, including
+	// conversion.
+	Total time.Duration
+}
+
+// GFlops returns the achieved GFLOP/s over the total runtime.
+func (s Stats) GFlops() float64 {
+	if s.Total <= 0 {
+		return 0
+	}
+	return float64(s.Flops) / s.Total.Seconds() / 1e9
+}
+
+// Sketcher computes Â = S·A for a fixed sketch size d and configuration.
+// A Sketcher is safe for concurrent use by multiple goroutines: all mutable
+// state lives in per-call worker contexts.
+type Sketcher struct {
+	d    int
+	opts Options
+}
+
+// DefaultBlockD and DefaultBlockN* are the paper's benchmark block sizes
+// (Tables II–V).
+const (
+	DefaultBlockD     = 3000
+	DefaultBlockNAlg3 = 500
+	DefaultBlockNAlg4 = 1200
+)
+
+// NewSketcher returns a Sketcher producing d-row sketches. d must be
+// positive.
+func NewSketcher(d int, opts Options) (*Sketcher, error) {
+	if d <= 0 {
+		return nil, fmt.Errorf("core: sketch size d=%d must be positive", d)
+	}
+	if opts.BlockD < 0 || opts.BlockN < 0 || opts.Workers < 0 {
+		return nil, fmt.Errorf("core: negative option (BlockD=%d BlockN=%d Workers=%d)",
+			opts.BlockD, opts.BlockN, opts.Workers)
+	}
+	return &Sketcher{d: d, opts: opts}, nil
+}
+
+// D returns the sketch size.
+func (sk *Sketcher) D() int { return sk.d }
+
+// Options returns the sketcher's configuration.
+func (sk *Sketcher) Options() Options { return sk.opts }
+
+// blockSizes resolves the effective (b_d, b_n) for an n-column input.
+func (sk *Sketcher) blockSizes(n int) (bd, bn int) {
+	bd = sk.opts.BlockD
+	if bd == 0 {
+		bd = DefaultBlockD
+	}
+	if bd > sk.d {
+		bd = sk.d
+	}
+	bn = sk.opts.BlockN
+	if bn == 0 {
+		if sk.opts.Algorithm == Alg4 {
+			bn = DefaultBlockNAlg4
+		} else {
+			bn = DefaultBlockNAlg3
+		}
+	}
+	if bn > n {
+		bn = n
+	}
+	if bn < 1 {
+		bn = 1
+	}
+	return bd, bn
+}
+
+func (sk *Sketcher) workers() int {
+	if sk.opts.Workers == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return sk.opts.Workers
+}
+
+// Sketch allocates and returns Â = S·A (d×n, column-major).
+func (sk *Sketcher) Sketch(a *sparse.CSC) (*dense.Matrix, Stats) {
+	ahat := dense.NewMatrix(sk.d, a.N)
+	st := sk.SketchInto(ahat, a)
+	return ahat, st
+}
+
+// SketchInto computes Â = S·A into the caller's d×n matrix, overwriting it.
+func (sk *Sketcher) SketchInto(ahat *dense.Matrix, a *sparse.CSC) Stats {
+	if ahat.Rows != sk.d || ahat.Cols != a.N {
+		panic(fmt.Sprintf("core: SketchInto Â is %dx%d, want %dx%d",
+			ahat.Rows, ahat.Cols, sk.d, a.N))
+	}
+	start := time.Now()
+	ahat.Zero()
+
+	// The scaling trick stores S as raw int32 values; fold the 2⁻³¹
+	// factor into A once so the hot loop does no per-sample scaling
+	// (§III-C: computing (Sf)(A/f) with f = 1/maxint).
+	if sk.opts.Dist == rng.ScaledInt {
+		a = a.Clone()
+		a.Scale(rng.Scale31)
+	}
+
+	var st Stats
+	st.Flops = 2 * int64(sk.d) * int64(a.NNZ())
+	// Resolve AlgAuto before dispatch so the block-size defaults match
+	// the kernel that actually runs.
+	run := *sk
+	run.opts.Algorithm = sk.resolveAlgorithm(a)
+	if run.opts.Algorithm == Alg4 {
+		run.runAlg4(ahat, a, &st)
+	} else {
+		run.runAlg3(ahat, a, &st)
+	}
+	st.Total = time.Since(start)
+	return st
+}
+
+// blockTask is one (block-row of Â, column-slab) cell of Algorithm 1's
+// (⌈d/b_d⌉, 1, ⌈n/b_n⌉) blocking. Cells write disjoint regions of Â, so
+// they parallelise without synchronisation (§II-C: parallelise the outer
+// loops).
+type blockTask struct {
+	i0, d1 int // block-row offset and height
+	j0, n1 int // column-slab offset and width
+}
+
+func makeTasks(d, n, bd, bn int) []blockTask {
+	tasks := make([]blockTask, 0, ((n+bn-1)/bn)*((d+bd-1)/bd))
+	// Outermost over columns of A to encourage caching of the sparse
+	// data and Â (Algorithm 1's loop order).
+	for j0 := 0; j0 < n; j0 += bn {
+		n1 := bn
+		if j0+n1 > n {
+			n1 = n - j0
+		}
+		for i0 := 0; i0 < d; i0 += bd {
+			d1 := bd
+			if i0+d1 > d {
+				d1 = d - i0
+			}
+			tasks = append(tasks, blockTask{i0: i0, d1: d1, j0: j0, n1: n1})
+		}
+	}
+	return tasks
+}
+
+func (sk *Sketcher) runAlg3(ahat *dense.Matrix, a *sparse.CSC, st *Stats) {
+	bd, bn := sk.blockSizes(a.N)
+	tasks := makeTasks(sk.d, a.N, bd, bn)
+	sk.forEachTask(tasks, bd, func(t blockTask, s *rng.Sampler, v []float64, sampleTime *time.Duration) int64 {
+		sub := ahat.View(t.i0, t.j0, t.d1, t.n1)
+		slab := a.ColSlice(t.j0, t.j0+t.n1)
+		if sk.opts.Timed {
+			return kernels.Kernel3Timed(sub, slab, uint64(t.i0), s, v, sampleTime)
+		}
+		return kernels.Kernel3(sub, slab, uint64(t.i0), s, v)
+	}, st)
+}
+
+func (sk *Sketcher) runAlg4(ahat *dense.Matrix, a *sparse.CSC, st *Stats) {
+	bd, bn := sk.blockSizes(a.N)
+	tc := time.Now()
+	blocked := sparse.NewBlockedCSRParallel(a, bn, sk.workers())
+	st.ConvertTime = time.Since(tc)
+
+	tasks := makeTasks(sk.d, a.N, bd, bn)
+	sk.forEachTask(tasks, bd, func(t blockTask, s *rng.Sampler, v []float64, sampleTime *time.Duration) int64 {
+		sub := ahat.View(t.i0, t.j0, t.d1, t.n1)
+		slab := blocked.Blocks[t.j0/bn]
+		if sk.opts.Timed {
+			return kernels.Kernel4Timed(sub, slab, uint64(t.i0), s, v, sampleTime)
+		}
+		return kernels.Kernel4(sub, slab, uint64(t.i0), s, v)
+	}, st)
+}
+
+// forEachTask runs fn over every block task, sequentially or with a worker
+// pool. Each worker owns a private sampler and scratch vector; results are
+// reproducible regardless of scheduling because every kernel call
+// re-anchors the RNG at its own (block-row, sparse-row) checkpoints.
+func (sk *Sketcher) forEachTask(tasks []blockTask, scratch int,
+	fn func(t blockTask, s *rng.Sampler, v []float64, sampleTime *time.Duration) int64, st *Stats) {
+
+	w := sk.workers()
+	if w <= 1 || len(tasks) == 1 {
+		s := rng.NewSampler(rng.NewSource(sk.opts.Source, sk.opts.Seed), sk.opts.Dist)
+		v := make([]float64, scratch)
+		for _, t := range tasks {
+			st.Samples += fn(t, s, v, &st.SampleTime)
+		}
+		return
+	}
+
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		samples int64
+		sampled time.Duration
+	)
+	work := make(chan blockTask)
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := rng.NewSampler(rng.NewSource(sk.opts.Source, sk.opts.Seed), sk.opts.Dist)
+			v := make([]float64, scratch)
+			var localSamples int64
+			var localSampled time.Duration
+			for t := range work {
+				localSamples += fn(t, s, v, &localSampled)
+			}
+			mu.Lock()
+			samples += localSamples
+			sampled += localSampled
+			mu.Unlock()
+		}()
+	}
+	for _, t := range tasks {
+		work <- t
+	}
+	close(work)
+	wg.Wait()
+	st.Samples += samples
+	st.SampleTime += sampled
+}

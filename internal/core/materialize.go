@@ -1,0 +1,42 @@
+package core
+
+import (
+	"sketchsp/internal/dense"
+	"sketchsp/internal/rng"
+)
+
+// MaterializeS explicitly builds the d×m sketching matrix S that a Sketcher
+// with the same options would generate implicitly — the "naive approach" of
+// §II-A that pre-generates S, used by the pre-generated baselines of
+// Tables II/IV and Figure 4 and by tests that cross-check the on-the-fly
+// kernels against an explicit product.
+//
+// The entries are anchored at the same (block-row, column) checkpoints the
+// kernels use, so S·A computed densely agrees exactly with Sketch's output
+// under the same blocking.
+func (sk *Sketcher) MaterializeS(m int) *dense.Matrix {
+	s := rng.NewSampler(rng.NewSource(sk.opts.Source, sk.opts.Seed), sk.opts.Dist)
+	bd, _ := sk.blockSizes(1)
+	out := dense.NewMatrix(sk.d, m)
+	for i0 := 0; i0 < sk.d; i0 += bd {
+		d1 := bd
+		if i0+d1 > sk.d {
+			d1 = sk.d - i0
+		}
+		v := make([]float64, d1)
+		for j := 0; j < m; j++ {
+			s.SetState(uint64(i0), uint64(j))
+			s.Fill(v)
+			copy(out.Col(j)[i0:i0+d1], v)
+		}
+	}
+	// The scaling trick stores S in the integer domain and pre-scales A;
+	// a materialised S must carry the scale itself to represent the same
+	// linear map.
+	if sk.opts.Dist == rng.ScaledInt {
+		for j := 0; j < m; j++ {
+			dense.Scal(rng.Scale31, out.Col(j))
+		}
+	}
+	return out
+}

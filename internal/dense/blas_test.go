@@ -1,0 +1,326 @@
+package dense
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randMat(r *rand.Rand, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for k := range m.Data {
+		m.Data[k] = r.NormFloat64()
+	}
+	return m
+}
+
+func randVec(r *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = r.NormFloat64()
+	}
+	return v
+}
+
+func TestDot(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Fatalf("Dot = %g, want 32", got)
+	}
+}
+
+func TestDotMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestAxpy(t *testing.T) {
+	y := []float64{1, 1, 1}
+	Axpy(2, []float64{1, 2, 3}, y)
+	want := []float64{3, 5, 7}
+	for i := range y {
+		if y[i] != want[i] {
+			t.Fatalf("Axpy = %v, want %v", y, want)
+		}
+	}
+}
+
+func TestAxpyZeroAlphaNoop(t *testing.T) {
+	y := []float64{1, 2}
+	Axpy(0, []float64{100, 100}, y)
+	if y[0] != 1 || y[1] != 2 {
+		t.Fatal("Axpy with alpha=0 modified y")
+	}
+}
+
+func TestNrm2(t *testing.T) {
+	if got := Nrm2([]float64{3, 4}); math.Abs(got-5) > 1e-15 {
+		t.Fatalf("Nrm2 = %g, want 5", got)
+	}
+	if Nrm2(nil) != 0 {
+		t.Fatal("Nrm2(nil) != 0")
+	}
+}
+
+func TestNrm2Extremes(t *testing.T) {
+	// Overflow-safe
+	if got := Nrm2([]float64{1e200, 1e200}); math.IsInf(got, 1) {
+		t.Fatal("Nrm2 overflowed")
+	}
+	// Underflow-safe
+	if got := Nrm2([]float64{1e-200, 1e-200}); got == 0 {
+		t.Fatal("Nrm2 underflowed to zero")
+	}
+}
+
+func TestGemvAgainstExplicit(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	a := randMat(r, 5, 3)
+	x := randVec(r, 3)
+	y := randVec(r, 5)
+	want := make([]float64, 5)
+	for i := 0; i < 5; i++ {
+		want[i] = 0.5 * y[i]
+		for j := 0; j < 3; j++ {
+			want[i] += 2 * a.At(i, j) * x[j]
+		}
+	}
+	Gemv(2, a, x, 0.5, y)
+	for i := range y {
+		if math.Abs(y[i]-want[i]) > 1e-12 {
+			t.Fatalf("Gemv[%d] = %g, want %g", i, y[i], want[i])
+		}
+	}
+}
+
+func TestGemvTAgainstExplicit(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	a := randMat(r, 4, 6)
+	x := randVec(r, 4)
+	y := make([]float64, 6)
+	GemvT(1, a, x, 0, y)
+	for j := 0; j < 6; j++ {
+		var want float64
+		for i := 0; i < 4; i++ {
+			want += a.At(i, j) * x[i]
+		}
+		if math.Abs(y[j]-want) > 1e-12 {
+			t.Fatalf("GemvT[%d] = %g, want %g", j, y[j], want)
+		}
+	}
+}
+
+func TestGemmAgainstNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	a := randMat(r, 4, 5)
+	b := randMat(r, 5, 3)
+	c := NewMatrix(4, 3)
+	Gemm(1, a, b, 0, c)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 3; j++ {
+			var want float64
+			for k := 0; k < 5; k++ {
+				want += a.At(i, k) * b.At(k, j)
+			}
+			if math.Abs(c.At(i, j)-want) > 1e-12 {
+				t.Fatalf("Gemm(%d,%d) = %g, want %g", i, j, c.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestGemmBetaAccumulate(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	a := randMat(r, 3, 3)
+	b := randMat(r, 3, 3)
+	c := randMat(r, 3, 3)
+	c0 := c.Clone()
+	Gemm(1, a, b, 1, c)
+	// c should equal a*b + c0
+	want := NewMatrix(3, 3)
+	Gemm(1, a, b, 0, want)
+	for j := 0; j < 3; j++ {
+		for i := 0; i < 3; i++ {
+			w := want.At(i, j) + c0.At(i, j)
+			if math.Abs(c.At(i, j)-w) > 1e-12 {
+				t.Fatalf("beta=1 accumulate wrong at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestGemmTN(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	a := randMat(r, 5, 4)
+	b := randMat(r, 5, 3)
+	c := NewMatrix(4, 3)
+	GemmTN(1, a, b, 0, c)
+	want := NewMatrix(4, 3)
+	Gemm(1, a.Transpose(), b, 0, want)
+	if c.MaxAbsDiff(want) > 1e-12 {
+		t.Fatal("GemmTN != Gemm(Aᵀ, B)")
+	}
+}
+
+// Property: Gemm is linear in its left argument.
+func TestGemmLinearityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(5)
+		a1, a2 := randMat(r, n, n), randMat(r, n, n)
+		b := randMat(r, n, n)
+		// (a1+a2)*b
+		sum := NewMatrix(n, n)
+		for k := range sum.Data {
+			sum.Data[k] = a1.Data[k] + a2.Data[k]
+		}
+		c1 := NewMatrix(n, n)
+		Gemm(1, sum, b, 0, c1)
+		c2 := NewMatrix(n, n)
+		Gemm(1, a1, b, 0, c2)
+		Gemm(1, a2, b, 1, c2)
+		return c1.MaxAbsDiff(c2) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrsvUpper(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	n := 6
+	u := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i <= j; i++ {
+			u.Set(i, j, r.NormFloat64())
+		}
+		u.Set(j, j, 2+r.Float64()) // well-conditioned diagonal
+	}
+	xTrue := randVec(r, n)
+	b := make([]float64, n)
+	Gemv(1, u, xTrue, 0, b)
+	TrsvUpper(u, b)
+	for i := range b {
+		if math.Abs(b[i]-xTrue[i]) > 1e-10 {
+			t.Fatalf("TrsvUpper x[%d] = %g, want %g", i, b[i], xTrue[i])
+		}
+	}
+}
+
+func TestTrsvUpperT(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	n := 6
+	u := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i <= j; i++ {
+			u.Set(i, j, r.NormFloat64())
+		}
+		u.Set(j, j, 2+r.Float64())
+	}
+	xTrue := randVec(r, n)
+	b := make([]float64, n)
+	Gemv(1, u.Transpose(), xTrue, 0, b)
+	TrsvUpperT(u, b)
+	for i := range b {
+		if math.Abs(b[i]-xTrue[i]) > 1e-10 {
+			t.Fatalf("TrsvUpperT x[%d] = %g, want %g", i, b[i], xTrue[i])
+		}
+	}
+}
+
+func TestTrsvSingularPanics(t *testing.T) {
+	u := NewMatrix(2, 2)
+	u.Set(0, 0, 1) // u[1][1] = 0: singular
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on singular solve")
+		}
+	}()
+	TrsvUpper(u, []float64{1, 1})
+}
+
+// Gemm and GemmTN must honour strided operands (views), which the blocked
+// QR update relies on.
+func TestGemmWithViews(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	big := randMat(r, 12, 12)
+	a := big.View(2, 1, 6, 4)
+	b := big.View(3, 6, 4, 3)
+	c := NewMatrix(6, 3)
+	Gemm(1, a, b, 0, c)
+	want := NewMatrix(6, 3)
+	Gemm(1, a.Clone(), b.Clone(), 0, want) // tight-stride copies
+	if c.MaxAbsDiff(want) > 1e-13 {
+		t.Fatal("Gemm view result differs from tight-stride result")
+	}
+
+	ct := NewMatrix(4, 3)
+	GemmTN(1, a, big.View(2, 6, 6, 3), 0, ct)
+	wantT := NewMatrix(4, 3)
+	GemmTN(1, a.Clone(), big.View(2, 6, 6, 3).Clone(), 0, wantT)
+	if ct.MaxAbsDiff(wantT) > 1e-13 {
+		t.Fatal("GemmTN view result differs")
+	}
+}
+
+// Output written through a view must stay inside the view's window.
+func TestGemmIntoViewStaysInWindow(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	host := NewMatrix(8, 8)
+	host.Fill(7)
+	c := host.View(2, 2, 4, 4)
+	a := randMat(r, 4, 4)
+	b := randMat(r, 4, 4)
+	Gemm(1, a, b, 0, c)
+	for j := 0; j < 8; j++ {
+		for i := 0; i < 8; i++ {
+			inside := i >= 2 && i < 6 && j >= 2 && j < 6
+			if !inside && host.At(i, j) != 7 {
+				t.Fatalf("Gemm escaped the view at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestGemmOddInnerDimension(t *testing.T) {
+	// Inner dimensions not divisible by the 4-wide fusion must hit the
+	// scalar tail and still be exact.
+	r := rand.New(rand.NewSource(11))
+	for _, k := range []int{1, 2, 3, 5, 7, 9} {
+		a := randMat(r, 6, k)
+		b := randMat(r, k, 4)
+		c := NewMatrix(6, 4)
+		Gemm(1, a, b, 0, c)
+		for i := 0; i < 6; i++ {
+			for j := 0; j < 4; j++ {
+				var want float64
+				for kk := 0; kk < k; kk++ {
+					want += a.At(i, kk) * b.At(kk, j)
+				}
+				if math.Abs(c.At(i, j)-want) > 1e-12 {
+					t.Fatalf("k=%d: (%d,%d) = %g want %g", k, i, j, c.At(i, j), want)
+				}
+			}
+		}
+	}
+}
+
+func TestViewOfView(t *testing.T) {
+	m := NewMatrix(10, 10)
+	for k := range m.Data {
+		m.Data[k] = float64(k)
+	}
+	v1 := m.View(1, 1, 8, 8)
+	v2 := v1.View(2, 3, 3, 2)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 2; j++ {
+			if v2.At(i, j) != m.At(3+i, 4+j) {
+				t.Fatalf("nested view (%d,%d) wrong", i, j)
+			}
+		}
+	}
+}

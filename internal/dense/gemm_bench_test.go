@@ -1,0 +1,19 @@
+package dense
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkGemm400(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	n := 400
+	a := randMat(r, n, n)
+	bb := randMat(r, n, n)
+	c := NewMatrix(n, n)
+	flops := 2 * float64(n) * float64(n) * float64(n)
+	for i := 0; i < b.N; i++ {
+		Gemm(1, a, bb, 0, c)
+	}
+	b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GF/s")
+}

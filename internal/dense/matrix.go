@@ -1,0 +1,191 @@
+// Package dense provides column-major dense matrices and the small set of
+// BLAS-like operations the sketching library and its least-squares pipeline
+// need. It is deliberately dependency-free (stdlib only) and favours
+// contiguous column access, which is the access pattern of the paper's
+// Algorithm 3/4 kernels.
+package dense
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a column-major dense matrix: element (i, j) lives at
+// Data[j*Stride+i]. Stride >= Rows. Column-major layout matches the paper's
+// kernels, which stream through columns of the sketch output Â.
+type Matrix struct {
+	Rows   int
+	Cols   int
+	Stride int
+	Data   []float64
+}
+
+// NewMatrix allocates a zeroed r×c column-major matrix with a tight stride.
+func NewMatrix(r, c int) *Matrix {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("dense: negative dimension %dx%d", r, c))
+	}
+	return &Matrix{Rows: r, Cols: c, Stride: r, Data: make([]float64, r*c)}
+}
+
+// NewMatrixFrom builds an r×c matrix from row-major data (convenient in
+// tests and examples, where literals read row by row).
+func NewMatrixFrom(r, c int, rowMajor []float64) *Matrix {
+	if len(rowMajor) != r*c {
+		panic(fmt.Sprintf("dense: NewMatrixFrom got %d values for %dx%d", len(rowMajor), r, c))
+	}
+	m := NewMatrix(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			m.Set(i, j, rowMajor[i*c+j])
+		}
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[j*m.Stride+i] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[j*m.Stride+i] = v }
+
+// Col returns the j-th column as a slice aliasing the matrix storage.
+func (m *Matrix) Col(j int) []float64 {
+	return m.Data[j*m.Stride : j*m.Stride+m.Rows]
+}
+
+// View returns a submatrix [i0:i0+r, j0:j0+c] sharing storage with m.
+func (m *Matrix) View(i0, j0, r, c int) *Matrix {
+	if i0 < 0 || j0 < 0 || r < 0 || c < 0 || i0+r > m.Rows || j0+c > m.Cols {
+		panic(fmt.Sprintf("dense: view [%d:%d, %d:%d] out of %dx%d", i0, i0+r, j0, j0+c, m.Rows, m.Cols))
+	}
+	if r == 0 || c == 0 {
+		return &Matrix{Rows: r, Cols: c, Stride: m.Stride, Data: nil}
+	}
+	off := j0*m.Stride + i0
+	end := (j0+c-1)*m.Stride + i0 + r
+	return &Matrix{Rows: r, Cols: c, Stride: m.Stride, Data: m.Data[off:end]}
+}
+
+// Clone returns a deep copy of m with a tight stride.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	for j := 0; j < m.Cols; j++ {
+		copy(out.Col(j), m.Col(j))
+	}
+	return out
+}
+
+// Zero sets every element to 0 (respecting views: only touches the window).
+func (m *Matrix) Zero() {
+	for j := 0; j < m.Cols; j++ {
+		col := m.Col(j)
+		for i := range col {
+			col[i] = 0
+		}
+	}
+}
+
+// Fill sets every element to v.
+func (m *Matrix) Fill(v float64) {
+	for j := 0; j < m.Cols; j++ {
+		col := m.Col(j)
+		for i := range col {
+			col[i] = v
+		}
+	}
+}
+
+// Transpose returns a newly allocated transpose of m.
+func (m *Matrix) Transpose() *Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	for j := 0; j < m.Cols; j++ {
+		col := m.Col(j)
+		for i, v := range col {
+			out.Set(j, i, v)
+		}
+	}
+	return out
+}
+
+// CopyFrom copies src into m; dimensions must match exactly.
+func (m *Matrix) CopyFrom(src *Matrix) {
+	if m.Rows != src.Rows || m.Cols != src.Cols {
+		panic(fmt.Sprintf("dense: CopyFrom dims %dx%d != %dx%d", m.Rows, m.Cols, src.Rows, src.Cols))
+	}
+	for j := 0; j < m.Cols; j++ {
+		copy(m.Col(j), src.Col(j))
+	}
+}
+
+// Equal reports whether m and b agree elementwise to within tol.
+func (m *Matrix) Equal(b *Matrix, tol float64) bool {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		return false
+	}
+	for j := 0; j < m.Cols; j++ {
+		mc, bc := m.Col(j), b.Col(j)
+		for i := range mc {
+			if math.Abs(mc[i]-bc[i]) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MaxAbsDiff returns the largest elementwise absolute difference. Panics on
+// dimension mismatch.
+func (m *Matrix) MaxAbsDiff(b *Matrix) float64 {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		panic("dense: MaxAbsDiff dimension mismatch")
+	}
+	var d float64
+	for j := 0; j < m.Cols; j++ {
+		mc, bc := m.Col(j), b.Col(j)
+		for i := range mc {
+			if v := math.Abs(mc[i] - bc[i]); v > d {
+				d = v
+			}
+		}
+	}
+	return d
+}
+
+// FrobeniusNorm returns ‖m‖_F.
+func (m *Matrix) FrobeniusNorm() float64 {
+	var scale, ssq float64 = 0, 1
+	for j := 0; j < m.Cols; j++ {
+		for _, v := range m.Col(j) {
+			if v == 0 {
+				continue
+			}
+			av := math.Abs(v)
+			if scale < av {
+				ssq = 1 + ssq*(scale/av)*(scale/av)
+				scale = av
+			} else {
+				ssq += (av / scale) * (av / scale)
+			}
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// String renders small matrices for debugging; large ones are summarised.
+func (m *Matrix) String() string {
+	if m.Rows*m.Cols > 400 {
+		return fmt.Sprintf("dense.Matrix{%dx%d}", m.Rows, m.Cols)
+	}
+	s := ""
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			s += fmt.Sprintf("% 10.4g ", m.At(i, j))
+		}
+		s += "\n"
+	}
+	return s
+}
+
+// MemoryBytes reports the storage footprint of the matrix data in bytes.
+func (m *Matrix) MemoryBytes() int64 { return int64(len(m.Data)) * 8 }

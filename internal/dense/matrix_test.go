@@ -1,0 +1,188 @@
+package dense
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMatrixZeroed(t *testing.T) {
+	m := NewMatrix(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || m.Stride != 3 {
+		t.Fatalf("got %dx%d stride %d", m.Rows, m.Cols, m.Stride)
+	}
+	for j := 0; j < 4; j++ {
+		for i := 0; i < 3; i++ {
+			if m.At(i, j) != 0 {
+				t.Fatalf("element (%d,%d) = %g, want 0", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestNewMatrixFromRowMajor(t *testing.T) {
+	m := NewMatrixFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	want := [][]float64{{1, 2, 3}, {4, 5, 6}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != want[i][j] {
+				t.Errorf("(%d,%d) = %g, want %g", i, j, m.At(i, j), want[i][j])
+			}
+		}
+	}
+	// Column-major storage check.
+	if m.Data[0] != 1 || m.Data[1] != 4 || m.Data[2] != 2 {
+		t.Errorf("column-major layout wrong: %v", m.Data)
+	}
+}
+
+func TestNewMatrixFromBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on bad data length")
+		}
+	}()
+	NewMatrixFrom(2, 2, []float64{1, 2, 3})
+}
+
+func TestSetAtRoundTrip(t *testing.T) {
+	m := NewMatrix(5, 7)
+	rng := rand.New(rand.NewSource(1))
+	ref := make(map[[2]int]float64)
+	for k := 0; k < 100; k++ {
+		i, j := rng.Intn(5), rng.Intn(7)
+		v := rng.NormFloat64()
+		m.Set(i, j, v)
+		ref[[2]int{i, j}] = v
+	}
+	for key, v := range ref {
+		if got := m.At(key[0], key[1]); got != v {
+			t.Errorf("(%d,%d) = %g, want %g", key[0], key[1], got, v)
+		}
+	}
+}
+
+func TestColAliasesStorage(t *testing.T) {
+	m := NewMatrix(4, 2)
+	c := m.Col(1)
+	c[2] = 42
+	if m.At(2, 1) != 42 {
+		t.Fatal("Col does not alias storage")
+	}
+}
+
+func TestViewSharesStorage(t *testing.T) {
+	m := NewMatrix(6, 6)
+	v := m.View(2, 3, 3, 2)
+	if v.Rows != 3 || v.Cols != 2 {
+		t.Fatalf("view dims %dx%d", v.Rows, v.Cols)
+	}
+	v.Set(0, 0, 7)
+	v.Set(2, 1, 9)
+	if m.At(2, 3) != 7 || m.At(4, 4) != 9 {
+		t.Fatal("view writes not visible in parent")
+	}
+}
+
+func TestViewZero(t *testing.T) {
+	m := NewMatrix(6, 6)
+	m.Fill(3)
+	v := m.View(1, 1, 2, 2)
+	v.Zero()
+	if m.At(1, 1) != 0 || m.At(2, 2) != 0 {
+		t.Fatal("view Zero did not clear window")
+	}
+	if m.At(0, 0) != 3 || m.At(3, 3) != 3 || m.At(1, 3) != 3 {
+		t.Fatal("view Zero escaped its window")
+	}
+}
+
+func TestViewOutOfRangePanics(t *testing.T) {
+	m := NewMatrix(3, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.View(1, 1, 3, 1)
+}
+
+func TestTranspose(t *testing.T) {
+	m := NewMatrixFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	tr := m.Transpose()
+	if tr.Rows != 3 || tr.Cols != 2 {
+		t.Fatalf("transpose dims %dx%d", tr.Rows, tr.Cols)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Errorf("(%d,%d) mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows, cols := 1+r.Intn(8), 1+r.Intn(8)
+		m := NewMatrix(rows, cols)
+		for k := range m.Data {
+			m.Data[k] = r.NormFloat64()
+		}
+		return m.Transpose().Transpose().Equal(m, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := NewMatrixFrom(2, 2, []float64{1, 2, 3, 4})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Fatal("clone shares storage")
+	}
+}
+
+func TestFrobeniusNorm(t *testing.T) {
+	m := NewMatrixFrom(2, 2, []float64{3, 0, 0, 4})
+	if got := m.FrobeniusNorm(); math.Abs(got-5) > 1e-14 {
+		t.Fatalf("‖m‖_F = %g, want 5", got)
+	}
+}
+
+func TestFrobeniusNormOverflowSafe(t *testing.T) {
+	m := NewMatrix(1, 2)
+	m.Set(0, 0, 1e200)
+	m.Set(0, 1, 1e200)
+	want := 1e200 * math.Sqrt2
+	if got := m.FrobeniusNorm(); math.Abs(got-want)/want > 1e-14 {
+		t.Fatalf("overflow-unsafe norm: got %g want %g", got, want)
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	a := NewMatrixFrom(2, 2, []float64{1, 2, 3, 4})
+	b := NewMatrixFrom(2, 2, []float64{1, 2.5, 3, 4})
+	if got := a.MaxAbsDiff(b); got != 0.5 {
+		t.Fatalf("MaxAbsDiff = %g, want 0.5", got)
+	}
+}
+
+func TestEqualDimsMismatch(t *testing.T) {
+	if NewMatrix(2, 2).Equal(NewMatrix(2, 3), 1) {
+		t.Fatal("matrices of different shape compared equal")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	src := NewMatrixFrom(2, 2, []float64{1, 2, 3, 4})
+	dst := NewMatrix(2, 2)
+	dst.CopyFrom(src)
+	if !dst.Equal(src, 0) {
+		t.Fatal("CopyFrom mismatch")
+	}
+}

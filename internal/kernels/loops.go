@@ -1,0 +1,192 @@
+// Package kernels implements the paper's compute kernels: the six toy loop
+// orderings of Algorithm 2 (used by tests and the loop-order ablation), the
+// production kernels with on-the-fly random number generation — Algorithm 3
+// (variant kji over CSC) and Algorithm 4 (variant jki over blocked CSR) —
+// and the pre-generated-S variants used as baselines and by Figure 4.
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"sketchsp/internal/dense"
+	"sketchsp/internal/sparse"
+)
+
+// LoopOrder names one of the six orderings of Algorithm 2's three loops
+// (i over rows of L, j over the inner dimension, k over columns of R).
+type LoopOrder int
+
+// The six loop orderings of §II-B.
+const (
+	OrderIJK LoopOrder = iota
+	OrderIKJ
+	OrderKIJ
+	OrderJIK
+	OrderJKI
+	OrderKJI
+)
+
+// String implements fmt.Stringer for LoopOrder.
+func (o LoopOrder) String() string {
+	switch o {
+	case OrderIJK:
+		return "ijk"
+	case OrderIKJ:
+		return "ikj"
+	case OrderKIJ:
+		return "kij"
+	case OrderJIK:
+		return "jik"
+	case OrderJKI:
+		return "jki"
+	case OrderKJI:
+		return "kji"
+	default:
+		return fmt.Sprintf("LoopOrder(%d)", int(o))
+	}
+}
+
+// AllLoopOrders lists every ordering for the ablation bench.
+func AllLoopOrders() []LoopOrder {
+	return []LoopOrder{OrderIJK, OrderIKJ, OrderKIJ, OrderJIK, OrderJKI, OrderKJI}
+}
+
+// MultiplyLoopOrder computes G += L·R with the chosen loop ordering over a
+// pre-materialised dense L (d1×m1). R is supplied in both CSC and CSR form;
+// each ordering walks whichever format its access pattern needs (§II-B rules
+// out some orderings precisely because of this). G must be d1×n1.
+func MultiplyLoopOrder(order LoopOrder, l *dense.Matrix, rcsc *sparse.CSC, rcsr *sparse.CSR, g *dense.Matrix) {
+	d1, m1 := l.Rows, l.Cols
+	if rcsc.M != m1 || g.Rows != d1 || g.Cols != rcsc.N {
+		panic(fmt.Sprintf("kernels: dims L=%dx%d R=%dx%d G=%dx%d",
+			d1, m1, rcsc.M, rcsc.N, g.Rows, g.Cols))
+	}
+	switch order {
+	case OrderIJK:
+		// Row i of G = Σ_j L[i,j] · (row j of R): sums sparse rows, the
+		// ordering §II-B rules out as inefficient for any sparse format.
+		for i := 0; i < d1; i++ {
+			for j := 0; j < m1; j++ {
+				lij := l.At(i, j)
+				if lij == 0 {
+					continue
+				}
+				cols, vals := rcsr.RowView(j)
+				for t, k := range cols {
+					g.Set(i, k, g.At(i, k)+lij*vals[t])
+				}
+			}
+		}
+	case OrderIKJ:
+		// G[i,k] = ℓ̂ᵢ·r_k streaming G row-major; needs noncontiguous
+		// gathers from row i of L at the sparse positions of column k.
+		for i := 0; i < d1; i++ {
+			for k := 0; k < rcsc.N; k++ {
+				rows, vals := rcsc.ColView(k)
+				var s float64
+				for t, j := range rows {
+					s += l.At(i, j) * vals[t]
+				}
+				g.Set(i, k, g.At(i, k)+s)
+			}
+		}
+	case OrderKIJ:
+		// Same dot products, streaming G column-major.
+		for k := 0; k < rcsc.N; k++ {
+			rows, vals := rcsc.ColView(k)
+			gk := g.Col(k)
+			for i := 0; i < d1; i++ {
+				var s float64
+				for t, j := range rows {
+					s += l.At(i, j) * vals[t]
+				}
+				gk[i] += s
+			}
+		}
+	case OrderJIK:
+		// Rank-1 updates ℓ_j·r̂ⱼ applied row-wise (Figure 1): for each i,
+		// scatter into the sparse positions of row j — noncontiguous G.
+		for j := 0; j < m1; j++ {
+			cols, vals := rcsr.RowView(j)
+			if len(cols) == 0 {
+				continue
+			}
+			lj := l.Col(j)
+			for i := 0; i < d1; i++ {
+				lij := lj[i]
+				for t, k := range cols {
+					g.Set(i, k, g.At(i, k)+lij*vals[t])
+				}
+			}
+		}
+	case OrderJKI:
+		// Rank-1 updates applied column-wise (Figure 3 / Algorithm 4's
+		// ordering): one column of L reused across the whole row of R.
+		for j := 0; j < m1; j++ {
+			cols, vals := rcsr.RowView(j)
+			if len(cols) == 0 {
+				continue
+			}
+			lj := l.Col(j)
+			for t, k := range cols {
+				axpy(vals[t], lj, g.Col(k))
+			}
+		}
+	case OrderKJI:
+		// Column k of G = Σ linear combination of columns of L picked by
+		// the sparsity of column k of R (Figure 2 / Algorithm 3's order).
+		for k := 0; k < rcsc.N; k++ {
+			rows, vals := rcsc.ColView(k)
+			gk := g.Col(k)
+			for t, j := range rows {
+				axpy(vals[t], l.Col(j), gk)
+			}
+		}
+	default:
+		panic(fmt.Sprintf("kernels: bad loop order %d", order))
+	}
+}
+
+// axpy computes y += a*x with 4-way unrolling. This is the hot inner loop of
+// every column-wise kernel; the unroll stands in for the FMA vectorisation
+// the paper gets from LoopVectorization.jl.
+func axpy(a float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("kernels: axpy length mismatch")
+	}
+	n := len(x)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		y[i] += a * x[i]
+		y[i+1] += a * x[i+1]
+		y[i+2] += a * x[i+2]
+		y[i+3] += a * x[i+3]
+	}
+	for ; i < n; i++ {
+		y[i] += a * x[i]
+	}
+}
+
+// axpySign computes y[i] += ±a with the sign taken from bit i of the raw
+// word stream (bit 0 → +a, matching the Rademacher convention 1−2·bit).
+// No multiply and no materialised ±1 vector: this is the fused fast path of
+// the paper's ±1 distribution. The inner groups of four never straddle a
+// word because 64 is a multiple of 4.
+func axpySign(a float64, words []uint64, y []float64) {
+	abits := math.Float64bits(a)
+	n := len(y)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		w := words[i>>6] >> uint(i&63)
+		out := y[i : i+4 : i+4]
+		out[0] += math.Float64frombits(abits ^ ((w & 1) << 63))
+		out[1] += math.Float64frombits(abits ^ ((w >> 1 & 1) << 63))
+		out[2] += math.Float64frombits(abits ^ ((w >> 2 & 1) << 63))
+		out[3] += math.Float64frombits(abits ^ ((w >> 3 & 1) << 63))
+	}
+	for ; i < n; i++ {
+		bit := (words[i>>6] >> uint(i&63)) & 1
+		y[i] += math.Float64frombits(abits ^ (bit << 63))
+	}
+}

@@ -1,0 +1,350 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sketchsp/internal/dense"
+	"sketchsp/internal/sparse"
+)
+
+func randMat(r *rand.Rand, rows, cols int) *dense.Matrix {
+	m := dense.NewMatrix(rows, cols)
+	for k := range m.Data {
+		m.Data[k] = r.NormFloat64()
+	}
+	return m
+}
+
+func TestQRReconstruction(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		m, n := 5+r.Intn(30), 2+r.Intn(10)
+		if m < n {
+			m = n
+		}
+		a := randMat(r, m, n)
+		qr := NewQR(a)
+		// Q·R must reproduce A: apply Q to padded R columns.
+		rm := qr.R()
+		for j := 0; j < n; j++ {
+			col := make([]float64, m)
+			copy(col, rm.Col(j))
+			qr.ApplyQ(col)
+			for i := 0; i < m; i++ {
+				if math.Abs(col[i]-a.At(i, j)) > 1e-10 {
+					t.Fatalf("trial %d: QR reconstruction off at (%d,%d)", trial, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestQROrthogonality(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	m, n := 40, 12
+	a := randMat(r, m, n)
+	qr := NewQR(a)
+	// QᵀQ = I: apply Qᵀ then Q to unit vectors and check round trip.
+	for k := 0; k < m; k += 7 {
+		e := make([]float64, m)
+		e[k] = 1
+		qr.ApplyQT(e)
+		qr.ApplyQ(e)
+		for i := 0; i < m; i++ {
+			want := 0.0
+			if i == k {
+				want = 1
+			}
+			if math.Abs(e[i]-want) > 1e-12 {
+				t.Fatalf("Q·Qᵀ·e%d not identity at %d", k, i)
+			}
+		}
+	}
+}
+
+func TestQRSolveLeastSquares(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	m, n := 50, 8
+	a := randMat(r, m, n)
+	xTrue := make([]float64, n)
+	for i := range xTrue {
+		xTrue[i] = r.NormFloat64()
+	}
+	b := make([]float64, m)
+	dense.Gemv(1, a, xTrue, 0, b)
+	qr := NewQR(a)
+	x := qr.Solve(b)
+	for i := range x {
+		if math.Abs(x[i]-xTrue[i]) > 1e-9 {
+			t.Fatalf("x[%d] = %g, want %g", i, x[i], xTrue[i])
+		}
+	}
+}
+
+func TestQRSolveResidualOrthogonal(t *testing.T) {
+	// For inconsistent systems, the residual must be orthogonal to
+	// range(A): Aᵀ(Ax-b) = 0.
+	r := rand.New(rand.NewSource(4))
+	m, n := 30, 5
+	a := randMat(r, m, n)
+	b := make([]float64, m)
+	for i := range b {
+		b[i] = r.NormFloat64()
+	}
+	x := NewQR(a).Solve(b)
+	res := make([]float64, m)
+	dense.Gemv(1, a, x, 0, res)
+	for i := range res {
+		res[i] -= b[i]
+	}
+	atr := make([]float64, n)
+	dense.GemvT(1, a, res, 0, atr)
+	if nrm := dense.Nrm2(atr); nrm > 1e-10 {
+		t.Fatalf("‖Aᵀr‖ = %g, residual not orthogonal to range", nrm)
+	}
+}
+
+func TestQRWideMatrixPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wide matrix")
+		}
+	}()
+	NewQR(dense.NewMatrix(2, 5))
+}
+
+func TestQRRankDeficientDetectable(t *testing.T) {
+	a := dense.NewMatrix(4, 2)
+	// Column 1 = 2 × column 0 → rank 1: RDiagMin must collapse to
+	// rounding level so callers can detect the deficiency.
+	for i := 0; i < 4; i++ {
+		a.Set(i, 0, float64(i+1))
+		a.Set(i, 1, 2*float64(i+1))
+	}
+	qr := NewQR(a)
+	if qr.RDiagMin() > 1e-12 {
+		t.Fatalf("RDiagMin = %g, rank deficiency invisible", qr.RDiagMin())
+	}
+}
+
+func TestSVDReconstruction(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 8; trial++ {
+		m, n := 6+r.Intn(20), 2+r.Intn(8)
+		if m < n {
+			m = n
+		}
+		a := randMat(r, m, n)
+		svd := NewSVD(a, 0)
+		if rec := svd.Reconstruct(); rec.MaxAbsDiff(a) > 1e-9 {
+			t.Fatalf("trial %d: SVD reconstruction off by %g", trial, rec.MaxAbsDiff(a))
+		}
+	}
+}
+
+func TestSVDSingularValuesSortedNonNegative(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	a := randMat(r, 25, 10)
+	svd := NewSVD(a, 0)
+	for i, s := range svd.Sigma {
+		if s < 0 {
+			t.Fatalf("σ[%d] = %g < 0", i, s)
+		}
+		if i > 0 && s > svd.Sigma[i-1] {
+			t.Fatalf("σ not sorted: σ[%d]=%g > σ[%d]=%g", i, s, i-1, svd.Sigma[i-1])
+		}
+	}
+}
+
+func TestSVDOrthonormalFactors(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	a := randMat(r, 30, 8)
+	svd := NewSVD(a, 0)
+	// UᵀU = I
+	for i := 0; i < 8; i++ {
+		for j := i; j < 8; j++ {
+			d := dense.Dot(svd.U.Col(i), svd.U.Col(j))
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(d-want) > 1e-10 {
+				t.Fatalf("UᵀU[%d,%d] = %g", i, j, d)
+			}
+		}
+	}
+	// VᵀV = I
+	for i := 0; i < 8; i++ {
+		for j := i; j < 8; j++ {
+			d := dense.Dot(svd.V.Col(i), svd.V.Col(j))
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(d-want) > 1e-10 {
+				t.Fatalf("VᵀV[%d,%d] = %g", i, j, d)
+			}
+		}
+	}
+}
+
+func TestSVDKnownSingularValues(t *testing.T) {
+	// Diagonal-ish matrix with known spectrum.
+	a := dense.NewMatrix(6, 3)
+	a.Set(0, 0, 5)
+	a.Set(1, 1, 3)
+	a.Set(2, 2, 1e-8)
+	svd := NewSVD(a, 0)
+	want := []float64{5, 3, 1e-8}
+	for i, w := range want {
+		if math.Abs(svd.Sigma[i]-w) > 1e-12*math.Max(1, w) {
+			t.Fatalf("σ[%d] = %g, want %g", i, svd.Sigma[i], w)
+		}
+	}
+	if c := svd.Cond(); math.Abs(c-5e8)/5e8 > 1e-6 {
+		t.Fatalf("cond = %g, want 5e8", c)
+	}
+	if r := svd.Rank(1e-6); r != 2 {
+		t.Fatalf("Rank(1e-6) = %d, want 2", r)
+	}
+}
+
+func TestSVDRankDeficient(t *testing.T) {
+	// Explicit rank-2 matrix in R^{8x4}.
+	r := rand.New(rand.NewSource(8))
+	u := randMat(r, 8, 2)
+	v := randMat(r, 4, 2)
+	a := dense.NewMatrix(8, 4)
+	dense.Gemm(1, u, v.Transpose(), 0, a)
+	svd := NewSVD(a, 0)
+	if svd.Sigma[2] > 1e-10*svd.Sigma[0] || svd.Sigma[3] > 1e-10*svd.Sigma[0] {
+		t.Fatalf("rank-2 matrix has σ = %v", svd.Sigma)
+	}
+	if svd.Rank(1e-8) != 2 {
+		t.Fatalf("Rank = %d, want 2", svd.Rank(1e-8))
+	}
+}
+
+func TestSVDProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, n := 3+r.Intn(15), 1+r.Intn(6)
+		if m < n {
+			m = n
+		}
+		a := randMat(r, m, n)
+		svd := NewSVD(a, 0)
+		// ‖A‖_F² = Σσ².
+		var ss float64
+		for _, s := range svd.Sigma {
+			ss += s * s
+		}
+		fn := a.FrobeniusNorm()
+		return math.Abs(ss-fn*fn) <= 1e-8*math.Max(1, fn*fn)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSigmaMaxAgainstSVD(t *testing.T) {
+	a := sparse.RandomUniform(200, 30, 0.1, 9)
+	got := SigmaMax(a, 200)
+	svd := NewSVD(a.ToDense(), 0)
+	want := svd.Sigma[0]
+	if math.Abs(got-want)/want > 1e-6 {
+		t.Fatalf("SigmaMax = %g, SVD says %g", got, want)
+	}
+}
+
+func TestSigmaMaxEmpty(t *testing.T) {
+	if SigmaMax(sparse.NewCOO(5, 5, 0).ToCSC(), 10) != 0 {
+		t.Fatal("empty matrix σmax != 0")
+	}
+}
+
+func TestCondEstimateWellConditioned(t *testing.T) {
+	a := sparse.RandomUniform(400, 20, 0.3, 10)
+	c := CondEstimate(a)
+	// Random tall matrices are well-conditioned: cond in low single digits.
+	if c < 1 || c > 50 {
+		t.Fatalf("cond estimate %g implausible for random tall matrix", c)
+	}
+}
+
+func TestCondEstimateScaledColumns(t *testing.T) {
+	a := sparse.RandomUniform(300, 10, 0.4, 11)
+	// Scale one column down by 1e4: cond should rise to ≈1e4.
+	_, vals := a.ColView(5)
+	for i := range vals {
+		vals[i] *= 1e-4
+	}
+	c := CondEstimate(a)
+	if c < 1e3 || c > 1e6 {
+		t.Fatalf("cond estimate %g, want ≈1e4", c)
+	}
+}
+
+func TestBlockedQRMatchesUnblocked(t *testing.T) {
+	r := rand.New(rand.NewSource(51))
+	for _, dims := range [][2]int{{10, 5}, {40, 33}, {70, 70}, {200, 90}, {65, 64}} {
+		m, n := dims[0], dims[1]
+		a := randMat(r, m, n)
+		ub := NewQR(a)
+		bl := NewQRBlocked(a)
+		// Same packed factors (the two algorithms apply identical
+		// reflectors, just grouped differently — agreement to rounding).
+		if diff := ub.fac.MaxAbsDiff(bl.fac); diff > 1e-11 {
+			t.Fatalf("%dx%d: packed factors differ by %g", m, n, diff)
+		}
+		for j := 0; j < n; j++ {
+			if math.Abs(ub.tau[j]-bl.tau[j]) > 1e-12 {
+				t.Fatalf("%dx%d: tau[%d] %g vs %g", m, n, j, ub.tau[j], bl.tau[j])
+			}
+		}
+	}
+}
+
+func TestBlockedQRSolve(t *testing.T) {
+	r := rand.New(rand.NewSource(52))
+	m, n := 150, 70
+	a := randMat(r, m, n)
+	xTrue := randVec(r, n)
+	b := make([]float64, m)
+	dense.Gemv(1, a, xTrue, 0, b)
+	x := NewQRBlocked(a).Solve(b)
+	for i := range x {
+		if math.Abs(x[i]-xTrue[i]) > 1e-8 {
+			t.Fatalf("x[%d] = %g, want %g", i, x[i], xTrue[i])
+		}
+	}
+}
+
+func TestBlockedQRReconstruction(t *testing.T) {
+	r := rand.New(rand.NewSource(53))
+	m, n := 90, 50
+	a := randMat(r, m, n)
+	qr := NewQRBlocked(a)
+	rm := qr.R()
+	for j := 0; j < n; j += 7 {
+		col := make([]float64, m)
+		copy(col, rm.Col(j))
+		qr.ApplyQ(col)
+		for i := 0; i < m; i++ {
+			if math.Abs(col[i]-a.At(i, j)) > 1e-10 {
+				t.Fatalf("reconstruction off at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func randVec(r *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = r.NormFloat64()
+	}
+	return v
+}

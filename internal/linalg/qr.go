@@ -1,0 +1,163 @@
+// Package linalg provides the dense factorizations the sketch-and-precondition
+// least-squares solver needs: Householder QR, one-sided Jacobi SVD, and
+// condition-number estimation. Everything is stdlib-only and sized for the
+// d×n sketches the pipeline produces (d = γ·n for small γ), where O(d·n²)
+// algorithms are the right tool.
+package linalg
+
+import (
+	"fmt"
+	"math"
+
+	"sketchsp/internal/dense"
+)
+
+// QR is a Householder QR factorization A = Q·R of a tall matrix (rows ≥
+// cols). The factored form stores the Householder vectors below the diagonal
+// of the input copy and R on and above it, LAPACK-style.
+type QR struct {
+	fac *dense.Matrix // packed factors, rows×cols
+	tau []float64     // Householder scalars, length cols
+}
+
+// NewQR computes the QR factorization of a (which is not modified).
+// Panics if a has more columns than rows.
+func NewQR(a *dense.Matrix) *QR {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		panic(fmt.Sprintf("linalg: QR needs rows ≥ cols, got %dx%d", m, n))
+	}
+	fac := a.Clone()
+	tau := make([]float64, n)
+	for k := 0; k < n; k++ {
+		col := fac.Col(k)[k:]
+		// Householder vector for column k.
+		alpha := col[0]
+		normx := dense.Nrm2(col)
+		if normx == 0 {
+			tau[k] = 0
+			continue
+		}
+		beta := -math.Copysign(normx, alpha)
+		tauK := (beta - alpha) / beta
+		scale := 1 / (alpha - beta)
+		for i := 1; i < len(col); i++ {
+			col[i] *= scale
+		}
+		col[0] = beta
+		tau[k] = tauK
+		// Apply H = I - tau·v·vᵀ to trailing columns (v[0] = 1 implicit).
+		for j := k + 1; j < n; j++ {
+			cj := fac.Col(j)[k:]
+			s := cj[0]
+			for i := 1; i < len(col); i++ {
+				s += col[i] * cj[i]
+			}
+			s *= tauK
+			cj[0] -= s
+			for i := 1; i < len(col); i++ {
+				cj[i] -= s * col[i]
+			}
+		}
+	}
+	return &QR{fac: fac, tau: tau}
+}
+
+// R returns the upper-triangular factor as a fresh n×n matrix.
+func (q *QR) R() *dense.Matrix {
+	n := q.fac.Cols
+	r := dense.NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		src := q.fac.Col(j)
+		dst := r.Col(j)
+		for i := 0; i <= j; i++ {
+			dst[i] = src[i]
+		}
+	}
+	return r
+}
+
+// RDiagMin returns the smallest absolute diagonal entry of R, a cheap rank /
+// conditioning probe.
+func (q *QR) RDiagMin() float64 {
+	minAbs := math.Inf(1)
+	for j := 0; j < q.fac.Cols; j++ {
+		if v := math.Abs(q.fac.At(j, j)); v < minAbs {
+			minAbs = v
+		}
+	}
+	return minAbs
+}
+
+// ApplyQT overwrites b (length rows) with Qᵀ·b.
+func (q *QR) ApplyQT(b []float64) {
+	m, n := q.fac.Rows, q.fac.Cols
+	if len(b) != m {
+		panic(fmt.Sprintf("linalg: ApplyQT len(b)=%d, want %d", len(b), m))
+	}
+	for k := 0; k < n; k++ {
+		if q.tau[k] == 0 {
+			continue
+		}
+		col := q.fac.Col(k)[k:]
+		seg := b[k:]
+		s := seg[0]
+		for i := 1; i < len(col); i++ {
+			s += col[i] * seg[i]
+		}
+		s *= q.tau[k]
+		seg[0] -= s
+		for i := 1; i < len(col); i++ {
+			seg[i] -= s * col[i]
+		}
+	}
+}
+
+// ApplyQ overwrites b (length rows) with Q·b (the inverse of ApplyQT).
+func (q *QR) ApplyQ(b []float64) {
+	m, n := q.fac.Rows, q.fac.Cols
+	if len(b) != m {
+		panic(fmt.Sprintf("linalg: ApplyQ len(b)=%d, want %d", len(b), m))
+	}
+	for k := n - 1; k >= 0; k-- {
+		if q.tau[k] == 0 {
+			continue
+		}
+		col := q.fac.Col(k)[k:]
+		seg := b[k:]
+		s := seg[0]
+		for i := 1; i < len(col); i++ {
+			s += col[i] * seg[i]
+		}
+		s *= q.tau[k]
+		seg[0] -= s
+		for i := 1; i < len(col); i++ {
+			seg[i] -= s * col[i]
+		}
+	}
+}
+
+// Solve returns the least-squares solution argmin ‖A·x − b‖₂ using the
+// factorization: x = R⁻¹ (Qᵀb)[:n]. b is not modified.
+func (q *QR) Solve(b []float64) []float64 {
+	m, n := q.fac.Rows, q.fac.Cols
+	if len(b) != m {
+		panic(fmt.Sprintf("linalg: Solve len(b)=%d, want %d", len(b), m))
+	}
+	qtb := append([]float64(nil), b...)
+	q.ApplyQT(qtb)
+	x := qtb[:n]
+	// Back substitution against the packed R.
+	for j := n - 1; j >= 0; j-- {
+		rj := q.fac.Col(j)
+		if rj[j] == 0 {
+			panic("linalg: QR solve on rank-deficient matrix")
+		}
+		x[j] /= rj[j]
+		xj := x[j]
+		for i := 0; i < j; i++ {
+			x[i] -= rj[i] * xj
+		}
+	}
+	return append([]float64(nil), x...)
+}

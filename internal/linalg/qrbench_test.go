@@ -1,0 +1,22 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchQR(b *testing.B, blocked bool) {
+	r := rand.New(rand.NewSource(1))
+	a := randMat(r, 800, 400)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if blocked {
+			NewQRBlocked(a)
+		} else {
+			NewQR(a)
+		}
+	}
+}
+
+func BenchmarkQRUnblocked(b *testing.B) { benchQR(b, false) }
+func BenchmarkQRBlocked(b *testing.B)   { benchQR(b, true) }

@@ -1,0 +1,173 @@
+package linalg
+
+import (
+	"fmt"
+
+	"sketchsp/internal/dense"
+)
+
+// Blocked Householder QR with the compact-WY representation: panels of
+// width qrPanel are factored with the unblocked kernel, then the trailing
+// matrix is updated as C ← (I − V·T·Vᵀ)ᵀ·C using matrix-matrix products.
+// For the d×n sketches the SAP pipeline factors (n in the hundreds to
+// thousands) this is several times faster than the column-at-a-time
+// update, because the bulk of the flops move into GEMM-shaped loops.
+
+// qrPanel is the panel width; 32 balances panel overhead against update
+// efficiency for the sketch shapes in this package.
+const qrPanel = 32
+
+// NewQRBlocked computes the same factorization as NewQR using the blocked
+// algorithm. The packed representation is identical (Householder vectors
+// below the diagonal, R above, tau scalars), so all QR methods apply.
+func NewQRBlocked(a *dense.Matrix) *QR {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		panic(fmt.Sprintf("linalg: QR needs rows ≥ cols, got %dx%d", m, n))
+	}
+	fac := a.Clone()
+	tau := make([]float64, n)
+	q := &QR{fac: fac, tau: tau}
+
+	tbuf := dense.NewMatrix(qrPanel, qrPanel)
+	for k := 0; k < n; k += qrPanel {
+		nb := qrPanel
+		if k+nb > n {
+			nb = n - k
+		}
+		// Factor the panel fac[k:, k:k+nb] with the unblocked kernel.
+		panelQR(fac, tau, k, nb)
+		if k+nb < n {
+			// Build T for the panel's compact-WY form and update the
+			// trailing columns.
+			t := tbuf.View(0, 0, nb, nb)
+			formT(fac, tau, k, nb, t)
+			applyWYT(fac, k, nb, t, k+nb, n)
+		}
+	}
+	return q
+}
+
+// panelQR runs unblocked Householder QR on fac[k:, k:k+nb], updating only
+// the panel's own columns.
+func panelQR(fac *dense.Matrix, tau []float64, k, nb int) {
+	m := fac.Rows
+	for j := k; j < k+nb; j++ {
+		col := fac.Col(j)[j:]
+		alpha := col[0]
+		normx := dense.Nrm2(col)
+		if normx == 0 {
+			tau[j] = 0
+			continue
+		}
+		beta := -copysign(normx, alpha)
+		tauJ := (beta - alpha) / beta
+		scale := 1 / (alpha - beta)
+		for i := 1; i < len(col); i++ {
+			col[i] *= scale
+		}
+		col[0] = beta
+		tau[j] = tauJ
+		// Apply to the remaining panel columns only.
+		for c := j + 1; c < k+nb; c++ {
+			cc := fac.Col(c)[j:]
+			s := cc[0]
+			for i := 1; i < m-j; i++ {
+				s += col[i] * cc[i]
+			}
+			s *= tauJ
+			cc[0] -= s
+			for i := 1; i < m-j; i++ {
+				cc[i] -= s * col[i]
+			}
+		}
+	}
+}
+
+// formT builds the nb×nb upper-triangular T with
+// (I − τ₁v₁v₁ᵀ)…(I − τ_nb v_nb v_nbᵀ) = I − V·T·Vᵀ, where V is the panel's
+// unit-lower-trapezoidal Householder matrix (LAPACK dlarft, forward
+// columnwise).
+func formT(fac *dense.Matrix, tau []float64, k, nb int, t *dense.Matrix) {
+	m := fac.Rows
+	t.Zero()
+	for j := 0; j < nb; j++ {
+		tj := tau[k+j]
+		t.Set(j, j, tj)
+		if j == 0 || tj == 0 {
+			continue
+		}
+		// w = −τⱼ · Vᵀ(:, 0:j) · vⱼ  (vⱼ has implicit 1 at row k+j).
+		vj := fac.Col(k + j)
+		for c := 0; c < j; c++ {
+			vc := fac.Col(k + c)
+			// Dot over rows k+j … m−1; vc[k+j] is explicit (below its
+			// diagonal), vj's leading 1 at row k+j multiplies vc[k+j].
+			s := vc[k+j]
+			for i := k + j + 1; i < m; i++ {
+				s += vc[i] * vj[i]
+			}
+			t.Set(c, j, -tj*s)
+		}
+		// T(0:j, j) = T(0:j, 0:j) · w (triangular multiply in place).
+		for r := 0; r < j; r++ {
+			var s float64
+			for c := r; c < j; c++ {
+				s += t.At(r, c) * t.At(c, j)
+			}
+			t.Set(r, j, s)
+		}
+	}
+}
+
+// applyWYT computes C ← (I − V·T·Vᵀ)ᵀ·C = C − V·Tᵀ·Vᵀ·C for the trailing
+// columns C = fac[k:, j0:j1], with V the panel at column k. The panel is
+// expanded once into an explicit unit-lower-trapezoidal matrix so the two
+// large products run through the fused GEMM kernels.
+func applyWYT(fac *dense.Matrix, k, nb int, t *dense.Matrix, j0, j1 int) {
+	m := fac.Rows
+	rows := m - k
+	cols := j1 - j0
+	// Expand V (rows × nb): copy the panel's strict lower part, unit
+	// diagonal, zeros above.
+	v := dense.NewMatrix(rows, nb)
+	for p := 0; p < nb; p++ {
+		src := fac.Col(k + p)
+		dst := v.Col(p)
+		dst[p] = 1
+		copy(dst[p+1:], src[k+p+1:m])
+	}
+	cview := fac.View(k, j0, rows, cols)
+
+	// W = Vᵀ·C (nb × cols).
+	w := dense.NewMatrix(nb, cols)
+	dense.GemmTN(1, v, cview, 0, w)
+
+	// W ← Tᵀ·W (T upper triangular ⇒ Tᵀ lower; small, do it in place).
+	for c := 0; c < cols; c++ {
+		wc := w.Col(c)
+		for r := nb - 1; r >= 0; r-- {
+			s := 0.0
+			for p := 0; p <= r; p++ {
+				s += t.At(p, r) * wc[p]
+			}
+			wc[r] = s
+		}
+	}
+
+	// C ← C − V·W.
+	dense.Gemm(-1, v, w, 1, cview)
+}
+
+func copysign(x, y float64) float64 {
+	if y < 0 {
+		if x < 0 {
+			return x
+		}
+		return -x
+	}
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,149 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+
+	"sketchsp/internal/dense"
+)
+
+// SVD is a thin singular value decomposition A = U·Σ·Vᵀ of a tall matrix
+// (rows ≥ cols), computed by one-sided Jacobi rotations — simple, robust for
+// the modest n of the d×n sketches, and accurate for small singular values
+// (which is why the paper's SAP-SVD path exists at all: near-singular
+// problems).
+type SVD struct {
+	// U is rows×cols with orthonormal columns.
+	U *dense.Matrix
+	// Sigma holds the singular values in non-increasing order.
+	Sigma []float64
+	// V is cols×cols orthogonal.
+	V *dense.Matrix
+}
+
+// NewSVD computes the thin SVD of a (not modified). maxSweeps bounds the
+// Jacobi sweeps (20 is ample for double precision; pass 0 for the default).
+func NewSVD(a *dense.Matrix, maxSweeps int) *SVD {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		panic(fmt.Sprintf("linalg: SVD needs rows ≥ cols, got %dx%d", m, n))
+	}
+	if maxSweeps <= 0 {
+		maxSweeps = 30
+	}
+	u := a.Clone()
+	v := dense.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		v.Set(i, i, 1)
+	}
+
+	// One-sided Jacobi: orthogonalise pairs of columns of U, accumulating
+	// the rotations into V, until all pairs are numerically orthogonal.
+	const tol = 1e-15
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		rotated := false
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				up, uq := u.Col(p), u.Col(q)
+				alpha := dense.Dot(up, up)
+				beta := dense.Dot(uq, uq)
+				gamma := dense.Dot(up, uq)
+				if math.Abs(gamma) <= tol*math.Sqrt(alpha*beta) || gamma == 0 {
+					continue
+				}
+				rotated = true
+				zeta := (beta - alpha) / (2 * gamma)
+				t := math.Copysign(1, zeta) / (math.Abs(zeta) + math.Sqrt(1+zeta*zeta))
+				c := 1 / math.Sqrt(1+t*t)
+				s := c * t
+				rotateCols(up, uq, c, s)
+				rotateCols(v.Col(p), v.Col(q), c, s)
+			}
+		}
+		if !rotated {
+			break
+		}
+	}
+
+	// Singular values are the column norms of the rotated U; normalise.
+	sigma := make([]float64, n)
+	for j := 0; j < n; j++ {
+		sigma[j] = dense.Nrm2(u.Col(j))
+		if sigma[j] > 0 {
+			dense.Scal(1/sigma[j], u.Col(j))
+		}
+	}
+
+	// Sort σ descending, permuting U and V columns alongside.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for i := 0; i < n; i++ {
+		best := i
+		for j := i + 1; j < n; j++ {
+			if sigma[order[j]] > sigma[order[best]] {
+				best = j
+			}
+		}
+		order[i], order[best] = order[best], order[i]
+	}
+	us := dense.NewMatrix(m, n)
+	vs := dense.NewMatrix(n, n)
+	sig := make([]float64, n)
+	for i, o := range order {
+		copy(us.Col(i), u.Col(o))
+		copy(vs.Col(i), v.Col(o))
+		sig[i] = sigma[o]
+	}
+	return &SVD{U: us, Sigma: sig, V: vs}
+}
+
+// rotateCols applies the Givens rotation [c s; -s c] to the column pair.
+func rotateCols(x, y []float64, c, s float64) {
+	for i := range x {
+		xi, yi := x[i], y[i]
+		x[i] = c*xi - s*yi
+		y[i] = s*xi + c*yi
+	}
+}
+
+// Cond returns σmax/σmin (infinite when σmin is zero).
+func (s *SVD) Cond() float64 {
+	n := len(s.Sigma)
+	if n == 0 {
+		return 0
+	}
+	if s.Sigma[n-1] == 0 {
+		return math.Inf(1)
+	}
+	return s.Sigma[0] / s.Sigma[n-1]
+}
+
+// Rank returns the number of singular values above σmax·rtol.
+func (s *SVD) Rank(rtol float64) int {
+	if len(s.Sigma) == 0 {
+		return 0
+	}
+	thresh := s.Sigma[0] * rtol
+	r := 0
+	for _, v := range s.Sigma {
+		if v > thresh {
+			r++
+		}
+	}
+	return r
+}
+
+// Reconstruct returns U·Σ·Vᵀ (tests).
+func (s *SVD) Reconstruct() *dense.Matrix {
+	m, n := s.U.Rows, s.U.Cols
+	us := dense.NewMatrix(m, n)
+	for j := 0; j < n; j++ {
+		copy(us.Col(j), s.U.Col(j))
+		dense.Scal(s.Sigma[j], us.Col(j))
+	}
+	out := dense.NewMatrix(m, n)
+	dense.Gemm(1, us, s.V.Transpose(), 0, out)
+	return out
+}

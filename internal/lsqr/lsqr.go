@@ -1,0 +1,306 @@
+// Package lsqr implements the LSQR iterative least-squares solver of Paige
+// and Saunders (TOMS 1982) with right preconditioning, the inner solver of
+// the paper's sketch-and-precondition pipeline (§V-C1). LSQR runs on the
+// preconditioned operator B = A·P and stops on the paper's backward-error
+// metric ‖Bᵀr‖ / (‖B‖·‖r‖) ≤ atol, using LSQR's internal estimates of ‖B‖
+// and the residual norms.
+package lsqr
+
+import (
+	"fmt"
+	"math"
+
+	"sketchsp/internal/dense"
+	"sketchsp/internal/sparse"
+)
+
+// Operator is the matrix abstraction LSQR iterates on: anything that can
+// report its dimensions and apply itself and its transpose to vectors.
+// *sparse.CSC satisfies it; solver wraps it to build left-preconditioned
+// operators for the underdetermined (min-norm) pipeline.
+type Operator interface {
+	// Dims returns (rows, cols).
+	Dims() (m, n int)
+	// MulVec computes y = A·x (len(x) = cols, len(y) = rows).
+	MulVec(x, y []float64)
+	// MulVecT computes y = Aᵀ·x (len(x) = rows, len(y) = cols).
+	MulVecT(x, y []float64)
+}
+
+// RightPrecond applies a right preconditioner P: LSQR iterates on B = A·P
+// and the final solution is x = P·y. The SAP pipeline supplies P = R⁻¹ (QR)
+// or P = V·Σ⁺ (SVD); LSQR-D supplies a diagonal.
+type RightPrecond interface {
+	// Apply computes dst = P·src. dst and src have length n and must not
+	// alias.
+	Apply(dst, src []float64)
+	// ApplyT computes dst = Pᵀ·src, same contract.
+	ApplyT(dst, src []float64)
+}
+
+// Identity is the trivial preconditioner.
+type Identity struct{}
+
+// Apply copies src into dst.
+func (Identity) Apply(dst, src []float64) { copy(dst, src) }
+
+// ApplyT copies src into dst.
+func (Identity) ApplyT(dst, src []float64) { copy(dst, src) }
+
+// Diagonal is the diagonal preconditioner of the paper's LSQR-D baseline:
+// P = diag(d).
+type Diagonal struct{ D []float64 }
+
+// Apply computes dst = diag(D)·src.
+func (p Diagonal) Apply(dst, src []float64) {
+	for i, v := range src {
+		dst[i] = p.D[i] * v
+	}
+}
+
+// ApplyT equals Apply for a diagonal.
+func (p Diagonal) ApplyT(dst, src []float64) { p.Apply(dst, src) }
+
+// UpperTriangular is P = R⁻¹ for an upper-triangular R (the SAP-QR
+// preconditioner): Apply performs a triangular solve.
+type UpperTriangular struct{ R *dense.Matrix }
+
+// Apply computes dst = R⁻¹·src.
+func (p UpperTriangular) Apply(dst, src []float64) {
+	copy(dst, src)
+	dense.TrsvUpper(p.R, dst)
+}
+
+// ApplyT computes dst = R⁻ᵀ·src.
+func (p UpperTriangular) ApplyT(dst, src []float64) {
+	copy(dst, src)
+	dense.TrsvUpperT(p.R, dst)
+}
+
+// SigmaV is P = V·Σ⁺ from an SVD of the sketch (the SAP-SVD
+// preconditioner). Singular values at or below Drop·σmax are treated as
+// zero (their directions are projected out), mirroring the paper's
+// σ < σmax/10¹² truncation.
+type SigmaV struct {
+	V     *dense.Matrix
+	Sigma []float64
+	Drop  float64
+}
+
+// Apply computes dst = V·Σ⁺·src.
+func (p SigmaV) Apply(dst, src []float64) {
+	n := len(src)
+	tmp := make([]float64, n)
+	thresh := p.threshold()
+	for i := 0; i < n; i++ {
+		if p.Sigma[i] > thresh {
+			tmp[i] = src[i] / p.Sigma[i]
+		}
+	}
+	dense.Gemv(1, p.V, tmp, 0, dst)
+}
+
+// ApplyT computes dst = Σ⁺·Vᵀ·src.
+func (p SigmaV) ApplyT(dst, src []float64) {
+	n := len(src)
+	dense.GemvT(1, p.V, src, 0, dst)
+	thresh := p.threshold()
+	for i := 0; i < n; i++ {
+		if p.Sigma[i] > thresh {
+			dst[i] /= p.Sigma[i]
+		} else {
+			dst[i] = 0
+		}
+	}
+}
+
+func (p SigmaV) threshold() float64 {
+	if len(p.Sigma) == 0 {
+		return 0
+	}
+	return p.Sigma[0] * p.Drop
+}
+
+// Options controls a Solve call.
+type Options struct {
+	// Atol is the backward-error stopping tolerance on the
+	// preconditioned system (paper: 1e-14). 0 selects 1e-14.
+	Atol float64
+	// Btol is the residual-based tolerance for consistent systems
+	// (Paige–Saunders test 1: ‖r‖ ≤ Btol·‖b‖ + Atol·‖B‖·‖y‖).
+	// 0 selects Atol.
+	Btol float64
+	// Damp is the Tikhonov damping parameter λ ≥ 0: solve
+	// min ‖A·x − b‖² + λ²·‖y‖² (y the preconditioned variables),
+	// the damped LSQR of Paige & Saunders §1.
+	Damp float64
+	// MaxIters bounds the iterations; 0 selects 4·max(m, n).
+	MaxIters int
+	// Precond is the right preconditioner; nil means Identity.
+	Precond RightPrecond
+}
+
+// Result reports the outcome of a Solve.
+type Result struct {
+	// X is the solution in the original variables, x = P·y.
+	X []float64
+	// Iters is the number of LSQR iterations performed.
+	Iters int
+	// Converged reports whether the stopping tolerance was reached
+	// before MaxIters.
+	Converged bool
+	// RNorm is the final estimate of ‖B·y − b‖.
+	RNorm float64
+	// ATRNorm is the final estimate of ‖Bᵀ·(B·y − b)‖.
+	ATRNorm float64
+	// BNorm is the running Frobenius-norm estimate of the
+	// preconditioned operator.
+	BNorm float64
+}
+
+// Solve runs preconditioned LSQR on min ‖A·x − b‖₂ for a sparse matrix.
+func Solve(a *sparse.CSC, b []float64, opts Options) (Result, error) {
+	return SolveOp(a, b, opts)
+}
+
+// SolveOp runs preconditioned LSQR on min ‖A·x − b‖₂ for any Operator.
+func SolveOp(a Operator, b []float64, opts Options) (Result, error) {
+	m, n := a.Dims()
+	if len(b) != m {
+		return Result{}, fmt.Errorf("lsqr: len(b)=%d, want m=%d", len(b), m)
+	}
+	atol := opts.Atol
+	if atol == 0 {
+		atol = 1e-14
+	}
+	btol := opts.Btol
+	if btol == 0 {
+		btol = atol
+	}
+	maxIters := opts.MaxIters
+	if maxIters == 0 {
+		maxIters = 4 * max(m, n)
+	}
+	p := opts.Precond
+	if p == nil {
+		p = Identity{}
+	}
+
+	// Golub–Kahan bidiagonalization of B = A·P, starting from b.
+	u := append([]float64(nil), b...)
+	beta := dense.Nrm2(u)
+	res := Result{X: make([]float64, n)}
+	if beta == 0 {
+		res.Converged = true
+		return res, nil // b = 0 → x = 0
+	}
+	dense.Scal(1/beta, u)
+
+	v := make([]float64, n)
+	tmpN := make([]float64, n)
+	tmpM := make([]float64, m)
+	// v = Bᵀu = Pᵀ(Aᵀu)
+	a.MulVecT(u, tmpN)
+	p.ApplyT(v, tmpN)
+	alpha := dense.Nrm2(v)
+	if alpha == 0 {
+		res.Converged = true
+		return res, nil // Aᵀb = 0 → x = 0 is the solution
+	}
+	dense.Scal(1/alpha, v)
+
+	w := append([]float64(nil), v...)
+	y := make([]float64, n) // solution in preconditioned coordinates
+
+	phiBar := beta
+	rhoBar := alpha
+	normb := beta
+	var bnorm2 float64 = alpha * alpha
+	var psi2 float64 // Σψ²: damping's contribution to the residual norm
+
+	var arnorm, rnorm float64
+	for it := 1; it <= maxIters; it++ {
+		// u = B·v − α·u
+		p.Apply(tmpN, v)
+		a.MulVec(tmpN, tmpM)
+		for i := range u {
+			u[i] = tmpM[i] - alpha*u[i]
+		}
+		beta = dense.Nrm2(u)
+		if beta > 0 {
+			dense.Scal(1/beta, u)
+		}
+		bnorm2 += alpha*alpha + beta*beta
+
+		// v = Bᵀ·u − β·v
+		a.MulVecT(u, tmpN)
+		prev := v
+		vNew := make([]float64, n)
+		p.ApplyT(vNew, tmpN)
+		for i := range vNew {
+			vNew[i] -= beta * prev[i]
+		}
+		alpha = dense.Nrm2(vNew)
+		if alpha > 0 {
+			dense.Scal(1/alpha, vNew)
+		}
+		v = vNew
+
+		// With damping, first rotate λ into the bidiagonal (Paige &
+		// Saunders' treatment of the augmented system [B; λI]).
+		rhoBar1 := rhoBar
+		if opts.Damp > 0 {
+			rhoBar1 = math.Hypot(rhoBar, opts.Damp)
+			c1 := rhoBar / rhoBar1
+			s1 := opts.Damp / rhoBar1
+			psi := s1 * phiBar
+			psi2 += psi * psi
+			phiBar = c1 * phiBar
+		}
+
+		// Givens rotation to eliminate β from the bidiagonal system.
+		rho := math.Hypot(rhoBar1, beta)
+		c := rhoBar1 / rho
+		s := beta / rho
+		theta := s * alpha
+		rhoBar = -c * alpha
+		phi := c * phiBar
+		phiBar = s * phiBar
+
+		// Update y and the search direction w.
+		t1 := phi / rho
+		t2 := -theta / rho
+		for i := 0; i < n; i++ {
+			y[i] += t1 * w[i]
+			w[i] = v[i] + t2*w[i]
+		}
+
+		rnorm = math.Abs(phiBar)
+		arnorm = rnorm * alpha * math.Abs(c)
+		res.Iters = it
+		bn := math.Sqrt(bnorm2)
+		// Test 2 (least squares): the paper's backward-error metric.
+		if arnorm <= atol*bn*rnorm || arnorm == 0 {
+			res.Converged = true
+			break
+		}
+		// Test 1 (consistent systems): the residual of the (possibly
+		// damped) augmented system is at the noise floor.
+		if math.Hypot(rnorm, math.Sqrt(psi2)) <= btol*normb+atol*bn*dense.Nrm2(y) {
+			res.Converged = true
+			break
+		}
+	}
+	res.RNorm = rnorm
+	res.ATRNorm = arnorm
+	res.BNorm = math.Sqrt(bnorm2)
+	p.Apply(res.X, y)
+	return res, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,315 @@
+package lsqr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sketchsp/internal/dense"
+	"sketchsp/internal/linalg"
+	"sketchsp/internal/sparse"
+)
+
+// buildConsistent builds a sparse LS problem with known solution.
+func buildConsistent(seed int64, m, n int, density float64) (*sparse.CSC, []float64, []float64) {
+	a := sparse.RandomUniform(m, n, density, seed)
+	r := rand.New(rand.NewSource(seed + 100))
+	xTrue := make([]float64, n)
+	for i := range xTrue {
+		xTrue[i] = r.NormFloat64()
+	}
+	b := make([]float64, m)
+	a.MulVec(xTrue, b)
+	return a, xTrue, b
+}
+
+func TestSolveConsistentSystem(t *testing.T) {
+	a, xTrue, b := buildConsistent(1, 200, 20, 0.2)
+	res, err := Solve(a, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge in %d iterations", res.Iters)
+	}
+	for i := range xTrue {
+		if math.Abs(res.X[i]-xTrue[i]) > 1e-8 {
+			t.Fatalf("x[%d] = %g, want %g", i, res.X[i], xTrue[i])
+		}
+	}
+}
+
+func TestSolveInconsistentMatchesQR(t *testing.T) {
+	a := sparse.RandomUniform(120, 10, 0.3, 2)
+	r := rand.New(rand.NewSource(3))
+	b := make([]float64, 120)
+	for i := range b {
+		b[i] = r.NormFloat64()
+	}
+	res, err := Solve(a, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := linalg.NewQR(a.ToDense()).Solve(b)
+	for i := range want {
+		if math.Abs(res.X[i]-want[i]) > 1e-7 {
+			t.Fatalf("x[%d] = %g, QR says %g", i, res.X[i], want[i])
+		}
+	}
+}
+
+func TestSolveZeroRHS(t *testing.T) {
+	a := sparse.RandomUniform(50, 5, 0.3, 4)
+	res, err := Solve(a, make([]float64, 50), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Iters != 0 {
+		t.Fatalf("zero rhs: converged=%v iters=%d", res.Converged, res.Iters)
+	}
+	for _, v := range res.X {
+		if v != 0 {
+			t.Fatal("zero rhs must give zero solution")
+		}
+	}
+}
+
+func TestSolveRHSOrthogonalToRange(t *testing.T) {
+	// b ⊥ range(A): Aᵀb = 0 → x = 0 immediately.
+	coo := sparse.NewCOO(4, 2, 2)
+	coo.Append(0, 0, 1)
+	coo.Append(1, 1, 1)
+	a := coo.ToCSC()
+	b := []float64{0, 0, 1, 1} // touches only rows outside the column span
+	res, err := Solve(a, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dense.Nrm2(res.X) != 0 {
+		t.Fatalf("x = %v, want 0", res.X)
+	}
+}
+
+func TestSolveDimensionError(t *testing.T) {
+	a := sparse.RandomUniform(10, 3, 0.5, 5)
+	if _, err := Solve(a, make([]float64, 7), Options{}); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+func TestSolveMaxItersRespected(t *testing.T) {
+	a, _, b := buildConsistent(6, 300, 40, 0.1)
+	res, err := Solve(a, b, Options{MaxIters: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iters > 3 {
+		t.Fatalf("ran %d iterations, cap was 3", res.Iters)
+	}
+	if res.Converged {
+		t.Fatal("claimed convergence in 3 iterations on a 40-column system")
+	}
+}
+
+// An ill-conditioned system converges dramatically faster with a good right
+// preconditioner — the entire premise of SAP.
+func TestPreconditioningAcceleratesConvergence(t *testing.T) {
+	m, n := 400, 30
+	a := sparse.RandomUniform(m, n, 0.2, 7)
+	// Scale columns geometrically across 6 orders of magnitude.
+	for j := 0; j < n; j++ {
+		_, vals := a.ColView(j)
+		f := math.Pow(10, -6*float64(j)/float64(n-1))
+		for k := range vals {
+			vals[k] *= f
+		}
+	}
+	r := rand.New(rand.NewSource(8))
+	xTrue := make([]float64, n)
+	for i := range xTrue {
+		xTrue[i] = r.NormFloat64()
+	}
+	b := make([]float64, m)
+	a.MulVec(xTrue, b)
+
+	plain, err := Solve(a, b, Options{MaxIters: 5000, Atol: 1e-13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ideal preconditioner: R from the QR of A itself (cond(AR⁻¹) = 1).
+	qr := linalg.NewQR(a.ToDense())
+	pre, err := Solve(a, b, Options{MaxIters: 5000, Atol: 1e-13,
+		Precond: UpperTriangular{R: qr.R()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pre.Converged {
+		t.Fatal("preconditioned run did not converge")
+	}
+	if pre.Iters*5 > plain.Iters && plain.Iters > 50 {
+		t.Fatalf("preconditioning barely helped: %d vs %d iters", pre.Iters, plain.Iters)
+	}
+	for i := range xTrue {
+		if math.Abs(pre.X[i]-xTrue[i]) > 1e-6*math.Max(1, math.Abs(xTrue[i])) {
+			t.Fatalf("preconditioned x[%d] = %g, want %g", i, pre.X[i], xTrue[i])
+		}
+	}
+}
+
+func TestDiagonalPreconditioner(t *testing.T) {
+	m, n := 300, 15
+	a := sparse.RandomUniform(m, n, 0.3, 9)
+	for j := 0; j < n; j++ {
+		_, vals := a.ColView(j)
+		f := math.Pow(10, -5*float64(j)/float64(n-1))
+		for k := range vals {
+			vals[k] *= f
+		}
+	}
+	b := make([]float64, m)
+	r := rand.New(rand.NewSource(10))
+	for i := range b {
+		b[i] = r.NormFloat64()
+	}
+	norms := a.ColNorms()
+	d := make([]float64, n)
+	for i, v := range norms {
+		d[i] = 1 / v
+	}
+	plain, _ := Solve(a, b, Options{MaxIters: 8000})
+	diag, _ := Solve(a, b, Options{MaxIters: 8000, Precond: Diagonal{D: d}})
+	if !diag.Converged {
+		t.Fatal("LSQR-D did not converge")
+	}
+	if diag.Iters >= plain.Iters && plain.Iters > 100 {
+		t.Fatalf("diagonal preconditioner did not help: %d vs %d", diag.Iters, plain.Iters)
+	}
+}
+
+func TestSigmaVPreconditioner(t *testing.T) {
+	// Using the SVD of A itself: A·(VΣ⁺) = U, perfectly conditioned →
+	// LSQR converges in O(1) iterations.
+	m, n := 200, 12
+	a := sparse.RandomUniform(m, n, 0.3, 11)
+	svd := linalg.NewSVD(a.ToDense(), 0)
+	b := make([]float64, m)
+	r := rand.New(rand.NewSource(12))
+	for i := range b {
+		b[i] = r.NormFloat64()
+	}
+	res, err := Solve(a, b, Options{Precond: SigmaV{V: svd.V, Sigma: svd.Sigma, Drop: 1e-12}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Iters > 10 {
+		t.Fatalf("perfect SVD preconditioner took %d iterations", res.Iters)
+	}
+	want := linalg.NewQR(a.ToDense()).Solve(b)
+	for i := range want {
+		if math.Abs(res.X[i]-want[i]) > 1e-7 {
+			t.Fatalf("x[%d] = %g, want %g", i, res.X[i], want[i])
+		}
+	}
+}
+
+func TestSigmaVDropsTinySingularValues(t *testing.T) {
+	// Rank-deficient A: SigmaV with Drop must produce the minimum-norm-ish
+	// solution without dividing by ~0.
+	coo := sparse.NewCOO(6, 3, 12)
+	for i := 0; i < 6; i++ {
+		coo.Append(i, 0, float64(i+1))
+		coo.Append(i, 1, 2*float64(i+1)) // col1 = 2·col0
+	}
+	coo.Append(0, 2, 1)
+	coo.Append(3, 2, -1)
+	a := coo.ToCSC()
+	svd := linalg.NewSVD(a.ToDense(), 0)
+	b := []float64{1, 2, 3, 4, 5, 6}
+	res, err := Solve(a, b, Options{Precond: SigmaV{V: svd.V, Sigma: svd.Sigma, Drop: 1e-10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range res.X {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("x[%d] = %g", i, v)
+		}
+	}
+	// Residual must still be minimised over the retained subspace:
+	// check Aᵀr is small in the non-null directions.
+	ax := make([]float64, 6)
+	a.MulVec(res.X, ax)
+	for i := range ax {
+		ax[i] -= b[i]
+	}
+	atr := make([]float64, 3)
+	a.MulVecT(ax, atr)
+	// Project out the null direction (v for smallest σ).
+	null := svd.V.Col(2)
+	dot := dense.Dot(atr, null)
+	for i := range atr {
+		atr[i] -= dot * null[i]
+	}
+	if dense.Nrm2(atr) > 1e-8 {
+		t.Fatalf("range-space optimality violated: ‖Aᵀr‖ = %g", dense.Nrm2(atr))
+	}
+}
+
+func TestIdentityPrecondMatchesNil(t *testing.T) {
+	a, _, b := buildConsistent(13, 100, 10, 0.3)
+	r1, _ := Solve(a, b, Options{})
+	r2, _ := Solve(a, b, Options{Precond: Identity{}})
+	for i := range r1.X {
+		if r1.X[i] != r2.X[i] {
+			t.Fatal("explicit Identity differs from nil preconditioner")
+		}
+	}
+}
+
+func TestDampedLSQRMatchesAugmentedSystem(t *testing.T) {
+	// min ‖Ax−b‖² + λ²‖x‖² equals the ordinary least-squares problem on
+	// the augmented matrix [A; λI] with rhs [b; 0]; verify against a
+	// dense QR solve of that augmentation.
+	m, n := 80, 12
+	a := sparse.RandomUniform(m, n, 0.3, 31)
+	r := rand.New(rand.NewSource(32))
+	b := make([]float64, m)
+	for i := range b {
+		b[i] = r.NormFloat64()
+	}
+	const damp = 0.7
+	res, err := Solve(a, b, Options{Damp: damp, Atol: 1e-14, MaxIters: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	aug := dense.NewMatrix(m+n, n)
+	ad := a.ToDense()
+	for j := 0; j < n; j++ {
+		copy(aug.Col(j)[:m], ad.Col(j))
+		aug.Set(m+j, j, damp)
+	}
+	bAug := make([]float64, m+n)
+	copy(bAug, b)
+	want := linalg.NewQR(aug).Solve(bAug)
+	for i := range want {
+		if math.Abs(res.X[i]-want[i]) > 1e-8*math.Max(1, math.Abs(want[i])) {
+			t.Fatalf("damped x[%d] = %g, augmented QR says %g", i, res.X[i], want[i])
+		}
+	}
+}
+
+func TestDampedLSQRShrinksSolution(t *testing.T) {
+	a, _, b := buildConsistent(33, 150, 15, 0.25)
+	plain, err := Solve(a, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	damped, err := Solve(a, b, Options{Damp: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dense.Nrm2(damped.X) >= dense.Nrm2(plain.X) {
+		t.Fatalf("damping did not shrink ‖x‖: %g vs %g",
+			dense.Nrm2(damped.X), dense.Nrm2(plain.X))
+	}
+}

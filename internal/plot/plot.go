@@ -1,0 +1,330 @@
+// Package plot renders minimal line charts as standalone SVG files, so the
+// benchmark harness can regenerate the paper's figures (Figure 4's
+// percent-of-peak curves, Figure 6's speedup bars) as actual images rather
+// than only text series. Stdlib-only by design; the output is deliberately
+// plain: axes, ticks, polyline series with markers, and a legend.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named polyline.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Chart is a line chart specification.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// LogX plots X on a log₁₀ axis (Figure 4's density axis).
+	LogX   bool
+	Series []Series
+	// Width and Height in pixels; zero selects 720×480.
+	Width, Height int
+}
+
+// palette cycles through distinguishable stroke colors.
+var palette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b", "#17becf",
+}
+
+// markers cycles through SVG marker shapes drawn at data points.
+var markers = []string{"circle", "square", "diamond", "triangle", "cross", "circle", "square"}
+
+// WriteSVG renders the chart. It returns an error only for I/O failures or
+// an empty/degenerate specification.
+func (c *Chart) WriteSVG(w io.Writer) error {
+	if len(c.Series) == 0 {
+		return fmt.Errorf("plot: no series")
+	}
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 720
+	}
+	if height <= 0 {
+		height = 480
+	}
+	const (
+		padL = 70
+		padR = 150
+		padT = 40
+		padB = 55
+	)
+	plotW := float64(width - padL - padR)
+	plotH := float64(height - padT - padB)
+	if plotW <= 0 || plotH <= 0 {
+		return fmt.Errorf("plot: canvas %dx%d too small", width, height)
+	}
+
+	// Data ranges.
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("plot: series %q has %d x vs %d y", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			x := s.X[i]
+			if c.LogX {
+				if x <= 0 {
+					return fmt.Errorf("plot: series %q has x=%g on a log axis", s.Name, x)
+				}
+				x = math.Log10(x)
+			}
+			xmin = math.Min(xmin, x)
+			xmax = math.Max(xmax, x)
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		return fmt.Errorf("plot: all series empty")
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	// A little headroom, floor at zero for non-negative data.
+	yr := ymax - ymin
+	ymax += 0.05 * yr
+	if ymin > 0 && ymin < 0.3*yr {
+		ymin = 0
+	} else {
+		ymin -= 0.05 * yr
+	}
+
+	sx := func(x float64) float64 {
+		if c.LogX {
+			x = math.Log10(x)
+		}
+		return padL + (x-xmin)/(xmax-xmin)*plotW
+	}
+	sy := func(y float64) float64 {
+		return padT + (1-(y-ymin)/(ymax-ymin))*plotH
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="12">`+"\n", width, height)
+	sb.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	if c.Title != "" {
+		fmt.Fprintf(&sb, `<text x="%d" y="22" font-size="15" text-anchor="middle">%s</text>`+"\n",
+			padL+int(plotW/2), esc(c.Title))
+	}
+	// Frame.
+	fmt.Fprintf(&sb, `<rect x="%d" y="%d" width="%.0f" height="%.0f" fill="none" stroke="#444"/>`+"\n",
+		padL, padT, plotW, plotH)
+
+	// Ticks: 5 on each axis.
+	for i := 0; i <= 5; i++ {
+		fy := ymin + (ymax-ymin)*float64(i)/5
+		py := sy(fy)
+		fmt.Fprintf(&sb, `<line x1="%d" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd"/>`+"\n",
+			padL, py, padL+plotW, py)
+		fmt.Fprintf(&sb, `<text x="%d" y="%.1f" text-anchor="end">%s</text>`+"\n",
+			padL-6, py+4, fmtTick(fy))
+
+		var fx float64
+		if c.LogX {
+			fx = math.Pow(10, xmin+(xmax-xmin)*float64(i)/5)
+		} else {
+			fx = xmin + (xmax-xmin)*float64(i)/5
+		}
+		px := sx(fx)
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f" text-anchor="middle">%s</text>`+"\n",
+			px, padT+plotH+18, fmtTick(fx))
+	}
+	if c.XLabel != "" {
+		fmt.Fprintf(&sb, `<text x="%d" y="%d" text-anchor="middle">%s</text>`+"\n",
+			padL+int(plotW/2), height-12, esc(c.XLabel))
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&sb, `<text x="16" y="%d" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+			padT+int(plotH/2), padT+int(plotH/2), esc(c.YLabel))
+	}
+
+	// Series.
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		// Sort points by x for a sane polyline.
+		idx := make([]int, len(s.X))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return s.X[idx[a]] < s.X[idx[b]] })
+		var pts []string
+		for _, i := range idx {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", sx(s.X[i]), sy(s.Y[i])))
+		}
+		fmt.Fprintf(&sb, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.8"/>`+"\n",
+			strings.Join(pts, " "), color)
+		for _, i := range idx {
+			drawMarker(&sb, markers[si%len(markers)], sx(s.X[i]), sy(s.Y[i]), color)
+		}
+		// Legend entry.
+		ly := padT + 14 + 18*si
+		lx := padL + int(plotW) + 12
+		fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="1.8"/>`+"\n",
+			lx, ly-4, lx+22, ly-4, color)
+		fmt.Fprintf(&sb, `<text x="%d" y="%d">%s</text>`+"\n", lx+28, ly, esc(s.Name))
+	}
+	sb.WriteString("</svg>\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func drawMarker(sb *strings.Builder, kind string, x, y float64, color string) {
+	const r = 3.2
+	switch kind {
+	case "square":
+		fmt.Fprintf(sb, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+			x-r, y-r, 2*r, 2*r, color)
+	case "diamond":
+		fmt.Fprintf(sb, `<path d="M%.1f %.1f L%.1f %.1f L%.1f %.1f L%.1f %.1f Z" fill="%s"/>`+"\n",
+			x, y-r*1.3, x+r*1.3, y, x, y+r*1.3, x-r*1.3, y, color)
+	case "triangle":
+		fmt.Fprintf(sb, `<path d="M%.1f %.1f L%.1f %.1f L%.1f %.1f Z" fill="%s"/>`+"\n",
+			x, y-r*1.3, x+r*1.3, y+r, x-r*1.3, y+r, color)
+	case "cross":
+		fmt.Fprintf(sb, `<path d="M%.1f %.1f L%.1f %.1f M%.1f %.1f L%.1f %.1f" stroke="%s" stroke-width="1.8"/>`+"\n",
+			x-r, y-r, x+r, y+r, x-r, y+r, x+r, y-r, color)
+	default:
+		fmt.Fprintf(sb, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s"/>`+"\n", x, y, r, color)
+	}
+}
+
+// fmtTick formats an axis value compactly.
+func fmtTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case v == 0:
+		return "0"
+	case av >= 1e4 || av < 1e-2:
+		return fmt.Sprintf("%.0e", v)
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+// Bars renders a simple grouped bar chart (Figure 6's two ratio groups per
+// matrix) as SVG.
+type Bars struct {
+	Title  string
+	YLabel string
+	// Labels name the categories on the x axis (one per group).
+	Labels []string
+	// Groups are the per-category value sets; all must have len(Labels)
+	// values.
+	Groups []Series // X ignored; Y holds one value per label
+	Width  int
+	Height int
+	// RefLine draws a horizontal reference (e.g. y = 1 for speedups).
+	RefLine float64
+}
+
+// WriteSVG renders the bar chart.
+func (b *Bars) WriteSVG(w io.Writer) error {
+	if len(b.Labels) == 0 || len(b.Groups) == 0 {
+		return fmt.Errorf("plot: empty bar chart")
+	}
+	for _, g := range b.Groups {
+		if len(g.Y) != len(b.Labels) {
+			return fmt.Errorf("plot: group %q has %d values for %d labels", g.Name, len(g.Y), len(b.Labels))
+		}
+	}
+	width, height := b.Width, b.Height
+	if width <= 0 {
+		width = 720
+	}
+	if height <= 0 {
+		height = 480
+	}
+	const (
+		padL = 70
+		padR = 150
+		padT = 40
+		padB = 70
+	)
+	plotW := float64(width - padL - padR)
+	plotH := float64(height - padT - padB)
+
+	ymax := b.RefLine
+	for _, g := range b.Groups {
+		for _, v := range g.Y {
+			ymax = math.Max(ymax, v)
+		}
+	}
+	if ymax <= 0 {
+		ymax = 1
+	}
+	ymax *= 1.08
+	sy := func(v float64) float64 { return padT + (1-v/ymax)*plotH }
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="12">`+"\n", width, height)
+	sb.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	if b.Title != "" {
+		fmt.Fprintf(&sb, `<text x="%d" y="22" font-size="15" text-anchor="middle">%s</text>`+"\n",
+			padL+int(plotW/2), esc(b.Title))
+	}
+	fmt.Fprintf(&sb, `<rect x="%d" y="%d" width="%.0f" height="%.0f" fill="none" stroke="#444"/>`+"\n",
+		padL, padT, plotW, plotH)
+	for i := 0; i <= 5; i++ {
+		v := ymax * float64(i) / 5
+		py := sy(v)
+		fmt.Fprintf(&sb, `<line x1="%d" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd"/>`+"\n",
+			padL, py, padL+plotW, py)
+		fmt.Fprintf(&sb, `<text x="%d" y="%.1f" text-anchor="end">%s</text>`+"\n", padL-6, py+4, fmtTick(v))
+	}
+
+	groupW := plotW / float64(len(b.Labels))
+	barW := groupW * 0.8 / float64(len(b.Groups))
+	for li, label := range b.Labels {
+		gx := padL + groupW*float64(li)
+		for gi, g := range b.Groups {
+			color := palette[gi%len(palette)]
+			x := gx + groupW*0.1 + barW*float64(gi)
+			y := sy(g.Y[li])
+			fmt.Fprintf(&sb, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+				x, y, barW, padT+plotH-y, color)
+		}
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%d" text-anchor="end" transform="rotate(-30 %.1f %d)">%s</text>`+"\n",
+			gx+groupW/2, height-padB+30, gx+groupW/2, height-padB+30, esc(label))
+	}
+	if b.RefLine > 0 {
+		py := sy(b.RefLine)
+		fmt.Fprintf(&sb, `<line x1="%d" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#000" stroke-dasharray="5,4"/>`+"\n",
+			padL, py, padL+plotW, py)
+	}
+	for gi, g := range b.Groups {
+		color := palette[gi%len(palette)]
+		ly := padT + 14 + 18*gi
+		lx := padL + int(plotW) + 12
+		fmt.Fprintf(&sb, `<rect x="%d" y="%d" width="14" height="10" fill="%s"/>`+"\n", lx, ly-9, color)
+		fmt.Fprintf(&sb, `<text x="%d" y="%d">%s</text>`+"\n", lx+20, ly, esc(g.Name))
+	}
+	if b.YLabel != "" {
+		fmt.Fprintf(&sb, `<text x="16" y="%d" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+			padT+int(plotH/2), padT+int(plotH/2), esc(b.YLabel))
+	}
+	sb.WriteString("</svg>\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

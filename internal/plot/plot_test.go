@@ -1,0 +1,156 @@
+package plot
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func lineChart() *Chart {
+	return &Chart{
+		Title:  "percent of peak",
+		XLabel: "density",
+		YLabel: "% peak",
+		LogX:   true,
+		Series: []Series{
+			{Name: "pm1", X: []float64{1e-4, 1e-3, 1e-2}, Y: []float64{13, 27, 36}},
+			{Name: "gaussian", X: []float64{1e-4, 1e-3, 1e-2}, Y: []float64{1.7, 2.3, 7.9}},
+		},
+	}
+}
+
+func TestChartWriteSVG(t *testing.T) {
+	var buf bytes.Buffer
+	if err := lineChart().WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<svg", "</svg>", "polyline", "pm1", "gaussian", "percent of peak", "density"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	// Two series → two polylines.
+	if strings.Count(out, "<polyline") != 2 {
+		t.Fatalf("want 2 polylines, got %d", strings.Count(out, "<polyline"))
+	}
+}
+
+func TestChartValueMapping(t *testing.T) {
+	// A single series with min/max values: the higher y must render at a
+	// smaller pixel y (SVG y grows downward).
+	c := &Chart{Series: []Series{{Name: "s", X: []float64{0, 1}, Y: []float64{0, 10}}}}
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	start := strings.Index(out, `<polyline points="`)
+	if start < 0 {
+		t.Fatal("no polyline")
+	}
+	seg := out[start+len(`<polyline points="`):]
+	seg = seg[:strings.Index(seg, `"`)]
+	pts := strings.Fields(seg)
+	if len(pts) != 2 {
+		t.Fatalf("polyline has %d points", len(pts))
+	}
+	var x0, y0, x1, y1 float64
+	if _, err := sscan(pts[0], &x0, &y0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sscan(pts[1], &x1, &y1); err != nil {
+		t.Fatal(err)
+	}
+	if !(x1 > x0) || !(y1 < y0) {
+		t.Fatalf("mapping wrong: (%g,%g) -> (%g,%g)", x0, y0, x1, y1)
+	}
+}
+
+func sscan(pt string, x, y *float64) (int, error) {
+	parts := strings.Split(pt, ",")
+	if _, err := fscan(parts[0], x); err != nil {
+		return 0, err
+	}
+	return fscan(parts[1], y)
+}
+
+func TestChartErrors(t *testing.T) {
+	if err := (&Chart{}).WriteSVG(&bytes.Buffer{}); err == nil {
+		t.Error("empty chart accepted")
+	}
+	bad := &Chart{Series: []Series{{Name: "s", X: []float64{1}, Y: []float64{1, 2}}}}
+	if err := bad.WriteSVG(&bytes.Buffer{}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	logNeg := &Chart{LogX: true, Series: []Series{{Name: "s", X: []float64{-1}, Y: []float64{1}}}}
+	if err := logNeg.WriteSVG(&bytes.Buffer{}); err == nil {
+		t.Error("negative x on log axis accepted")
+	}
+}
+
+func TestChartEscapesMarkup(t *testing.T) {
+	c := lineChart()
+	c.Title = "a<b&c"
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "a<b&c") {
+		t.Fatal("markup not escaped")
+	}
+	if !strings.Contains(buf.String(), "a&lt;b&amp;c") {
+		t.Fatal("escaped title missing")
+	}
+}
+
+func TestBarsWriteSVG(t *testing.T) {
+	b := &Bars{
+		Title:   "speedups over SAP",
+		YLabel:  "ratio",
+		Labels:  []string{"rail2586", "rail4284", "landmark"},
+		RefLine: 1,
+		Groups: []Series{
+			{Name: "LSQR-D / SAP", Y: []float64{3.3, 5.7, 0.01}},
+			{Name: "Direct / SAP", Y: []float64{13.8, 14.8, 7.5}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := b.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"rail2586", "LSQR-D / SAP", "stroke-dasharray"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("bars SVG missing %q", want)
+		}
+	}
+	// 3 labels × 2 groups = 6 bars plus 2 legend swatches.
+	if c := strings.Count(out, "<rect"); c < 8 {
+		t.Fatalf("too few rects: %d", c)
+	}
+}
+
+func TestBarsErrors(t *testing.T) {
+	if err := (&Bars{}).WriteSVG(&bytes.Buffer{}); err == nil {
+		t.Error("empty bars accepted")
+	}
+	bad := &Bars{Labels: []string{"a", "b"}, Groups: []Series{{Name: "g", Y: []float64{1}}}}
+	if err := bad.WriteSVG(&bytes.Buffer{}); err == nil {
+		t.Error("group/label mismatch accepted")
+	}
+}
+
+func TestFmtTick(t *testing.T) {
+	cases := map[float64]string{0: "0", 123456: "1e+05", 0.001: "1e-03", 250: "250", 3.14159: "3.14"}
+	for v, want := range cases {
+		if got := fmtTick(v); got != want {
+			t.Errorf("fmtTick(%g) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func fscan(s string, v *float64) (int, error) {
+	return fmt.Sscan(s, v)
+}

@@ -1,0 +1,302 @@
+package rng
+
+import (
+	"fmt"
+	"math"
+)
+
+// Source produces raw 64-bit random words and supports O(1) repositioning at
+// block checkpoints, the contract Algorithms 3 and 4 need from their RNG
+// (pseudocode: g.set_state(r, j); g.get_samples(v)).
+type Source interface {
+	// SetState repositions the stream at block coordinates (r, j).
+	SetState(r, j uint64)
+	// Uint64s overwrites dst with the next len(dst) raw words.
+	Uint64s(dst []uint64)
+}
+
+// Distribution selects how raw words are transformed into entries of the
+// sketching matrix S. These are the five methods compared in Figure 4.
+type Distribution int
+
+const (
+	// Uniform11 samples uniformly from (-1, 1): one integer-to-float
+	// conversion per entry (the cheap default).
+	Uniform11 Distribution = iota
+	// Rademacher samples uniformly from {+1, -1}: one random *bit* per
+	// entry (the paper's 8-bit ±1 path; cheapest of all).
+	Rademacher
+	// Gaussian samples from N(0, 1) via the polar method: the expensive
+	// transformation §III-C warns about.
+	Gaussian
+	// ScaledInt implements the "(-1,1) and scaling trick" of Figure 4:
+	// S entries are the raw signed 32-bit integers (as float64) and the
+	// kernel pre-multiplies A by f = 2⁻³¹, so the product equals
+	// (S·f)(A/f⁻¹) with no per-entry scaling in the hot loop.
+	ScaledInt
+	// Junk produces deterministic non-random values from simple addition.
+	// It is the upper-bound probe from §V-A: running the kernels with
+	// free "generation" bounds how much a hardware RNG could help.
+	Junk
+)
+
+// Scale31 is the scaling-trick factor f: ScaledInt entries are int32-valued,
+// so A must be pre-scaled by Scale31 for SA to match a (-1,1) sketch.
+const Scale31 = 1.0 / (1 << 31)
+
+// String implements fmt.Stringer for Distribution.
+func (d Distribution) String() string {
+	switch d {
+	case Uniform11:
+		return "uniform(-1,1)"
+	case Rademacher:
+		return "pm1"
+	case Gaussian:
+		return "gaussian"
+	case ScaledInt:
+		return "scaled-int"
+	case Junk:
+		return "junk"
+	default:
+		return fmt.Sprintf("Distribution(%d)", int(d))
+	}
+}
+
+// ParseDistribution maps a CLI name to a Distribution.
+func ParseDistribution(s string) (Distribution, error) {
+	switch s {
+	case "uniform", "uniform11", "u11":
+		return Uniform11, nil
+	case "pm1", "rademacher", "sign":
+		return Rademacher, nil
+	case "gaussian", "normal":
+		return Gaussian, nil
+	case "scaled", "scaled-int", "scaling-trick":
+		return ScaledInt, nil
+	case "junk":
+		return Junk, nil
+	default:
+		return 0, fmt.Errorf("rng: unknown distribution %q", s)
+	}
+}
+
+// Sampler binds a Source to a Distribution and provides the get_samples
+// operation of the paper's pseudocode: overwrite a caller-provided vector
+// with d₁ fresh entries of S.
+type Sampler struct {
+	src  Source
+	dist Distribution
+	buf  []uint64 // scratch for raw words, reused across Fill calls
+	junk float64  // running value for the Junk distribution
+	zig  zigWords // buffered word feed for the ziggurat Gaussian
+}
+
+// NewSampler builds a sampler. src may be shared only by one sampler.
+func NewSampler(src Source, dist Distribution) *Sampler {
+	s := &Sampler{src: src, dist: dist}
+	s.zig.src = src
+	s.zig.reset()
+	return s
+}
+
+// Dist returns the sampler's distribution.
+func (s *Sampler) Dist() Distribution { return s.dist }
+
+// SetState repositions the underlying source at checkpoint (r, j).
+func (s *Sampler) SetState(r, j uint64) {
+	s.src.SetState(r, j)
+	s.junk = float64(r%97)*1e-2 + float64(j%89)*1e-3
+	// Discard buffered ziggurat words: they belong to the old checkpoint.
+	s.zig.reset()
+}
+
+// Fill overwrites dst with samples from the configured distribution.
+func (s *Sampler) Fill(dst []float64) {
+	switch s.dist {
+	case Uniform11:
+		s.fillUniform11(dst)
+	case Rademacher:
+		s.fillRademacher(dst)
+	case Gaussian:
+		s.fillGaussian(dst)
+	case ScaledInt:
+		s.fillScaledInt(dst)
+	case Junk:
+		s.fillJunk(dst)
+	default:
+		panic(fmt.Sprintf("rng: bad distribution %d", s.dist))
+	}
+}
+
+func (s *Sampler) raw(n int) []uint64 {
+	if cap(s.buf) < n {
+		s.buf = make([]uint64, n)
+	}
+	b := s.buf[:n]
+	s.src.Uint64s(b)
+	return b
+}
+
+// uniformFiller is the fused fast path a Source may provide for the default
+// distribution.
+type uniformFiller interface {
+	FillUniform11(dst []float64)
+}
+
+// scaledIntFiller is the fused fast path for the scaling trick.
+type scaledIntFiller interface {
+	FillScaledInt(dst []float64)
+}
+
+// fillUniform11 maps each word to (-1, 1): interpret the top 53 bits as a
+// signed fixed-point fraction. Matches the paper's "generate a random signed
+// 32-bit integer and divide by 2³¹" recipe, at double precision. Sources
+// that implement the fused path (BatchXoshiro) skip the raw-word buffer.
+func (s *Sampler) fillUniform11(dst []float64) {
+	if f, ok := s.src.(uniformFiller); ok {
+		f.FillUniform11(dst)
+		return
+	}
+	w := s.raw(len(dst))
+	for i, u := range w {
+		dst[i] = float64(int64(u)>>10) * 0x1p-53
+	}
+}
+
+// fillRademacher uses one bit per entry: each raw word signs 64 entries.
+// This is the cheapest distribution, mirroring the paper's 8-bit ±1 path.
+func (s *Sampler) fillRademacher(dst []float64) {
+	n := len(dst)
+	words := (n + 63) / 64
+	w := s.raw(words)
+	i := 0
+	for _, u := range w {
+		lim := n - i
+		if lim > 64 {
+			lim = 64
+		}
+		for b := 0; b < lim; b++ {
+			// Branch-free ±1 from bit b.
+			dst[i+b] = 1 - 2*float64((u>>uint(b))&1)
+		}
+		i += lim
+	}
+}
+
+// fillGaussian draws from N(0,1) with the 128-layer ziggurat (ziggurat.go).
+// Still the expensive transform §III-C warns about (Figure 4's bottom
+// series), just not gratuitously so.
+func (s *Sampler) fillGaussian(dst []float64) {
+	for i := range dst {
+		dst[i] = s.zig.normal()
+	}
+}
+
+// fillGaussianPolar is the Marsaglia polar method, kept as an independent
+// reference implementation for the distributional cross-check tests.
+func (s *Sampler) fillGaussianPolar(dst []float64) {
+	i := 0
+	var pair [2]uint64
+	for i < len(dst) {
+		s.src.Uint64s(pair[:])
+		u := float64(int64(pair[0])>>10) * 0x1p-53
+		v := float64(int64(pair[1])>>10) * 0x1p-53
+		q := u*u + v*v
+		if q >= 1 || q == 0 {
+			continue
+		}
+		f := math.Sqrt(-2 * math.Log(q) / q)
+		dst[i] = u * f
+		i++
+		if i < len(dst) {
+			dst[i] = v * f
+			i++
+		}
+	}
+}
+
+// fillScaledInt writes raw signed 32-bit integers as float64 with no
+// scaling — callers must pre-scale A by Scale31 (see kernels). Each 64-bit
+// word yields two samples; halving the generation cost is the point of the
+// trick (§III-C: the base RNG's integers are used directly).
+func (s *Sampler) fillScaledInt(dst []float64) {
+	if f, ok := s.src.(scaledIntFiller); ok {
+		f.FillScaledInt(dst)
+		return
+	}
+	n := len(dst)
+	w := s.raw((n + 1) / 2)
+	i := 0
+	for ; i+2 <= n; i += 2 {
+		u := w[i/2]
+		dst[i] = float64(int32(uint32(u)))
+		dst[i+1] = float64(int32(uint32(u >> 32)))
+	}
+	if i < n {
+		dst[i] = float64(int32(uint32(w[n/2])))
+	}
+}
+
+// RawWords overwrites and returns an internal buffer with enough raw words
+// to cover nbits random bits. It is the fused fast path for the ±1
+// distribution: kernels consume sign bits directly instead of materialising
+// a ±1 vector (the paper's 8-bit ±1 specialisation taken to 1 bit).
+// The returned slice is valid until the next Sampler call.
+func (s *Sampler) RawWords(nbits int) []uint64 {
+	return s.raw((nbits + 63) / 64)
+}
+
+// fillJunk produces values from simple addition, no RNG at all (§V-A
+// upper-bound probe).
+func (s *Sampler) fillJunk(dst []float64) {
+	v := s.junk
+	for i := range dst {
+		v += 1e-6
+		if v > 1 {
+			v -= 2
+		}
+		dst[i] = v
+	}
+	s.junk = v
+}
+
+// SourceKind selects the RNG engine behind a Sampler.
+type SourceKind int
+
+const (
+	// SourceBatchXoshiro is the 4-lane xoshiro256++ (default, fastest).
+	SourceBatchXoshiro SourceKind = iota
+	// SourceScalarXoshiro is single-lane xoshiro256++ (lanes ablation).
+	SourceScalarXoshiro
+	// SourcePhilox is the Philox4x32-10 counter-based generator
+	// (blocking-independent reproducibility, ~5x slower).
+	SourcePhilox
+)
+
+// String implements fmt.Stringer for SourceKind.
+func (k SourceKind) String() string {
+	switch k {
+	case SourceBatchXoshiro:
+		return "xoshiro-batch4"
+	case SourceScalarXoshiro:
+		return "xoshiro-scalar"
+	case SourcePhilox:
+		return "philox4x32"
+	default:
+		return fmt.Sprintf("SourceKind(%d)", int(k))
+	}
+}
+
+// NewSource constructs a Source of the given kind seeded with seed.
+func NewSource(kind SourceKind, seed uint64) Source {
+	switch kind {
+	case SourceBatchXoshiro:
+		return NewBatchXoshiro(seed)
+	case SourceScalarXoshiro:
+		return NewScalarXoshiroSource(seed)
+	case SourcePhilox:
+		return NewPhilox4x32(seed)
+	default:
+		panic(fmt.Sprintf("rng: bad source kind %d", kind))
+	}
+}

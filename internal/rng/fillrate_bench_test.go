@@ -1,0 +1,53 @@
+package rng
+
+import "testing"
+
+func BenchmarkFillUniform(b *testing.B) {
+	s := NewSampler(NewBatchXoshiro(1), Uniform11)
+	buf := make([]float64, 3000)
+	b.SetBytes(3000 * 8)
+	for i := 0; i < b.N; i++ {
+		s.SetState(0, uint64(i))
+		s.Fill(buf)
+	}
+}
+
+func BenchmarkFillRademacher(b *testing.B) {
+	s := NewSampler(NewBatchXoshiro(1), Rademacher)
+	buf := make([]float64, 3000)
+	b.SetBytes(3000 * 8)
+	for i := 0; i < b.N; i++ {
+		s.SetState(0, uint64(i))
+		s.Fill(buf)
+	}
+}
+
+func BenchmarkFillScaledInt(b *testing.B) {
+	s := NewSampler(NewBatchXoshiro(1), ScaledInt)
+	buf := make([]float64, 3000)
+	b.SetBytes(3000 * 8)
+	for i := 0; i < b.N; i++ {
+		s.SetState(0, uint64(i))
+		s.Fill(buf)
+	}
+}
+
+func BenchmarkFillGaussian(b *testing.B) {
+	s := NewSampler(NewBatchXoshiro(1), Gaussian)
+	buf := make([]float64, 3000)
+	b.SetBytes(3000 * 8)
+	for i := 0; i < b.N; i++ {
+		s.SetState(0, uint64(i))
+		s.Fill(buf)
+	}
+}
+
+func BenchmarkFillGaussianPolar(b *testing.B) {
+	s := NewSampler(NewBatchXoshiro(1), Gaussian)
+	buf := make([]float64, 3000)
+	b.SetBytes(3000 * 8)
+	for i := 0; i < b.N; i++ {
+		s.SetState(0, uint64(i))
+		s.fillGaussianPolar(buf)
+	}
+}

@@ -1,0 +1,170 @@
+package rng
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// normCDF is Φ(x) via the complementary error function.
+func normCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+func drawGaussian(n int, seed uint64) []float64 {
+	s := NewSampler(NewBatchXoshiro(seed), Gaussian)
+	s.SetState(0, 0)
+	out := make([]float64, n)
+	s.Fill(out)
+	return out
+}
+
+func TestZigguratTablesConsistent(t *testing.T) {
+	// Layer widths decrease outward; ordinates increase inward.
+	for i := 2; i < 128; i++ {
+		if zigWN[i] <= zigWN[i-1] && i > 1 {
+			// wn stores x_i/2^31 with x increasing in i (layer 127 is the
+			// widest, at the tail boundary r).
+			t.Fatalf("wn not increasing at %d: %g <= %g", i, zigWN[i], zigWN[i-1])
+		}
+		if zigFN[i] >= zigFN[i-1] {
+			t.Fatalf("fn not decreasing at %d", i)
+		}
+	}
+	if math.Abs(zigWN[127]*zigM-zigR) > 1e-12 {
+		t.Fatalf("outermost layer width %g, want r=%g", zigWN[127]*zigM, zigR)
+	}
+	if math.Abs(zigFN[0]-1) > 1e-15 {
+		t.Fatalf("fn[0] = %g", zigFN[0])
+	}
+}
+
+func TestZigguratMoments(t *testing.T) {
+	xs := drawGaussian(400000, 1)
+	var m1, m2, m3, m4 float64
+	for _, x := range xs {
+		m1 += x
+		m2 += x * x
+		m3 += x * x * x
+		m4 += x * x * x * x
+	}
+	n := float64(len(xs))
+	m1 /= n
+	m2 /= n
+	m3 /= n
+	m4 /= n
+	if math.Abs(m1) > 0.01 {
+		t.Fatalf("mean %g", m1)
+	}
+	if math.Abs(m2-1) > 0.02 {
+		t.Fatalf("variance %g", m2)
+	}
+	if math.Abs(m3) > 0.03 {
+		t.Fatalf("skewness (3rd moment) %g", m3)
+	}
+	if math.Abs(m4-3) > 0.15 {
+		t.Fatalf("kurtosis (4th moment) %g, want 3", m4)
+	}
+}
+
+// Chi-square goodness-of-fit against the normal CDF over 40 equiprobable
+// bins — catches table or acceptance-test transcription bugs that moment
+// tests miss.
+func TestZigguratChiSquare(t *testing.T) {
+	const nBins = 40
+	const nSamples = 400000
+	xs := drawGaussian(nSamples, 2)
+	edges := make([]float64, nBins-1)
+	for i := range edges {
+		p := float64(i+1) / nBins
+		// Inverse normal CDF by bisection on Φ.
+		lo, hi := -8.0, 8.0
+		for k := 0; k < 80; k++ {
+			mid := (lo + hi) / 2
+			if normCDF(mid) < p {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		edges[i] = (lo + hi) / 2
+	}
+	counts := make([]int, nBins)
+	for _, x := range xs {
+		k := sort.SearchFloat64s(edges, x)
+		counts[k]++
+	}
+	expected := float64(nSamples) / nBins
+	var chi2 float64
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 39 dof: mean 39, sd ~8.8; 5.5 sigma ≈ 87.
+	if chi2 > 87 {
+		t.Fatalf("chi2 = %g over %d bins: distribution is off", chi2, nBins)
+	}
+}
+
+func TestZigguratTailMass(t *testing.T) {
+	// P(|X| > r = 3.4426…) ≈ 5.76e-4; the tail path must actually fire
+	// and produce the right mass and only values beyond r.
+	xs := drawGaussian(2000000, 3)
+	tail := 0
+	for _, x := range xs {
+		if math.Abs(x) > zigR {
+			tail++
+		}
+	}
+	want := 2 * (1 - normCDF(zigR)) * float64(len(xs))
+	if float64(tail) < want*0.7 || float64(tail) > want*1.3 {
+		t.Fatalf("tail count %d, expected ≈ %.0f", tail, want)
+	}
+}
+
+func TestZigguratAgainstPolarReference(t *testing.T) {
+	// Kolmogorov–Smirnov two-sample test between the ziggurat and the
+	// independent polar implementation.
+	n := 100000
+	zig := drawGaussian(n, 4)
+	s := NewSampler(NewBatchXoshiro(99), Gaussian)
+	s.SetState(0, 0)
+	polar := make([]float64, n)
+	s.fillGaussianPolar(polar)
+
+	sort.Float64s(zig)
+	sort.Float64s(polar)
+	var ks float64
+	j := 0
+	for i, x := range zig {
+		for j < n && polar[j] <= x {
+			j++
+		}
+		d := math.Abs(float64(i+1)/float64(n) - float64(j)/float64(n))
+		if d > ks {
+			ks = d
+		}
+	}
+	// Two-sample KS critical value at alpha=1e-6: ~2.4*sqrt(2/n).
+	crit := 2.4 * math.Sqrt(2/float64(n))
+	if ks > crit {
+		t.Fatalf("KS statistic %g > %g: ziggurat and polar disagree", ks, crit)
+	}
+}
+
+func TestZigguratReproducibleAcrossCheckpoints(t *testing.T) {
+	s := NewSampler(NewBatchXoshiro(5), Gaussian)
+	a := make([]float64, 300)
+	b := make([]float64, 300)
+	s.SetState(4, 9)
+	s.Fill(a)
+	s.SetState(0, 0)
+	s.Fill(make([]float64, 17)) // desynchronise the internal buffer
+	s.SetState(4, 9)
+	s.Fill(b)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("gaussian checkpoint replay differs at %d", i)
+		}
+	}
+}

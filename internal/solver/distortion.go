@@ -1,0 +1,58 @@
+package solver
+
+import (
+	"fmt"
+
+	"sketchsp/internal/core"
+	"sketchsp/internal/dense"
+	"sketchsp/internal/linalg"
+	"sketchsp/internal/sparse"
+	"sketchsp/internal/sparseqr"
+)
+
+// Distortion measures the effective distortion of the sketching operator S
+// (drawn per opts, d rows) for range(A): the smallest D with
+// (1−D)‖x‖ ≤ ‖S·x‖ ≤ (1+D)‖x‖ for all x in range(A). It factors A = Q·R
+// with the sparse QR, whitens the sketch Â·R⁻¹ = S·Q, and reads D off the
+// extreme singular values. This is the sketch-quality measure the paper
+// cites when arguing that cheap distributions and block-checkpointed
+// xoshiro still produce usable sketches (§IV-B).
+func Distortion(a *sparse.CSC, d int, opts core.Options) (float64, error) {
+	f, err := sparseqr.Factorize(a, make([]float64, a.M))
+	if err != nil {
+		return 0, err
+	}
+	r := f.RDense()
+	for j := 0; j < a.N; j++ {
+		if r.At(j, j) == 0 {
+			return 0, fmt.Errorf("solver: A is structurally rank deficient; distortion undefined")
+		}
+	}
+	sk, err := core.NewSketcher(d, opts)
+	if err != nil {
+		return 0, err
+	}
+	ahat, _ := sk.Sketch(a)
+	// W = Â·R⁻¹ by forward substitution over columns: column j of Â is
+	// Σ_{k≤j} W[:,k]·R[k,j].
+	w := dense.NewMatrix(d, a.N)
+	for j := 0; j < a.N; j++ {
+		col := w.Col(j)
+		copy(col, ahat.Col(j))
+		for k := 0; k < j; k++ {
+			dense.Axpy(-r.At(k, j), w.Col(k), col)
+		}
+		dense.Scal(1/r.At(j, j), col)
+	}
+	svd := linalg.NewSVD(w, 0)
+	smax := svd.Sigma[0]
+	smin := svd.Sigma[len(svd.Sigma)-1]
+	if smax+smin == 0 {
+		return 1, nil
+	}
+	// Effective distortion under the optimal rescaling of S (the sketch's
+	// overall scale is irrelevant to preconditioning): the smallest D with
+	// σ(S·Q) ⊆ c·[1−D, 1+D] for some c > 0, i.e. (σmax−σmin)/(σmax+σmin).
+	// For a Gaussian sketch with d = γ·n this converges to 1/√γ (§V).
+	return (smax - smin) / (smax + smin), nil
+}

@@ -1,0 +1,51 @@
+package solver
+
+import (
+	"math"
+	"testing"
+
+	"sketchsp/internal/core"
+	"sketchsp/internal/rng"
+	"sketchsp/internal/sparse"
+)
+
+func TestDistortionConvergesToTheory(t *testing.T) {
+	// Effective distortion → 1/√γ as n grows (§V); check γ = 2, 3, 4 land
+	// near theory on a moderately sized problem.
+	a := sparse.RandomUniform(3000, 80, 0.05, 71)
+	for _, gamma := range []int{2, 3, 4} {
+		dd, err := Distortion(a, gamma*a.N, core.Options{Seed: 3, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1 / math.Sqrt(float64(gamma))
+		if math.Abs(dd-want) > 0.3*want {
+			t.Fatalf("gamma=%d: distortion %g, theory %g", gamma, dd, want)
+		}
+	}
+}
+
+func TestDistortionOrderedInGamma(t *testing.T) {
+	a := sparse.RandomUniform(2000, 60, 0.06, 72)
+	d2, err := Distortion(a, 2*a.N, core.Options{Seed: 5, Workers: 1, Dist: rng.Rademacher})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d6, err := Distortion(a, 6*a.N, core.Options{Seed: 5, Workers: 1, Dist: rng.Rademacher})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d6 >= d2 {
+		t.Fatalf("distortion did not shrink with gamma: %g vs %g", d6, d2)
+	}
+}
+
+func TestDistortionRankDeficientRejected(t *testing.T) {
+	// A matrix with an empty column has no well-defined distortion.
+	coo := sparse.NewCOO(20, 3, 2)
+	coo.Append(0, 0, 1)
+	coo.Append(5, 2, 1)
+	if _, err := Distortion(coo.ToCSC(), 9, core.Options{Workers: 1}); err == nil {
+		t.Fatal("structurally rank-deficient matrix accepted")
+	}
+}

@@ -1,0 +1,97 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"sketchsp/internal/core"
+	"sketchsp/internal/dense"
+	"sketchsp/internal/linalg"
+	"sketchsp/internal/lsqr"
+	"sketchsp/internal/sparse"
+)
+
+// SolveMinNorm solves the underdetermined problem
+//
+//	min ‖x‖₂  subject to  A·x = b
+//
+// for a wide full-row-rank A (m < n), implementing the "minor
+// modifications" the paper's footnote 2 alludes to: sketch the TALL
+// transpose, Â = S·Aᵀ (d×m with d = γ·m), factor Â = Q·R, and run LSQR on
+// the LEFT-preconditioned consistent system R⁻ᵀ·A·x = R⁻ᵀ·b. Because
+// cond(R⁻ᵀA) = O(1) by the sketching guarantee and LSQR's iterates stay in
+// range((R⁻ᵀA)ᵀ) = range(Aᵀ), the iteration converges in O(1) steps to the
+// minimum-norm solution.
+func SolveMinNorm(a *sparse.CSC, b []float64, opts Options) ([]float64, Info, error) {
+	info := Info{Method: MethodSAPQR}
+	if a.M > a.N {
+		return nil, info, fmt.Errorf("solver: SolveMinNorm wants a wide matrix, got %dx%d (use SolveSAPQR)", a.M, a.N)
+	}
+	if len(b) != a.M {
+		return nil, info, fmt.Errorf("solver: len(b)=%d, want m=%d", len(b), a.M)
+	}
+	start := time.Now()
+
+	at := a.Transpose() // tall n×m
+	d := int(math.Ceil(opts.gamma() * float64(a.M)))
+	if d < a.M+1 {
+		d = a.M + 1
+	}
+	sk, err := core.NewSketcher(d, opts.Sketch)
+	if err != nil {
+		return nil, info, err
+	}
+	t0 := time.Now()
+	ahat, _ := sk.Sketch(at)
+	info.SketchTime = time.Since(t0)
+
+	t0 = time.Now()
+	qr := linalg.NewQRBlocked(ahat)
+	r := qr.R()
+	info.FactorTime = time.Since(t0)
+	if qr.RDiagMin() == 0 {
+		return nil, info, fmt.Errorf("solver: Aᵀ sketch is numerically rank deficient; A is not full row rank")
+	}
+
+	// Left-preconditioned right-hand side: R⁻ᵀ·b.
+	rhs := append([]float64(nil), b...)
+	dense.TrsvUpperT(r, rhs)
+
+	t0 = time.Now()
+	res, err := lsqr.SolveOp(&leftPrecondOp{a: a, r: r}, rhs, lsqr.Options{
+		Atol: opts.Atol, MaxIters: opts.MaxIters,
+	})
+	info.IterTime = time.Since(t0)
+	if err != nil {
+		return nil, info, err
+	}
+	info.Iters = res.Iters
+	info.Converged = res.Converged
+	info.MemoryBytes = ahat.MemoryBytes() + r.MemoryBytes()
+	info.Total = time.Since(start)
+	return res.X, info, nil
+}
+
+// leftPrecondOp is the operator B = R⁻ᵀ·A for a wide A and m×m
+// upper-triangular R.
+type leftPrecondOp struct {
+	a *sparse.CSC
+	r *dense.Matrix
+}
+
+// Dims returns A's dimensions (left preconditioning preserves them).
+func (o *leftPrecondOp) Dims() (int, int) { return o.a.M, o.a.N }
+
+// MulVec computes y = R⁻ᵀ·(A·x).
+func (o *leftPrecondOp) MulVec(x, y []float64) {
+	o.a.MulVec(x, y)
+	dense.TrsvUpperT(o.r, y)
+}
+
+// MulVecT computes y = Aᵀ·(R⁻¹·x) without clobbering x.
+func (o *leftPrecondOp) MulVecT(x, y []float64) {
+	tmp := append([]float64(nil), x...)
+	dense.TrsvUpper(o.r, tmp)
+	o.a.MulVecT(tmp, y)
+}

@@ -1,0 +1,208 @@
+package solver
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"sketchsp/internal/core"
+	"sketchsp/internal/dense"
+	"sketchsp/internal/linalg"
+	"sketchsp/internal/rng"
+	"sketchsp/internal/sparse"
+)
+
+// lowRankSparse builds a matrix that is sparse AND exactly rank ≤ r: every
+// row is a random scale of one of r sparse prototype rows. (Masking a dense
+// low-rank matrix would destroy the rank — the mask itself is full rank —
+// so the structure must live in the sparsity pattern.)
+func lowRankSparse(seed int64, m, n, r int) *sparse.CSC {
+	rr := rand.New(rand.NewSource(seed))
+	protoCols := make([][]int, r)
+	protoVals := make([][]float64, r)
+	for t := 0; t < r; t++ {
+		k := 8 + rr.Intn(8)
+		seen := map[int]bool{}
+		for len(protoCols[t]) < k {
+			j := rr.Intn(n)
+			if seen[j] {
+				continue
+			}
+			seen[j] = true
+			protoCols[t] = append(protoCols[t], j)
+			protoVals[t] = append(protoVals[t], 1+rr.NormFloat64())
+		}
+	}
+	coo := sparse.NewCOO(m, n, m*16)
+	for i := 0; i < m; i++ {
+		t := i % r
+		scale := math.Pow(3, float64(r-t)) * (1 + 0.2*rr.NormFloat64())
+		for k, j := range protoCols[t] {
+			coo.Append(i, j, scale*protoVals[t][k])
+		}
+	}
+	return coo.ToCSC()
+}
+
+func TestRandSVDRecoversSpectrum(t *testing.T) {
+	a := sparse.RandomUniform(400, 60, 0.1, 81)
+	rank := 10
+	res, err := RandSVD(a, rank, 10, 2, core.Options{Seed: 3, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := linalg.NewSVD(a.ToDense(), 0)
+	for i := 0; i < rank; i++ {
+		rel := math.Abs(res.Sigma[i]-full.Sigma[i]) / full.Sigma[0]
+		if rel > 0.05 {
+			t.Fatalf("σ[%d] = %g, full SVD %g (rel %g)", i, res.Sigma[i], full.Sigma[i], rel)
+		}
+	}
+}
+
+func TestRandSVDNearOptimalReconstruction(t *testing.T) {
+	a := lowRankSparse(82, 300, 80, 3)
+	rank := 3
+	res, err := RandSVD(a, rank, 8, 2, core.Options{Seed: 5, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad := a.ToDense()
+	rec := res.Reconstruct()
+	errF := rec.MaxAbsDiff(ad)
+	// Optimal rank-3 error from the full SVD.
+	full := linalg.NewSVD(ad, 0)
+	if full.Sigma[rank] > 0.2*full.Sigma[0] {
+		t.Skip("test matrix not effectively low rank; generator drifted")
+	}
+	// Relative Frobenius error of the randomized approximation must be
+	// within a small factor of σ_{r+1}/σ_1.
+	var fro float64
+	for j := 0; j < ad.Cols; j++ {
+		for _, v := range ad.Col(j) {
+			fro += v * v
+		}
+	}
+	fro = math.Sqrt(fro)
+	if errF > 3*full.Sigma[rank] && errF > 1e-8*fro {
+		t.Fatalf("reconstruction max-err %g vs σ_%d = %g", errF, rank+1, full.Sigma[rank])
+	}
+}
+
+func TestRandSVDOrthonormalFactors(t *testing.T) {
+	a := sparse.RandomUniform(200, 40, 0.15, 83)
+	res, err := RandSVD(a, 8, 6, 1, core.Options{Seed: 7, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []*dense.Matrix{res.U, res.V} {
+		for i := 0; i < f.Cols; i++ {
+			for j := i; j < f.Cols; j++ {
+				d := dense.Dot(f.Col(i), f.Col(j))
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if math.Abs(d-want) > 1e-9 {
+					t.Fatalf("factor not orthonormal at (%d,%d): %g", i, j, d)
+				}
+			}
+		}
+	}
+	// Sigma descending, non-negative.
+	for i := 1; i < len(res.Sigma); i++ {
+		if res.Sigma[i] > res.Sigma[i-1] || res.Sigma[i] < 0 {
+			t.Fatalf("sigma not sorted non-negative: %v", res.Sigma)
+		}
+	}
+}
+
+func TestRandSVDArgumentHandling(t *testing.T) {
+	a := sparse.RandomUniform(30, 10, 0.3, 84)
+	if _, err := RandSVD(a, 0, 4, 0, core.Options{Workers: 1}); err == nil {
+		t.Fatal("rank 0 accepted")
+	}
+	// Rank larger than min dimension clamps rather than failing.
+	res, err := RandSVD(a, 50, 4, 0, core.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sigma) > 10 {
+		t.Fatalf("rank not clamped: %d", len(res.Sigma))
+	}
+}
+
+func TestLeverageScoresAgainstExact(t *testing.T) {
+	a := sparse.Intervals(800, 30, 60, 85)
+	got, err := LeverageScores(a, 256, Options{
+		Gamma:  4,
+		Sketch: core.Options{Seed: 9, Dist: rng.Rademacher, Workers: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact scores from the dense QR's thin Q.
+	ad := a.ToDense()
+	qr := linalg.NewQR(ad)
+	exact := make([]float64, a.M)
+	for c := 0; c < a.N; c++ {
+		col := make([]float64, a.M)
+		col[c] = 1
+		qr.ApplyQ(col)
+		for i := range col {
+			exact[i] += col[i] * col[i]
+		}
+	}
+	// Sum ≈ n for both.
+	sum := 0.0
+	for _, v := range got {
+		sum += v
+	}
+	if sum < float64(a.N)/3 || sum > float64(a.N)*3 {
+		t.Fatalf("Σℓ = %g, want ≈ n = %d", sum, a.N)
+	}
+	// The estimates track the exact scores within the constant-factor
+	// guarantee of a γ=4 sketch + JL: check correlation via top-decile
+	// overlap.
+	top := func(v []float64) map[int]bool {
+		idx := make([]int, len(v))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return v[idx[a]] > v[idx[b]] })
+		out := make(map[int]bool)
+		for _, i := range idx[:len(idx)/10] {
+			out[i] = true
+		}
+		return out
+	}
+	te, tg := top(exact), top(got)
+	overlap := 0
+	for i := range te {
+		if tg[i] {
+			overlap++
+		}
+	}
+	if float64(overlap) < 0.6*float64(len(te)) {
+		t.Fatalf("top-decile overlap %d/%d too low", overlap, len(te))
+	}
+	// Nonzero rows get nonzero scores; empty rows get zero.
+	csr := a.ToCSR()
+	for i := 0; i < a.M; i++ {
+		empty := csr.RowPtr[i+1] == csr.RowPtr[i]
+		if empty && got[i] != 0 {
+			t.Fatalf("empty row %d scored %g", i, got[i])
+		}
+		if !empty && got[i] < 0 {
+			t.Fatalf("negative score %g", got[i])
+		}
+	}
+}
+
+func TestLeverageScoresRejectsWide(t *testing.T) {
+	a := sparse.RandomUniform(5, 20, 0.4, 86)
+	if _, err := LeverageScores(a, 16, opts()); err == nil {
+		t.Fatal("wide matrix accepted")
+	}
+}

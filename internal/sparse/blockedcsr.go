@@ -1,0 +1,157 @@
+package sparse
+
+import (
+	"fmt"
+	"sync"
+)
+
+// BlockedCSR is the auxiliary data structure Algorithm 4 needs (§II-B2,
+// §III-B): the columns of A are partitioned into vertical slabs of width
+// BlockCols, and each slab is stored in CSR so the kernel can walk the rows
+// of the slab and perform rank-1 updates that reuse one generated column of
+// S across an entire sparse row.
+type BlockedCSR struct {
+	M, N      int
+	BlockCols int    // b_n: width of each vertical slab (last may be narrower)
+	Blocks    []*CSR // one CSR of size M × width(k) per slab
+	ColStart  []int  // ColStart[k] = first global column of slab k; len = len(Blocks)+1
+}
+
+// NumBlocks returns the number of vertical slabs.
+func (b *BlockedCSR) NumBlocks() int { return len(b.Blocks) }
+
+// NNZ returns the total number of stored entries across slabs.
+func (b *BlockedCSR) NNZ() int {
+	t := 0
+	for _, blk := range b.Blocks {
+		t += blk.NNZ()
+	}
+	return t
+}
+
+// MemoryBytes reports the total storage footprint including the per-block
+// RowPtr arrays — the O(⌈n/b_n⌉·m) overhead §III-B calls memory intensive.
+func (b *BlockedCSR) MemoryBytes() int64 {
+	var t int64
+	for _, blk := range b.Blocks {
+		t += blk.MemoryBytes()
+	}
+	return t + int64(len(b.ColStart))*8
+}
+
+// At returns element (i, j); for tests.
+func (b *BlockedCSR) At(i, j int) float64 {
+	k := j / b.BlockCols
+	return b.Blocks[k].At(i, j-b.ColStart[k])
+}
+
+// NewBlockedCSR converts a CSC matrix into the blocked-CSR structure
+// sequentially. Per §III-B the cost is O(⌈n/b_n⌉·m + nnz(A)): for each slab
+// we count entries per row (O(m) zeroing per slab) and then scatter.
+func NewBlockedCSR(a *CSC, blockCols int) *BlockedCSR {
+	if blockCols <= 0 {
+		panic(fmt.Sprintf("sparse: NewBlockedCSR blockCols=%d", blockCols))
+	}
+	nb := (a.N + blockCols - 1) / blockCols
+	if nb == 0 {
+		nb = 0
+	}
+	out := &BlockedCSR{
+		M: a.M, N: a.N, BlockCols: blockCols,
+		Blocks:   make([]*CSR, nb),
+		ColStart: make([]int, nb+1),
+	}
+	for k := 0; k < nb; k++ {
+		out.ColStart[k] = k * blockCols
+	}
+	out.ColStart[nb] = a.N
+	for k := 0; k < nb; k++ {
+		out.Blocks[k] = slabToCSR(a, out.ColStart[k], out.ColStart[k+1])
+	}
+	return out
+}
+
+// NewBlockedCSRParallel builds the same structure with one goroutine per
+// slab group, matching the parallel construction of §III-B
+// (O(⌈n/(T·b_n)⌉·m + max_t nnz(A_t)) with T workers).
+func NewBlockedCSRParallel(a *CSC, blockCols, workers int) *BlockedCSR {
+	if blockCols <= 0 {
+		panic(fmt.Sprintf("sparse: NewBlockedCSRParallel blockCols=%d", blockCols))
+	}
+	if workers <= 1 {
+		return NewBlockedCSR(a, blockCols)
+	}
+	nb := (a.N + blockCols - 1) / blockCols
+	out := &BlockedCSR{
+		M: a.M, N: a.N, BlockCols: blockCols,
+		Blocks:   make([]*CSR, nb),
+		ColStart: make([]int, nb+1),
+	}
+	for k := 0; k < nb; k++ {
+		out.ColStart[k] = k * blockCols
+	}
+	out.ColStart[nb] = a.N
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range work {
+				out.Blocks[k] = slabToCSR(a, out.ColStart[k], out.ColStart[k+1])
+			}
+		}()
+	}
+	for k := 0; k < nb; k++ {
+		work <- k
+	}
+	close(work)
+	wg.Wait()
+	return out
+}
+
+// slabToCSR transposes the column slab A[:, j0:j1] into CSR. Columns are
+// visited in ascending order, so within each row the column indices come out
+// sorted — the CSR invariant holds by construction.
+func slabToCSR(a *CSC, j0, j1 int) *CSR {
+	m := a.M
+	width := j1 - j0
+	lo, hi := a.ColPtr[j0], a.ColPtr[j1]
+	nnz := hi - lo
+	rowPtr := make([]int, m+1)
+	for p := lo; p < hi; p++ {
+		rowPtr[a.RowIdx[p]+1]++
+	}
+	for i := 0; i < m; i++ {
+		rowPtr[i+1] += rowPtr[i]
+	}
+	colIdx := make([]int, nnz)
+	val := make([]float64, nnz)
+	next := make([]int, m)
+	copy(next, rowPtr[:m])
+	for j := j0; j < j1; j++ {
+		for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
+			r := a.RowIdx[p]
+			w := next[r]
+			colIdx[w] = j - j0
+			val[w] = a.Val[p]
+			next[r]++
+		}
+	}
+	return &CSR{M: m, N: width, RowPtr: rowPtr, ColIdx: colIdx, Val: val}
+}
+
+// ToCSC reassembles the blocked structure into one CSC matrix (tests).
+func (b *BlockedCSR) ToCSC() *CSC {
+	coo := NewCOO(b.M, b.N, b.NNZ())
+	for k, blk := range b.Blocks {
+		base := b.ColStart[k]
+		for i := 0; i < blk.M; i++ {
+			cols, vals := blk.RowView(i)
+			for t, c := range cols {
+				coo.Append(i, base+c, vals[t])
+			}
+		}
+	}
+	return coo.ToCSC()
+}

@@ -1,0 +1,46 @@
+package sparse
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadMatrixMarket hardens the parser against malformed input: it must
+// either return an error or a structurally valid matrix, never panic.
+// Run with `go test -fuzz=FuzzReadMatrixMarket ./internal/sparse` for a
+// real fuzzing session; the seeds below run as regular unit tests.
+func FuzzReadMatrixMarket(f *testing.F) {
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 3.5\n")
+	f.Add("%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n2 1 5\n3 3 7\n")
+	f.Add("%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 1\n2 2\n")
+	f.Add("%%MatrixMarket matrix coordinate integer general\n1 1 1\n1 1 9\n")
+	f.Add("")
+	f.Add("%%MatrixMarket\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n-1 2 1\n1 1 1\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 1\n9 9 1\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 5\n1 1 1\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n% comment\n\n2 2 1\n1 2 1e308\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		a, err := ReadMatrixMarket(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("parser accepted structurally invalid matrix: %v", err)
+		}
+		// A successfully parsed matrix must round-trip.
+		var buf bytes.Buffer
+		if err := WriteMatrixMarket(&buf, a); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		back, err := ReadMatrixMarket(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.M != a.M || back.N != a.N || back.NNZ() != a.NNZ() {
+			t.Fatalf("round trip changed shape: %dx%d/%d vs %dx%d/%d",
+				back.M, back.N, back.NNZ(), a.M, a.N, a.NNZ())
+		}
+	})
+}

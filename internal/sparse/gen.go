@@ -1,0 +1,284 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// RandomUniform generates an m×n CSC matrix whose sparsity pattern is iid
+// uniform with the given density (each entry present independently with
+// probability density), values uniform in (-1, 1). It is the model matrix
+// of the paper's §III analysis ("uniformly distributed sparse matrix with a
+// density of ρ") and of the Figure 4 density sweep.
+//
+// For large m·n the per-column nonzero count is drawn from the Binomial
+// distribution directly (inversion for small λ, normal approximation for
+// large), and distinct rows are then sampled without replacement, so the
+// cost is O(nnz) rather than O(m·n).
+func RandomUniform(m, n int, density float64, seed int64) *CSC {
+	if density < 0 || density > 1 {
+		panic(fmt.Sprintf("sparse: density %g out of [0,1]", density))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	coo := NewCOO(m, n, int(density*float64(m)*float64(n))+n)
+	for j := 0; j < n; j++ {
+		k := binomial(rng, m, density)
+		sampleRows(rng, m, k, func(i int) {
+			coo.Append(i, j, rng.Float64()*2-1)
+		})
+	}
+	return coo.ToCSC()
+}
+
+// binomial draws from Binomial(n, p). Exact inversion for small mean,
+// normal approximation (clamped) otherwise; both are fine for workload
+// generation where only the aggregate density matters.
+func binomial(rng *rand.Rand, n int, p float64) int {
+	if p <= 0 || n == 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	mean := float64(n) * p
+	if mean < 30 {
+		// Inversion by sequential search over the CDF.
+		q := math.Pow(1-p, float64(n))
+		u := rng.Float64()
+		cdf := q
+		k := 0
+		for u > cdf && k < n {
+			k++
+			q *= (float64(n-k+1) / float64(k)) * (p / (1 - p))
+			cdf += q
+		}
+		return k
+	}
+	sd := math.Sqrt(mean * (1 - p))
+	k := int(math.Round(mean + sd*rng.NormFloat64()))
+	if k < 0 {
+		k = 0
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// sampleRows invokes f on k distinct row indices drawn uniformly from
+// [0, m). Uses Floyd's algorithm: O(k) time and space.
+func sampleRows(rng *rand.Rand, m, k int, f func(i int)) {
+	if k >= m {
+		for i := 0; i < m; i++ {
+			f(i)
+		}
+		return
+	}
+	seen := make(map[int]struct{}, k)
+	for j := m - k; j < m; j++ {
+		t := rng.Intn(j + 1)
+		if _, ok := seen[t]; ok {
+			t = j
+		}
+		seen[t] = struct{}{}
+		f(t)
+	}
+}
+
+// AbnormalA builds the paper's Abnormal_A pattern (Table VI): every
+// `stride`-th row is fully dense and all other rows are zero. With the
+// paper's m=100000, n=10000, stride=1000 this gives density 1e-3.
+func AbnormalA(m, n, stride int, seed int64) *CSC {
+	rng := rand.New(rand.NewSource(seed))
+	nd := (m + stride - 1) / stride
+	coo := NewCOO(m, n, nd*n)
+	for i := 0; i < m; i += stride {
+		for j := 0; j < n; j++ {
+			coo.Append(i, j, rng.Float64()*2-1)
+		}
+	}
+	return coo.ToCSC()
+}
+
+// AbnormalB builds the paper's Abnormal_B pattern: approximately
+// frac of the nonzeros concentrated in the middle third vertical block of
+// the matrix (paper uses frac = 2998/3000), the remainder spread uniformly.
+// totalNNZ controls the overall density.
+func AbnormalB(m, n, totalNNZ int, frac float64, seed int64) *CSC {
+	rng := rand.New(rand.NewSource(seed))
+	coo := NewCOO(m, n, totalNNZ)
+	midLo, midHi := n/3, 2*n/3
+	if midHi <= midLo {
+		midHi = midLo + 1
+	}
+	nMid := int(float64(totalNNZ) * frac)
+	added := make(map[int64]struct{}, totalNNZ)
+	put := func(i, j int) {
+		key := int64(i)*int64(n) + int64(j)
+		if _, ok := added[key]; ok {
+			return
+		}
+		added[key] = struct{}{}
+		coo.Append(i, j, rng.Float64()*2-1)
+	}
+	for t := 0; t < nMid; t++ {
+		put(rng.Intn(m), midLo+rng.Intn(midHi-midLo))
+	}
+	for t := nMid; t < totalNNZ; t++ {
+		put(rng.Intn(m), rng.Intn(n))
+	}
+	return coo.ToCSC()
+}
+
+// AbnormalC builds the paper's Abnormal_C pattern: every `stride`-th column
+// is fully dense, all others zero.
+func AbnormalC(m, n, stride int, seed int64) *CSC {
+	rng := rand.New(rand.NewSource(seed))
+	nd := (n + stride - 1) / stride
+	coo := NewCOO(m, n, nd*m)
+	for j := 0; j < n; j += stride {
+		for i := 0; i < m; i++ {
+			coo.Append(i, j, rng.Float64()*2-1)
+		}
+	}
+	return coo.ToCSC()
+}
+
+// Banded generates a banded m×n matrix with the given half-bandwidth and
+// in-band fill probability — the qualitative shape of mesh_deform-like
+// matrices (Figure 5 middle panel).
+func Banded(m, n, halfBand int, fill float64, seed int64) *CSC {
+	rng := rand.New(rand.NewSource(seed))
+	coo := NewCOO(m, n, int(float64(m)*float64(2*halfBand+1)*fill)+m)
+	ratio := float64(n) / float64(m)
+	for i := 0; i < m; i++ {
+		center := int(float64(i) * ratio)
+		lo := center - halfBand
+		if lo < 0 {
+			lo = 0
+		}
+		hi := center + halfBand
+		if hi >= n {
+			hi = n - 1
+		}
+		for j := lo; j <= hi; j++ {
+			if rng.Float64() < fill {
+				coo.Append(i, j, rng.Float64()*2-1)
+			}
+		}
+	}
+	return coo.ToCSC()
+}
+
+// BlockDiagonalish generates a matrix of dense-ish rectangular blocks laid
+// down the diagonal with uniform background noise — the qualitative shape of
+// the combinatorial shar_te2-b2 / cis-n4c6-b4 matrices (Figure 5 outer
+// panels): structured block stripes plus scattered entries.
+func BlockDiagonalish(m, n, blocks int, blockFill, background float64, seed int64) *CSC {
+	rng := rand.New(rand.NewSource(seed))
+	if blocks < 1 {
+		blocks = 1
+	}
+	bh := (m + blocks - 1) / blocks
+	bw := (n + blocks - 1) / blocks
+	est := int(blockFill*float64(bh)*float64(bw)*float64(blocks)) + int(background*float64(m)*float64(n)) + blocks
+	coo := NewCOO(m, n, est)
+	added := make(map[int64]struct{}, est)
+	put := func(i, j int) {
+		key := int64(i)*int64(n) + int64(j)
+		if _, ok := added[key]; ok {
+			return
+		}
+		added[key] = struct{}{}
+		coo.Append(i, j, rng.Float64()*2-1)
+	}
+	for b := 0; b < blocks; b++ {
+		i0, j0 := b*bh, b*bw
+		i1, j1 := i0+bh, j0+bw
+		if i1 > m {
+			i1 = m
+		}
+		if j1 > n {
+			j1 = n
+		}
+		cnt := int(blockFill * float64(i1-i0) * float64(j1-j0))
+		for t := 0; t < cnt; t++ {
+			put(i0+rng.Intn(i1-i0), j0+rng.Intn(j1-j0))
+		}
+	}
+	bg := int(background * float64(m) * float64(n))
+	for t := 0; t < bg; t++ {
+		put(rng.Intn(m), rng.Intn(n))
+	}
+	return coo.ToCSC()
+}
+
+// FixedRowNNZ generates an m×n matrix with exactly perRow nonzeros in every
+// row at uniform random column positions, values uniform in (-1, 1). This is
+// the structure of the simplicial-boundary matrices in Table I (e.g.
+// shar_te2-b2 has exactly 3 entries per row, cis-n4c6-b4 has 5).
+func FixedRowNNZ(m, n, perRow int, seed int64) *CSC {
+	rng := rand.New(rand.NewSource(seed))
+	if perRow > n {
+		perRow = n
+	}
+	coo := NewCOO(m, n, m*perRow)
+	for i := 0; i < m; i++ {
+		sampleRows(rng, n, perRow, func(j int) {
+			coo.Append(i, j, rng.Float64()*2-1)
+		})
+	}
+	return coo.ToCSC()
+}
+
+// Intervals generates a rail-style set-cover matrix: each column is the 0/1
+// indicator of a contiguous run of rows whose length is exponentially
+// distributed with mean avgLen. Overlapping interval columns act like a
+// discrete integration operator, so cond(A) grows with n and — crucially for
+// the Table IX comparison — survives diagonal column equilibration, exactly
+// the behaviour of the rail LP matrices (cond(AD) ≈ cond(A)).
+func Intervals(m, n, avgLen int, seed int64) *CSC {
+	rng := rand.New(rand.NewSource(seed))
+	if avgLen < 1 {
+		avgLen = 1
+	}
+	coo := NewCOO(m, n, n*avgLen+n)
+	for j := 0; j < n; j++ {
+		l := 1 + int(float64(avgLen)*rng.ExpFloat64())
+		if l > m {
+			l = m
+		}
+		start := rng.Intn(m - l + 1)
+		for i := start; i < start+l; i++ {
+			coo.Append(i, j, 1)
+		}
+	}
+	return coo.ToCSC()
+}
+
+// RowIntervals generates a rail-style matrix in the tall orientation the
+// solvers consume: each ROW is the 0/1 indicator of a contiguous run of
+// columns with exponentially distributed length (mean perRow). This mirrors
+// the transposed rail LP matrices, where every row ("route") covers a
+// handful of adjacent columns: rows carry several nonzeros each, which is
+// what makes a row-wise sparse QR accumulate fill and a large Q factor
+// (the Table XI footprint).
+func RowIntervals(m, n, perRow int, seed int64) *CSC {
+	rng := rand.New(rand.NewSource(seed))
+	if perRow < 1 {
+		perRow = 1
+	}
+	coo := NewCOO(m, n, m*perRow+m)
+	for i := 0; i < m; i++ {
+		l := 1 + int(float64(perRow)*rng.ExpFloat64())
+		if l > n {
+			l = n
+		}
+		start := rng.Intn(n - l + 1)
+		for j := start; j < start+l; j++ {
+			coo.Append(i, j, 1)
+		}
+	}
+	return coo.ToCSC()
+}

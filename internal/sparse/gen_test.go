@@ -1,0 +1,245 @@
+package sparse
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRandomUniformDensity(t *testing.T) {
+	a := RandomUniform(2000, 500, 0.01, 42)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got := a.Density()
+	if math.Abs(got-0.01)/0.01 > 0.15 {
+		t.Fatalf("density = %g, want ≈0.01", got)
+	}
+	// Values in (-1, 1).
+	for _, v := range a.Val {
+		if v <= -1 || v >= 1 {
+			t.Fatalf("value %g outside (-1,1)", v)
+		}
+	}
+}
+
+func TestRandomUniformDeterministic(t *testing.T) {
+	a := RandomUniform(100, 50, 0.05, 7)
+	b := RandomUniform(100, 50, 0.05, 7)
+	if a.NNZ() != b.NNZ() {
+		t.Fatal("same seed, different nnz")
+	}
+	for i := range a.Val {
+		if a.Val[i] != b.Val[i] || a.RowIdx[i] != b.RowIdx[i] {
+			t.Fatal("same seed, different matrix")
+		}
+	}
+}
+
+func TestRandomUniformEdgeDensities(t *testing.T) {
+	if got := RandomUniform(10, 10, 0, 1).NNZ(); got != 0 {
+		t.Fatalf("density 0 gave %d nnz", got)
+	}
+	if got := RandomUniform(10, 10, 1, 1).NNZ(); got != 100 {
+		t.Fatalf("density 1 gave %d nnz, want 100", got)
+	}
+}
+
+func TestAbnormalAStructure(t *testing.T) {
+	a := AbnormalA(1000, 100, 100, 1)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Rows 0, 100, 200, ... are dense; everything else empty.
+	if a.NNZ() != 10*100 {
+		t.Fatalf("nnz = %d, want 1000", a.NNZ())
+	}
+	csr := a.ToCSR()
+	for i := 0; i < 1000; i++ {
+		l := csr.RowPtr[i+1] - csr.RowPtr[i]
+		if i%100 == 0 && l != 100 {
+			t.Fatalf("dense row %d has %d entries", i, l)
+		}
+		if i%100 != 0 && l != 0 {
+			t.Fatalf("row %d should be empty, has %d", i, l)
+		}
+	}
+}
+
+func TestAbnormalBConcentration(t *testing.T) {
+	a := AbnormalB(3000, 300, 9000, 2998.0/3000.0, 2)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	midLo, midHi := 100, 200
+	mid := 0
+	for j := midLo; j < midHi; j++ {
+		mid += a.ColPtr[j+1] - a.ColPtr[j]
+	}
+	if frac := float64(mid) / float64(a.NNZ()); frac < 0.95 {
+		t.Fatalf("middle-third fraction = %g, want > 0.95", frac)
+	}
+}
+
+func TestAbnormalCStructure(t *testing.T) {
+	a := AbnormalC(500, 100, 10, 3)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 100; j++ {
+		l := a.ColPtr[j+1] - a.ColPtr[j]
+		if j%10 == 0 && l != 500 {
+			t.Fatalf("dense col %d has %d entries", j, l)
+		}
+		if j%10 != 0 && l != 0 {
+			t.Fatalf("col %d should be empty, has %d", j, l)
+		}
+	}
+}
+
+func TestBandedStaysInBand(t *testing.T) {
+	m, n, hb := 400, 100, 5
+	a := Banded(m, n, hb, 0.8, 4)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.NNZ() == 0 {
+		t.Fatal("banded matrix empty")
+	}
+	ratio := float64(n) / float64(m)
+	csr := a.ToCSR()
+	for i := 0; i < m; i++ {
+		center := int(float64(i) * ratio)
+		cols, _ := csr.RowView(i)
+		for _, j := range cols {
+			if j < center-hb || j > center+hb {
+				t.Fatalf("entry (%d,%d) outside band center %d ± %d", i, j, center, hb)
+			}
+		}
+	}
+}
+
+func TestFixedRowNNZ(t *testing.T) {
+	a := FixedRowNNZ(300, 40, 5, 5)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	csr := a.ToCSR()
+	for i := 0; i < 300; i++ {
+		if l := csr.RowPtr[i+1] - csr.RowPtr[i]; l != 5 {
+			t.Fatalf("row %d has %d entries, want 5", i, l)
+		}
+	}
+}
+
+func TestFixedRowNNZClampsPerRow(t *testing.T) {
+	a := FixedRowNNZ(10, 3, 8, 6)
+	csr := a.ToCSR()
+	for i := 0; i < 10; i++ {
+		if l := csr.RowPtr[i+1] - csr.RowPtr[i]; l != 3 {
+			t.Fatalf("row %d has %d entries, want clamped 3", i, l)
+		}
+	}
+}
+
+func TestBlockDiagonalish(t *testing.T) {
+	a := BlockDiagonalish(200, 100, 4, 0.3, 0.001, 7)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.NNZ() == 0 {
+		t.Fatal("empty block matrix")
+	}
+}
+
+func TestSpMMSpecsMatchPaper(t *testing.T) {
+	specs := SpMMSpecs()
+	if len(specs) != 5 {
+		t.Fatalf("want 5 Table I specs, got %d", len(specs))
+	}
+	// Spot-check published numbers.
+	if specs[0].Name != "mk-12" || specs[0].M != 13860 || specs[0].N != 1485 || specs[0].NNZ != 41580 {
+		t.Fatalf("mk-12 spec wrong: %+v", specs[0])
+	}
+	if specs[3].Name != "mesh_deform" || specs[3].NNZ != 853829 {
+		t.Fatalf("mesh_deform spec wrong: %+v", specs[3])
+	}
+}
+
+func TestSpMMSpecGenerateSmallScale(t *testing.T) {
+	for _, spec := range SpMMSpecs() {
+		a := spec.Generate(0.02, 1)
+		if err := a.Validate(); err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if a.M < a.N {
+			t.Fatalf("%s: not tall (%dx%d)", spec.Name, a.M, a.N)
+		}
+		if a.NNZ() == 0 {
+			t.Fatalf("%s: empty", spec.Name)
+		}
+	}
+}
+
+func TestLSSpecsMatchPaper(t *testing.T) {
+	specs := LSSpecs()
+	if len(specs) != 7 {
+		t.Fatalf("want 7 Table VIII specs, got %d", len(specs))
+	}
+	byName := map[string]LSSpec{}
+	for _, s := range specs {
+		byName[s.Name] = s
+	}
+	r := byName["rail2586"]
+	if r.M != 923269 || r.N != 2586 || r.NNZ != 8011362 {
+		t.Fatalf("rail2586 spec wrong: %+v", r)
+	}
+	if byName["connectus"].rankGap == 0 || byName["landmark"].rankGap == 0 {
+		t.Fatal("connectus/landmark must be near rank-deficient")
+	}
+}
+
+func TestLSSpecGenerateColumnScaling(t *testing.T) {
+	spec := LSSpec{Name: "test", M: 3000, N: 60, NNZ: 30000,
+		Cond: 1e8, CondScaled: 10, Pattern: PatternFixedRow}
+	a := spec.Generate(1, 3)
+	norms := a.ColNorms()
+	ratio := norms[0] / norms[len(norms)-1]
+	// Column norms should span roughly Cond/CondScaled = 1e7.
+	if ratio < 1e5 || ratio > 1e9 {
+		t.Fatalf("column-norm ratio %g not in ill-conditioned regime", ratio)
+	}
+}
+
+func TestLSSpecGenerateTall(t *testing.T) {
+	for _, spec := range LSSpecs() {
+		a := spec.Generate(0.01, 2)
+		if a.M < 3*a.N {
+			t.Fatalf("%s: %dx%d not strongly overdetermined", spec.Name, a.M, a.N)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+	}
+}
+
+func TestSpyRendering(t *testing.T) {
+	a := AbnormalC(100, 50, 10, 1)
+	s := Spy(a, 10, 25)
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 10 {
+		t.Fatalf("spy has %d lines, want 10", len(lines))
+	}
+	// Dense columns should produce visible vertical stripes.
+	if !strings.ContainsAny(s, ".:-=+*#%@") {
+		t.Fatal("spy plot is blank")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	a := RandomUniform(10, 5, 0.5, 1)
+	s := Describe("tiny", a)
+	if !strings.Contains(s, "tiny") || !strings.Contains(s, "m=10") {
+		t.Fatalf("Describe output %q", s)
+	}
+}

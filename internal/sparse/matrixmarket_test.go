@@ -1,0 +1,146 @@
+package sparse
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	a := RandomUniform(40, 20, 0.1, 9)
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.M != a.M || b.N != a.N || b.NNZ() != a.NNZ() {
+		t.Fatalf("round trip dims/nnz: got %dx%d/%d want %dx%d/%d",
+			b.M, b.N, b.NNZ(), a.M, a.N, a.NNZ())
+	}
+	for j := 0; j < a.N; j++ {
+		for i := 0; i < a.M; i++ {
+			if a.At(i, j) != b.At(i, j) {
+				t.Fatalf("entry (%d,%d) mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestMatrixMarketSymmetric(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real symmetric
+% a comment
+3 3 2
+2 1 5.0
+3 3 7.0
+`
+	a, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.At(1, 0) != 5 || a.At(0, 1) != 5 {
+		t.Fatal("symmetric mirror missing")
+	}
+	if a.At(2, 2) != 7 {
+		t.Fatal("diagonal wrong")
+	}
+	if a.NNZ() != 3 {
+		t.Fatalf("nnz = %d, want 3", a.NNZ())
+	}
+}
+
+func TestMatrixMarketPattern(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate pattern general
+2 2 2
+1 1
+2 2
+`
+	a, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.At(0, 0) != 1 || a.At(1, 1) != 1 {
+		t.Fatal("pattern entries should be 1")
+	}
+}
+
+func TestMatrixMarketRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"hello world\n1 1 1\n",
+		"%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n",
+		"%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 1\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\nnot numbers here\n",
+	}
+	for i, c := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestMatrixMarketTruncated(t *testing.T) {
+	in := "%%MatrixMarket matrix coordinate real general\n3 3 5\n1 1 1.0\n"
+	if _, err := ReadMatrixMarket(strings.NewReader(in)); err == nil {
+		t.Fatal("expected error on truncated entries")
+	}
+}
+
+func TestMatrixMarketFileHelpers(t *testing.T) {
+	a := RandomUniform(10, 8, 0.3, 4)
+	path := t.TempDir() + "/m.mtx"
+	if err := WriteMatrixMarketFile(path, a); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadMatrixMarketFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.NNZ() != a.NNZ() {
+		t.Fatal("file round trip lost entries")
+	}
+}
+
+func TestWriteDenseMatrixMarket(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteDenseMatrixMarket(&buf, 2, 2, []float64{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "%%MatrixMarket matrix array real general\n2 2\n") {
+		t.Fatalf("bad header: %q", out)
+	}
+	if err := WriteDenseMatrixMarket(&buf, 2, 2, []float64{1}); err == nil {
+		t.Fatal("expected length error")
+	}
+}
+
+func TestWriteSpyPGM(t *testing.T) {
+	a := AbnormalC(100, 50, 10, 1)
+	var buf bytes.Buffer
+	if err := WriteSpyPGM(&buf, a, 10, 25); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.Bytes()
+	if !bytes.HasPrefix(out, []byte("P5\n25 10\n255\n")) {
+		t.Fatalf("bad PGM header: %q", out[:20])
+	}
+	if len(out) != len("P5\n25 10\n255\n")+250 {
+		t.Fatalf("PGM payload length %d", len(out))
+	}
+	// Dense columns must be darker than empty ones.
+	pix := out[len("P5\n25 10\n255\n"):]
+	if pix[0] >= 255 {
+		t.Fatal("dense cell not darkened")
+	}
+	hasWhite := false
+	for _, p := range pix {
+		if p == 255 {
+			hasWhite = true
+		}
+	}
+	if !hasWhite {
+		t.Fatal("no empty cells rendered white")
+	}
+}

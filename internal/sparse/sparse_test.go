@@ -1,0 +1,321 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomCOO builds a random m×n COO with roughly nnz entries (duplicates
+// possible, which exercises the dedup path).
+func randomCOO(r *rand.Rand, m, n, nnz int) *COO {
+	c := NewCOO(m, n, nnz)
+	for k := 0; k < nnz; k++ {
+		c.Append(r.Intn(m), r.Intn(n), r.NormFloat64())
+	}
+	return c
+}
+
+func TestCOOToCSCRoundTrip(t *testing.T) {
+	c := NewCOO(3, 3, 4)
+	c.Append(0, 0, 1)
+	c.Append(2, 1, 2)
+	c.Append(1, 2, 3)
+	c.Append(2, 2, 4)
+	a := c.ToCSC()
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.At(0, 0) != 1 || a.At(2, 1) != 2 || a.At(1, 2) != 3 || a.At(2, 2) != 4 {
+		t.Fatal("CSC values wrong")
+	}
+	if a.At(1, 1) != 0 {
+		t.Fatal("zero entry nonzero")
+	}
+}
+
+func TestCOODuplicatesSummed(t *testing.T) {
+	c := NewCOO(2, 2, 3)
+	c.Append(1, 1, 2)
+	c.Append(1, 1, 3)
+	c.Append(0, 0, 1)
+	a := c.ToCSC()
+	if a.NNZ() != 2 {
+		t.Fatalf("nnz = %d, want 2 after dedup", a.NNZ())
+	}
+	if a.At(1, 1) != 5 {
+		t.Fatalf("duplicate sum = %g, want 5", a.At(1, 1))
+	}
+}
+
+func TestCOOOutOfRangePanics(t *testing.T) {
+	c := NewCOO(2, 2, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.Append(2, 0, 1)
+}
+
+func TestCSCValidateCatchesCorruption(t *testing.T) {
+	a := RandomUniform(20, 10, 0.3, 1)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := a.Clone()
+	bad.RowIdx[0] = 99
+	if err := bad.Validate(); err == nil {
+		t.Fatal("Validate accepted out-of-range row index")
+	}
+	bad2 := a.Clone()
+	bad2.ColPtr[1] = bad2.ColPtr[0] - 1
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("Validate accepted non-monotone ColPtr")
+	}
+}
+
+func TestCSCCSRRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, n := 1+r.Intn(20), 1+r.Intn(20)
+		a := randomCOO(r, m, n, r.Intn(60)).ToCSC()
+		back := a.ToCSR().ToCSC()
+		if back.M != a.M || back.N != a.N || back.NNZ() != a.NNZ() {
+			return false
+		}
+		for j := 0; j < n; j++ {
+			for i := 0; i < m; i++ {
+				if a.At(i, j) != back.At(i, j) {
+					return false
+				}
+			}
+		}
+		return back.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransposeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, n := 1+r.Intn(15), 1+r.Intn(15)
+		a := randomCOO(r, m, n, r.Intn(50)).ToCSC()
+		at := a.Transpose()
+		if at.M != n || at.N != m {
+			return false
+		}
+		for j := 0; j < n; j++ {
+			for i := 0; i < m; i++ {
+				if a.At(i, j) != at.At(j, i) {
+					return false
+				}
+			}
+		}
+		return at.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestColSlice(t *testing.T) {
+	a := RandomUniform(30, 12, 0.3, 2)
+	s := a.ColSlice(3, 8)
+	if s.M != 30 || s.N != 5 {
+		t.Fatalf("slice dims %dx%d", s.M, s.N)
+	}
+	for j := 0; j < 5; j++ {
+		for i := 0; i < 30; i++ {
+			if s.At(i, j) != a.At(i, j+3) {
+				t.Fatalf("slice (%d,%d) mismatch", i, j)
+			}
+		}
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulVecAgainstDense(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	a := RandomUniform(25, 10, 0.25, 3)
+	x := make([]float64, 10)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	y := make([]float64, 25)
+	a.MulVec(x, y)
+	ad := a.ToDense()
+	for i := 0; i < 25; i++ {
+		var want float64
+		for j := 0; j < 10; j++ {
+			want += ad.At(i, j) * x[j]
+		}
+		if math.Abs(y[i]-want) > 1e-12 {
+			t.Fatalf("MulVec[%d] = %g, want %g", i, y[i], want)
+		}
+	}
+}
+
+func TestMulVecTAgainstDense(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	a := RandomUniform(25, 10, 0.25, 5)
+	x := make([]float64, 25)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	y := make([]float64, 10)
+	a.MulVecT(x, y)
+	ad := a.ToDense()
+	for j := 0; j < 10; j++ {
+		var want float64
+		for i := 0; i < 25; i++ {
+			want += ad.At(i, j) * x[i]
+		}
+		if math.Abs(y[j]-want) > 1e-12 {
+			t.Fatalf("MulVecT[%d] = %g, want %g", j, y[j], want)
+		}
+	}
+}
+
+func TestCSRMulVec(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	a := RandomUniform(20, 15, 0.2, 7)
+	csr := a.ToCSR()
+	x := make([]float64, 15)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	y1 := make([]float64, 20)
+	y2 := make([]float64, 20)
+	a.MulVec(x, y1)
+	csr.MulVec(x, y2)
+	for i := range y1 {
+		if math.Abs(y1[i]-y2[i]) > 1e-12 {
+			t.Fatalf("CSR/CSC MulVec disagree at %d", i)
+		}
+	}
+}
+
+func TestColNorms(t *testing.T) {
+	c := NewCOO(3, 2, 3)
+	c.Append(0, 0, 3)
+	c.Append(1, 0, 4)
+	c.Append(2, 1, 7)
+	a := c.ToCSC()
+	norms := a.ColNorms()
+	if math.Abs(norms[0]-5) > 1e-14 || math.Abs(norms[1]-7) > 1e-14 {
+		t.Fatalf("ColNorms = %v", norms)
+	}
+}
+
+func TestBlockedCSRMatchesCSC(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, n := 1+r.Intn(30), 1+r.Intn(20)
+		bn := 1 + r.Intn(n)
+		a := randomCOO(r, m, n, r.Intn(80)).ToCSC()
+		b := NewBlockedCSR(a, bn)
+		if b.NNZ() != a.NNZ() {
+			return false
+		}
+		back := b.ToCSC()
+		for j := 0; j < n; j++ {
+			for i := 0; i < m; i++ {
+				if a.At(i, j) != back.At(i, j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlockedCSRParallelMatchesSequential(t *testing.T) {
+	a := RandomUniform(200, 90, 0.05, 11)
+	seq := NewBlockedCSR(a, 17)
+	par := NewBlockedCSRParallel(a, 17, 4)
+	if len(seq.Blocks) != len(par.Blocks) {
+		t.Fatalf("block count %d != %d", len(seq.Blocks), len(par.Blocks))
+	}
+	for k := range seq.Blocks {
+		s, p := seq.Blocks[k], par.Blocks[k]
+		if s.NNZ() != p.NNZ() {
+			t.Fatalf("block %d nnz %d != %d", k, s.NNZ(), p.NNZ())
+		}
+		for i := range s.Val {
+			if s.Val[i] != p.Val[i] || s.ColIdx[i] != p.ColIdx[i] {
+				t.Fatalf("block %d entry %d differs", k, i)
+			}
+		}
+	}
+}
+
+func TestBlockedCSRBlockInvariants(t *testing.T) {
+	a := RandomUniform(50, 33, 0.1, 13)
+	b := NewBlockedCSR(a, 10)
+	if b.NumBlocks() != 4 {
+		t.Fatalf("NumBlocks = %d, want 4", b.NumBlocks())
+	}
+	widthSum := 0
+	for k, blk := range b.Blocks {
+		if err := blk.Validate(); err != nil {
+			t.Fatalf("block %d invalid: %v", k, err)
+		}
+		if blk.M != 50 {
+			t.Fatalf("block %d has %d rows", k, blk.M)
+		}
+		widthSum += blk.N
+	}
+	if widthSum != 33 {
+		t.Fatalf("total width %d, want 33", widthSum)
+	}
+}
+
+func TestBlockedCSRAt(t *testing.T) {
+	a := RandomUniform(40, 25, 0.15, 17)
+	b := NewBlockedCSR(a, 7)
+	for j := 0; j < 25; j++ {
+		for i := 0; i < 40; i++ {
+			if a.At(i, j) != b.At(i, j) {
+				t.Fatalf("At(%d,%d) mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestCSRMulVecTAgainstCSC(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	a := RandomUniform(40, 25, 0.15, 31)
+	csr := a.ToCSR()
+	x := make([]float64, 40)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	y1 := make([]float64, 25)
+	y2 := make([]float64, 25)
+	a.MulVecT(x, y1)
+	csr.MulVecT(x, y2)
+	for i := range y1 {
+		if math.Abs(y1[i]-y2[i]) > 1e-12 {
+			t.Fatalf("CSR MulVecT disagrees at %d", i)
+		}
+	}
+}
+
+func TestDims(t *testing.T) {
+	a := RandomUniform(7, 4, 0.5, 1)
+	if m, n := a.Dims(); m != 7 || n != 4 {
+		t.Fatalf("CSC Dims = (%d,%d)", m, n)
+	}
+	if m, n := a.ToCSR().Dims(); m != 7 || n != 4 {
+		t.Fatalf("CSR Dims = (%d,%d)", m, n)
+	}
+}

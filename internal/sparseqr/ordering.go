@@ -1,0 +1,110 @@
+package sparseqr
+
+import (
+	"sort"
+
+	"sketchsp/internal/sparse"
+)
+
+// Column preordering. SuiteSparseQR runs COLAMD before factorizing; this
+// package provides two cheap analogues so the direct baseline is not
+// gratuitously handicapped on orderable problems. For the row-merge Givens
+// factorization, fill in R tracks how far apart a row's column indices are
+// after permutation, so orderings that cluster columns with overlapping row
+// support reduce both R fill and the rotation count.
+
+// Ordering selects a column preordering strategy.
+type Ordering int
+
+const (
+	// OrderNatural keeps the input ordering.
+	OrderNatural Ordering = iota
+	// OrderMeanRow sorts columns by the mean row index of their support —
+	// a bandwidth-reduction heuristic that works well on interval-like
+	// structures (the rail matrices).
+	OrderMeanRow
+	// OrderDegree sorts columns by ascending nonzero count, a
+	// minimum-degree flavoured heuristic.
+	OrderDegree
+)
+
+// ColumnOrdering returns perm where perm[k] is the original index of the
+// column placed at position k.
+func ColumnOrdering(a *sparse.CSC, ord Ordering) []int {
+	perm := make([]int, a.N)
+	for j := range perm {
+		perm[j] = j
+	}
+	switch ord {
+	case OrderMeanRow:
+		key := make([]float64, a.N)
+		for j := 0; j < a.N; j++ {
+			rows, _ := a.ColView(j)
+			if len(rows) == 0 {
+				key[j] = -1
+				continue
+			}
+			s := 0
+			for _, r := range rows {
+				s += r
+			}
+			key[j] = float64(s) / float64(len(rows))
+		}
+		sort.SliceStable(perm, func(x, y int) bool { return key[perm[x]] < key[perm[y]] })
+	case OrderDegree:
+		sort.SliceStable(perm, func(x, y int) bool {
+			return a.ColPtr[perm[x]+1]-a.ColPtr[perm[x]] < a.ColPtr[perm[y]+1]-a.ColPtr[perm[y]]
+		})
+	}
+	return perm
+}
+
+// permuteColumns builds A·P for the given permutation (column k of the
+// result is column perm[k] of a).
+func permuteColumns(a *sparse.CSC, perm []int) *sparse.CSC {
+	colPtr := make([]int, a.N+1)
+	nnz := a.NNZ()
+	rowIdx := make([]int, 0, nnz)
+	val := make([]float64, 0, nnz)
+	for k, j := range perm {
+		rows, vals := a.ColView(j)
+		rowIdx = append(rowIdx, rows...)
+		val = append(val, vals...)
+		colPtr[k+1] = colPtr[k] + len(rows)
+	}
+	return &sparse.CSC{M: a.M, N: a.N, ColPtr: colPtr, RowIdx: rowIdx, Val: val}
+}
+
+// FactorizeOrdered permutes the columns of a with the chosen ordering,
+// factorizes, and returns a Factor whose Solve output is mapped back to the
+// original column order via the returned OrderedFactor.
+func FactorizeOrdered(a *sparse.CSC, b []float64, ord Ordering) (*OrderedFactor, error) {
+	perm := ColumnOrdering(a, ord)
+	ap := a
+	if ord != OrderNatural {
+		ap = permuteColumns(a, perm)
+	}
+	f, err := Factorize(ap, b)
+	if err != nil {
+		return nil, err
+	}
+	return &OrderedFactor{Factor: f, Perm: perm}, nil
+}
+
+// OrderedFactor wraps a Factor with its column permutation.
+type OrderedFactor struct {
+	*Factor
+	// Perm[k] is the original column index at permuted position k.
+	Perm []int
+}
+
+// Solve back-substitutes and un-permutes the solution into the original
+// column order.
+func (of *OrderedFactor) Solve() []float64 {
+	xp := of.Factor.Solve()
+	x := make([]float64, len(xp))
+	for k, j := range of.Perm {
+		x[j] = xp[k]
+	}
+	return x
+}

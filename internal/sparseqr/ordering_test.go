@@ -1,0 +1,91 @@
+package sparseqr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sketchsp/internal/sparse"
+)
+
+// shuffledIntervals builds a banded-ish matrix whose columns arrive in
+// random order — natural ordering then produces heavy fill, while OrderMeanRow
+// restores the band.
+func shuffledIntervals(seed int64, m, n int) *sparse.CSC {
+	base := sparse.Intervals(m, n, m/20, seed)
+	r := rand.New(rand.NewSource(seed + 1))
+	perm := r.Perm(n)
+	return permuteColumns(base, perm)
+}
+
+func TestOrderedSolveMatchesNatural(t *testing.T) {
+	a := shuffledIntervals(3, 600, 40)
+	b := randB(4, 600)
+	for _, ord := range []Ordering{OrderNatural, OrderMeanRow, OrderDegree} {
+		of, err := FactorizeOrdered(a, b, ord)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := of.Solve()
+		nat, err := Factorize(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := nat.Solve()
+		for i := range want {
+			if math.Abs(x[i]-want[i]) > 1e-8*math.Max(1, math.Abs(want[i])) {
+				t.Fatalf("ordering %d: x[%d] = %g, want %g", ord, i, x[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMeanRowOrderingReducesFill(t *testing.T) {
+	a := shuffledIntervals(7, 2000, 80)
+	b := make([]float64, 2000)
+	nat, err := FactorizeOrdered(a, b, OrderNatural)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ord, err := FactorizeOrdered(a, b, OrderMeanRow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	natMem := nat.Stats().MemoryBytes
+	ordMem := ord.Stats().MemoryBytes
+	if ordMem >= natMem {
+		t.Fatalf("mean-row ordering did not reduce factor memory: %d vs %d", ordMem, natMem)
+	}
+	t.Logf("factor memory: natural %d B, ordered %d B (%.1fx reduction)",
+		natMem, ordMem, float64(natMem)/float64(ordMem))
+}
+
+func TestColumnOrderingIsPermutation(t *testing.T) {
+	a := sparse.RandomUniform(60, 25, 0.1, 9)
+	for _, ord := range []Ordering{OrderNatural, OrderMeanRow, OrderDegree} {
+		perm := ColumnOrdering(a, ord)
+		seen := make([]bool, 25)
+		for _, j := range perm {
+			if j < 0 || j >= 25 || seen[j] {
+				t.Fatalf("ordering %d: invalid permutation %v", ord, perm)
+			}
+			seen[j] = true
+		}
+	}
+}
+
+func TestPermuteColumnsRoundTrip(t *testing.T) {
+	a := sparse.RandomUniform(30, 12, 0.25, 11)
+	perm := ColumnOrdering(a, OrderDegree)
+	ap := permuteColumns(a, perm)
+	if err := ap.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for k, j := range perm {
+		for i := 0; i < 30; i++ {
+			if ap.At(i, k) != a.At(i, j) {
+				t.Fatalf("permuted column %d != original %d at row %d", k, j, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,241 @@
+package sparseqr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sketchsp/internal/dense"
+	"sketchsp/internal/linalg"
+	"sketchsp/internal/sparse"
+)
+
+func randB(seed int64, m int) []float64 {
+	r := rand.New(rand.NewSource(seed))
+	b := make([]float64, m)
+	for i := range b {
+		b[i] = r.NormFloat64()
+	}
+	return b
+}
+
+func TestFactorizeSolveMatchesDenseQR(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		m, n := 30+r.Intn(60), 3+r.Intn(10)
+		a := sparse.RandomUniform(m, n, 0.2, seed)
+		// Guard against structurally rank-deficient trials: require every
+		// column to be nonempty.
+		ok := true
+		for j := 0; j < n; j++ {
+			if a.ColPtr[j+1] == a.ColPtr[j] {
+				ok = false
+			}
+		}
+		if !ok {
+			continue
+		}
+		b := randB(seed+50, m)
+		f, err := Factorize(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := f.Solve()
+		want := linalg.NewQR(a.ToDense()).Solve(b)
+		for i := range want {
+			if math.Abs(x[i]-want[i]) > 1e-8*math.Max(1, math.Abs(want[i])) {
+				t.Fatalf("seed %d: x[%d] = %g, dense QR says %g", seed, i, x[i], want[i])
+			}
+		}
+	}
+}
+
+func TestFactorizeConsistentExact(t *testing.T) {
+	a := sparse.RandomUniform(100, 12, 0.25, 3)
+	r := rand.New(rand.NewSource(4))
+	xTrue := make([]float64, 12)
+	for i := range xTrue {
+		xTrue[i] = r.NormFloat64()
+	}
+	b := make([]float64, 100)
+	a.MulVec(xTrue, b)
+	f, err := Factorize(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := f.Solve()
+	for i := range x {
+		if math.Abs(x[i]-xTrue[i]) > 1e-10 {
+			t.Fatalf("x[%d] = %g, want %g", i, x[i], xTrue[i])
+		}
+	}
+}
+
+func TestRPreservesNormalEquations(t *testing.T) {
+	// RᵀR must equal AᵀA (Q orthogonal): verify on a small case.
+	a := sparse.RandomUniform(40, 6, 0.3, 5)
+	f, err := Factorize(a, make([]float64, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build dense R.
+	rd := dense.NewMatrix(6, 6)
+	for k := 0; k < 6; k++ {
+		if f.rrows[k] == nil {
+			continue
+		}
+		for t2 := 0; t2 < f.rrows[k].nnz(); t2++ {
+			rd.Set(k, f.rrows[k].cols[t2], f.rrows[k].vals[t2])
+		}
+	}
+	rtr := dense.NewMatrix(6, 6)
+	dense.GemmTN(1, rd, rd, 0, rtr)
+	ad := a.ToDense()
+	ata := dense.NewMatrix(6, 6)
+	dense.GemmTN(1, ad, ad, 0, ata)
+	if rtr.MaxAbsDiff(ata) > 1e-10*math.Max(1, ata.FrobeniusNorm()) {
+		t.Fatalf("RᵀR ≠ AᵀA, diff %g", rtr.MaxAbsDiff(ata))
+	}
+}
+
+func TestApplyQTMatchesFactorizationRHS(t *testing.T) {
+	a := sparse.RandomUniform(60, 8, 0.25, 7)
+	b := randB(8, 60)
+	f, err := Factorize(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qtb, err := f.ApplyQT(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 8; k++ {
+		if math.Abs(qtb[k]-f.qtb[k]) > 1e-12*math.Max(1, math.Abs(f.qtb[k])) {
+			t.Fatalf("replayed Qᵀb[%d] = %g, factorization kept %g", k, qtb[k], f.qtb[k])
+		}
+	}
+}
+
+func TestApplyQTOrthogonality(t *testing.T) {
+	// ‖Qᵀv‖ over the full space equals ‖v‖; our ApplyQT returns only the
+	// leading-n part, so check that solving with a replayed RHS matches
+	// solving directly.
+	a := sparse.RandomUniform(50, 7, 0.3, 9)
+	b := randB(10, 50)
+	f, err := Factorize(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2 := randB(11, 50)
+	qtb2, err := f.ApplyQT(b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare x from (R, qtb2) against dense QR solve of (A, b2).
+	saveQtb := append([]float64(nil), f.qtb...)
+	copy(f.qtb, qtb2)
+	x := f.Solve()
+	copy(f.qtb, saveQtb)
+	want := linalg.NewQR(a.ToDense()).Solve(b2)
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-8*math.Max(1, math.Abs(want[i])) {
+			t.Fatalf("second-RHS solve x[%d] = %g, want %g", i, x[i], want[i])
+		}
+	}
+}
+
+func TestRankDeficientSafeties(t *testing.T) {
+	// Column 2 empty; column 1 duplicate of column 0.
+	coo := sparse.NewCOO(10, 3, 0)
+	for i := 0; i < 10; i++ {
+		coo.Append(i, 0, float64(i+1))
+		coo.Append(i, 1, float64(i+1))
+	}
+	a := coo.ToCSC()
+	f, err := Factorize(a, randB(12, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := f.Solve()
+	for i, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("x[%d] = %g on rank-deficient input", i, v)
+		}
+	}
+	if x[2] != 0 {
+		t.Fatalf("empty column got x = %g, want 0", x[2])
+	}
+}
+
+func TestEmptyRowsSkipped(t *testing.T) {
+	coo := sparse.NewCOO(20, 3, 0)
+	coo.Append(3, 0, 1)
+	coo.Append(7, 1, 2)
+	coo.Append(11, 2, 3)
+	a := coo.ToCSC()
+	b := make([]float64, 20)
+	b[3], b[7], b[11] = 2, 4, 9
+	f, err := Factorize(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := f.Solve()
+	want := []float64{2, 2, 3}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-12 {
+			t.Fatalf("x = %v, want %v", x, want)
+		}
+	}
+}
+
+func TestStatsTracking(t *testing.T) {
+	a := sparse.RandomUniform(200, 25, 0.15, 13)
+	f, err := Factorize(a, make([]float64, 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := f.Stats()
+	if st.RNNZ == 0 || st.PeakRNNZ < st.RNNZ {
+		t.Fatalf("implausible nnz stats: %+v", st)
+	}
+	if st.Rotations == 0 {
+		t.Fatal("no rotations recorded on a 200-row problem")
+	}
+	if st.MemoryBytes < st.PeakRNNZ*16 {
+		t.Fatalf("memory below R storage: %+v", st)
+	}
+}
+
+// Fill-in blow-up, the Table XI phenomenon: a matrix with a dense last row
+// pattern union forces R to fill far beyond nnz(A)/columns.
+func TestFillInGrowth(t *testing.T) {
+	// Arrow-ish pattern: column 0 dense, diagonal otherwise — classic
+	// fill-generating structure when rows arrive in bad order.
+	n := 40
+	coo := sparse.NewCOO(200, n, 0)
+	r := rand.New(rand.NewSource(21))
+	for i := 0; i < 200; i++ {
+		coo.Append(i, 0, r.NormFloat64())             // dense first column
+		coo.Append(i, 1+r.Intn(n-1), r.NormFloat64()) // scattered
+		coo.Append(i, 1+r.Intn(n-1), r.NormFloat64())
+	}
+	a := coo.ToCSC()
+	f, err := Factorize(a, make([]float64, 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := f.Stats()
+	// The factor memory must dwarf the n×n dense-upper bound's
+	// row-count… at minimum, Q's rotation log must dominate mem(A).
+	if st.MemoryBytes < a.MemoryBytes() {
+		t.Fatalf("direct factor memory %d did not exceed mem(A) %d on a fill-heavy pattern",
+			st.MemoryBytes, a.MemoryBytes())
+	}
+}
+
+func TestFactorizeDimensionError(t *testing.T) {
+	a := sparse.RandomUniform(10, 3, 0.4, 1)
+	if _, err := Factorize(a, make([]float64, 4)); err == nil {
+		t.Fatal("expected length error")
+	}
+}

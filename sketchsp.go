@@ -1,0 +1,232 @@
+// Package sketchsp is a Go implementation of "Fast multiplication of random
+// dense matrices with sparse matrices" (Liang, Murray, Buluç, Demmel — IPPS
+// 2024): sketching Â = S·A where A is a tall sparse matrix and S is a random
+// dense matrix whose entries are regenerated on the fly inside blocked
+// kernels instead of being stored, trading memory traffic for cheap,
+// reproducible computation.
+//
+// The package exposes three layers:
+//
+//   - Sketching: Sketch / NewSketcher compute Â = S·A with Algorithm 3
+//     (kji over CSC) or Algorithm 4 (jki over blocked CSR), sequentially or
+//     in parallel, for uniform (-1,1), ±1 (Rademacher), Gaussian or
+//     integer-scaled entries of S.
+//
+//   - Least squares: SolveLeastSquares runs the paper's sketch-and-
+//     precondition solver (SAP-QR / SAP-SVD) and its baselines (LSQR-D and
+//     a direct sparse QR).
+//
+//   - Matrices: COO/CSC/CSR construction, MatrixMarket I/O, and the
+//     synthetic generators used by the reproduction benchmarks.
+//
+// Quick start:
+//
+//	a := sketchsp.RandomUniform(100000, 1000, 1e-3, 42) // sparse A
+//	ahat, stats, err := sketchsp.Sketch(a, 3*a.N, sketchsp.SketchOptions{
+//		Dist: sketchsp.Rademacher,
+//	})
+package sketchsp
+
+import (
+	"fmt"
+
+	"sketchsp/internal/core"
+	"sketchsp/internal/dense"
+	"sketchsp/internal/rng"
+	"sketchsp/internal/solver"
+	"sketchsp/internal/sparse"
+)
+
+// Matrix types re-exported from the internal substrate. The aliases make
+// the internal implementations part of the public API surface.
+type (
+	// Matrix is a column-major dense matrix (the type of sketches Â).
+	Matrix = dense.Matrix
+	// COO is a coordinate-format construction buffer for sparse matrices.
+	COO = sparse.COO
+	// CSC is a compressed-sparse-column matrix, the input format of the
+	// sketching kernels.
+	CSC = sparse.CSC
+	// CSR is a compressed-sparse-row matrix.
+	CSR = sparse.CSR
+	// BlockedCSR is Algorithm 4's vertically blocked CSR structure.
+	BlockedCSR = sparse.BlockedCSR
+)
+
+// Sketching configuration re-exports.
+type (
+	// SketchOptions configures a Sketcher (algorithm, distribution,
+	// block sizes, seed, parallelism).
+	SketchOptions = core.Options
+	// SketchStats reports what a sketch invocation did.
+	SketchStats = core.Stats
+	// Sketcher computes Â = S·A for a fixed sketch size and options.
+	Sketcher = core.Sketcher
+	// Algorithm selects the compute kernel (Alg3 or Alg4).
+	Algorithm = core.Algorithm
+	// Distribution selects the distribution of S's entries.
+	Distribution = rng.Distribution
+	// SourceKind selects the RNG engine.
+	SourceKind = rng.SourceKind
+)
+
+// Compute-kernel choices (see the package comment and DESIGN.md).
+const (
+	// Alg3 is the kji kernel over CSC: pattern-oblivious, strided access,
+	// d·nnz(A) samples. The default.
+	Alg3 = core.Alg3
+	// Alg4 is the jki kernel over blocked CSR: reuses generated columns
+	// of S across sparse rows, fewer samples, pattern-sensitive access.
+	Alg4 = core.Alg4
+	// AlgAuto inspects the matrix and picks the cheaper kernel under the
+	// §III-B cost model (set SketchOptions.RNGCost to this host's measured
+	// h for a better-informed choice).
+	AlgAuto = core.AlgAuto
+)
+
+// Distributions for the entries of S.
+const (
+	// Uniform11 draws iid uniform (-1, 1) entries (default).
+	Uniform11 = rng.Uniform11
+	// Rademacher draws iid ±1 entries (cheapest).
+	Rademacher = rng.Rademacher
+	// Gaussian draws iid N(0,1) entries (expensive; mostly for
+	// comparison, per the paper's Figure 4).
+	Gaussian = rng.Gaussian
+	// ScaledInt uses the integer scaling trick: S holds raw int32 values
+	// and A is pre-scaled by 2⁻³¹.
+	ScaledInt = rng.ScaledInt
+)
+
+// RNG engines.
+const (
+	// SourceBatchXoshiro is the 4-lane xoshiro256++ (default, fastest;
+	// reproducible for a fixed blocking).
+	SourceBatchXoshiro = rng.SourceBatchXoshiro
+	// SourceScalarXoshiro is single-lane xoshiro256++.
+	SourceScalarXoshiro = rng.SourceScalarXoshiro
+	// SourcePhilox is the Philox4x32-10 counter-based RNG: slower, but
+	// the sketch is identical for every blocking and thread count.
+	SourcePhilox = rng.SourcePhilox
+)
+
+// NewSketcher returns a Sketcher producing d-row sketches Â = S·A.
+func NewSketcher(d int, opts SketchOptions) (*Sketcher, error) {
+	return core.NewSketcher(d, opts)
+}
+
+// Sketch computes Â = S·A with a freshly configured sketcher; d is the
+// number of rows of S (typically γ·n for a small constant γ).
+func Sketch(a *CSC, d int, opts SketchOptions) (*Matrix, SketchStats, error) {
+	sk, err := core.NewSketcher(d, opts)
+	if err != nil {
+		return nil, SketchStats{}, err
+	}
+	ahat, st := sk.Sketch(a)
+	return ahat, st, nil
+}
+
+// Least-squares solver re-exports.
+type (
+	// SolveOptions configures SolveLeastSquares.
+	SolveOptions = solver.Options
+	// SolveInfo reports timing, iterations and workspace of a solve.
+	SolveInfo = solver.Info
+	// Method selects the least-squares algorithm.
+	Method = solver.Method
+)
+
+// Least-squares methods.
+const (
+	// SAPQR is sketch-and-precondition with a QR-based preconditioner.
+	SAPQR = solver.MethodSAPQR
+	// SAPSVD is sketch-and-precondition with an SVD-based preconditioner
+	// (for problems with singular values near zero).
+	SAPSVD = solver.MethodSAPSVD
+	// LSQRD is LSQR with a diagonal column-equilibration preconditioner.
+	LSQRD = solver.MethodLSQRD
+	// Direct is the sparse-QR direct solver.
+	Direct = solver.MethodDirect
+)
+
+// SolveLeastSquares solves min ‖A·x − b‖₂ with the chosen method.
+func SolveLeastSquares(method Method, a *CSC, b []float64, opts SolveOptions) ([]float64, SolveInfo, error) {
+	return solver.Solve(method, a, b, opts)
+}
+
+// SolveMinNorm solves the underdetermined problem min ‖x‖₂ subject to
+// A·x = b for a wide, full-row-rank A, by sketching Aᵀ and running LSQR on
+// the left-preconditioned consistent system (the paper's footnote-2
+// extension).
+func SolveMinNorm(a *CSC, b []float64, opts SolveOptions) ([]float64, SolveInfo, error) {
+	return solver.SolveMinNorm(a, b, opts)
+}
+
+// RSVDResult is a rank-k approximation A ≈ U·diag(Sigma)·Vᵀ from RandSVD.
+type RSVDResult = solver.RSVDResult
+
+// RandSVD computes a rank-k randomized SVD of a sparse matrix with the
+// on-the-fly sketching engine as the range finder (the n×(k+p) random test
+// matrix is never materialised). powerIters adds subspace iterations for
+// slowly decaying spectra; oversample ≤ 0 selects 8.
+func RandSVD(a *CSC, rank, oversample, powerIters int, opts SketchOptions) (*RSVDResult, error) {
+	return solver.RandSVD(a, rank, oversample, powerIters, opts)
+}
+
+// LeverageScores estimates the row leverage scores of a tall sparse matrix
+// by sketch-whitening plus a Johnson–Lindenstrauss compression — the
+// pylspack-style statistic built on the same primitive. kJL ≤ 0 selects 64.
+func LeverageScores(a *CSC, kJL int, opts SolveOptions) ([]float64, error) {
+	return solver.LeverageScores(a, kJL, opts)
+}
+
+// LeastSquaresError is the paper's backward-error metric
+// ‖Aᵀ(Ax − b)‖₂ / (‖A‖_F·‖Ax − b‖₂) for a candidate solution.
+func LeastSquaresError(a *CSC, x, b []float64) float64 {
+	return solver.ErrorMetric(a, x, b)
+}
+
+// Sparse-matrix constructors and I/O re-exports.
+
+// NewCOO creates an empty m×n coordinate-format buffer.
+func NewCOO(m, n, nnzHint int) *COO { return sparse.NewCOO(m, n, nnzHint) }
+
+// NewCSC builds a CSC matrix from raw compressed arrays, validating the
+// structural invariants.
+func NewCSC(m, n int, colPtr, rowIdx []int, val []float64) (*CSC, error) {
+	return sparse.NewCSC(m, n, colPtr, rowIdx, val)
+}
+
+// NewDense allocates a zeroed r×c column-major dense matrix.
+func NewDense(r, c int) *Matrix { return dense.NewMatrix(r, c) }
+
+// RandomUniform generates a sparse matrix with iid-uniform pattern at the
+// given density, values uniform in (-1, 1).
+func RandomUniform(m, n int, density float64, seed int64) *CSC {
+	return sparse.RandomUniform(m, n, density, seed)
+}
+
+// ReadMatrixMarketFile parses a MatrixMarket coordinate file.
+func ReadMatrixMarketFile(path string) (*CSC, error) {
+	return sparse.ReadMatrixMarketFile(path)
+}
+
+// WriteMatrixMarketFile writes a CSC matrix in coordinate format.
+func WriteMatrixMarketFile(path string, a *CSC) error {
+	return sparse.WriteMatrixMarketFile(path, a)
+}
+
+// EffectiveDistortion estimates the sketching distortion of S for range(A):
+// it sketches with the given options, whitens the sketch against a QR
+// factorization of A, and returns (σmax−σmin)/(σmax+σmin) of the whitened
+// operator — the smallest D with σ(S·Q) ⊆ c·[1−D, 1+D] under the optimal
+// rescaling c.
+// For a γ·n sketch of Gaussian type this converges to 1/√γ (§V); it is the
+// quality measure used to check that cheap distributions still give usable
+// sketches.
+func EffectiveDistortion(a *CSC, d int, opts SketchOptions) (float64, error) {
+	if d <= a.N {
+		return 0, fmt.Errorf("sketchsp: distortion needs d > n (got d=%d, n=%d)", d, a.N)
+	}
+	return solver.Distortion(a, d, opts)
+}

@@ -1,0 +1,186 @@
+package sketchsp_test
+
+import (
+	"math"
+	"testing"
+
+	"sketchsp"
+)
+
+func TestSketchPublicAPI(t *testing.T) {
+	a := sketchsp.RandomUniform(2000, 100, 0.02, 42)
+	d := 3 * a.N
+	ahat, stats, err := sketchsp.Sketch(a, d, sketchsp.SketchOptions{
+		Dist: sketchsp.Rademacher,
+		Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ahat.Rows != d || ahat.Cols != a.N {
+		t.Fatalf("sketch is %dx%d, want %dx%d", ahat.Rows, ahat.Cols, d, a.N)
+	}
+	if stats.Flops != 2*int64(d)*int64(a.NNZ()) {
+		t.Fatalf("flops %d", stats.Flops)
+	}
+	if stats.Samples == 0 {
+		t.Fatal("no samples generated")
+	}
+}
+
+func TestSketchInvalidD(t *testing.T) {
+	a := sketchsp.RandomUniform(10, 5, 0.3, 1)
+	if _, _, err := sketchsp.Sketch(a, 0, sketchsp.SketchOptions{}); err == nil {
+		t.Fatal("d=0 accepted")
+	}
+}
+
+func TestSketcherAlgorithmsAgreePublic(t *testing.T) {
+	a := sketchsp.RandomUniform(500, 60, 0.05, 7)
+	d := 2 * a.N
+	a3, _, err := sketchsp.Sketch(a, d, sketchsp.SketchOptions{Algorithm: sketchsp.Alg3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a4, _, err := sketchsp.Sketch(a, d, sketchsp.SketchOptions{Algorithm: sketchsp.Alg4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a3.MaxAbsDiff(a4) != 0 {
+		t.Fatal("Alg3 and Alg4 sketches differ through the public API")
+	}
+}
+
+func TestSolveLeastSquaresPublicAPI(t *testing.T) {
+	a := sketchsp.RandomUniform(1000, 30, 0.1, 9)
+	xTrue := make([]float64, 30)
+	for i := range xTrue {
+		xTrue[i] = float64(i%5) - 2
+	}
+	// b = A·x + noise, as in the paper: with a genuinely nonzero residual
+	// the backward-error metric is meaningful.
+	b := make([]float64, 1000)
+	a.MulVec(xTrue, b)
+	for i := range b {
+		b[i] += math.Sin(float64(i) * 0.7) // deterministic "noise"
+	}
+	var ref []float64
+	for _, m := range []sketchsp.Method{sketchsp.SAPQR, sketchsp.SAPSVD, sketchsp.LSQRD, sketchsp.Direct} {
+		x, info, err := sketchsp.SolveLeastSquares(m, a, b, sketchsp.SolveOptions{})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if !info.Converged {
+			t.Fatalf("%v did not converge", m)
+		}
+		if e := sketchsp.LeastSquaresError(a, x, b); e > 1e-10 {
+			t.Fatalf("%v: error metric %g", m, e)
+		}
+		if ref == nil {
+			ref = x
+			continue
+		}
+		for i := range ref {
+			if math.Abs(x[i]-ref[i]) > 1e-7*math.Max(1, math.Abs(ref[i])) {
+				t.Fatalf("%v: x[%d] = %g, first method says %g", m, i, x[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestCOOConstructionPublicAPI(t *testing.T) {
+	coo := sketchsp.NewCOO(3, 2, 2)
+	coo.Append(0, 0, 1.5)
+	coo.Append(2, 1, -2)
+	a := coo.ToCSC()
+	if a.At(0, 0) != 1.5 || a.At(2, 1) != -2 {
+		t.Fatal("COO→CSC round trip broken through facade")
+	}
+}
+
+func TestNewCSCValidationPublicAPI(t *testing.T) {
+	if _, err := sketchsp.NewCSC(2, 2, []int{0, 1}, []int{0}, []float64{1}); err == nil {
+		t.Fatal("short ColPtr accepted")
+	}
+	a, err := sketchsp.NewCSC(2, 2, []int{0, 1, 2}, []int{0, 1}, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NNZ() != 2 {
+		t.Fatal("valid CSC rejected")
+	}
+}
+
+func TestMatrixMarketPublicAPI(t *testing.T) {
+	a := sketchsp.RandomUniform(20, 10, 0.2, 3)
+	path := t.TempDir() + "/a.mtx"
+	if err := sketchsp.WriteMatrixMarketFile(path, a); err != nil {
+		t.Fatal(err)
+	}
+	back, err := sketchsp.ReadMatrixMarketFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NNZ() != a.NNZ() {
+		t.Fatal("round trip lost entries")
+	}
+}
+
+// The γ = 3 effective-distortion story: distortion should be near 1/√3 ≈
+// 0.58 for a uniform sketch and must certify the sketch usable (< 1).
+func TestEffectiveDistortion(t *testing.T) {
+	a := sketchsp.RandomUniform(800, 40, 0.1, 11)
+	for _, dist := range []sketchsp.Distribution{sketchsp.Uniform11, sketchsp.Rademacher} {
+		dd, err := sketchsp.EffectiveDistortion(a, 3*a.N, sketchsp.SketchOptions{Dist: dist, Seed: 2})
+		if err != nil {
+			t.Fatalf("%v: %v", dist, err)
+		}
+		if dd <= 0 || dd >= 1 {
+			t.Fatalf("%v: distortion %g outside (0,1)", dist, dd)
+		}
+		if math.Abs(dd-1/math.Sqrt(3)) > 0.35 {
+			t.Fatalf("%v: distortion %g far from 1/√3", dist, dd)
+		}
+	}
+	if _, err := sketchsp.EffectiveDistortion(a, a.N, sketchsp.SketchOptions{}); err == nil {
+		t.Fatal("d ≤ n accepted for distortion")
+	}
+}
+
+func TestRandSVDPublicAPI(t *testing.T) {
+	a := sketchsp.RandomUniform(300, 40, 0.1, 21)
+	res, err := sketchsp.RandSVD(a, 5, 5, 1, sketchsp.SketchOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.U.Rows != 300 || res.U.Cols != 5 || res.V.Rows != 40 || len(res.Sigma) != 5 {
+		t.Fatalf("factor shapes: U %dx%d V %dx%d sigma %d",
+			res.U.Rows, res.U.Cols, res.V.Rows, res.V.Cols, len(res.Sigma))
+	}
+	for i := 1; i < 5; i++ {
+		if res.Sigma[i] > res.Sigma[i-1] {
+			t.Fatal("sigma not sorted")
+		}
+	}
+}
+
+func TestLeverageScoresPublicAPI(t *testing.T) {
+	a := sketchsp.RandomUniform(500, 25, 0.15, 22)
+	scores, err := sketchsp.LeverageScores(a, 64, sketchsp.SolveOptions{Gamma: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 500 {
+		t.Fatalf("got %d scores", len(scores))
+	}
+	var sum float64
+	for _, s := range scores {
+		if s < 0 {
+			t.Fatal("negative leverage score")
+		}
+		sum += s
+	}
+	if sum < 25.0/3 || sum > 25*3 {
+		t.Fatalf("Σℓ = %g, want ≈ 25", sum)
+	}
+}
