@@ -1,0 +1,26 @@
+# Build/test entry points for the sketchsp reproduction. `make ci` is the
+# PR gate: vet, the tier-1 suite, and a race-detector pass over the
+# packages that exercise the persistent worker pool.
+
+GO ?= go
+
+.PHONY: ci build test vet race bench
+
+ci: vet test race
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The planner/executor worker pool and the solvers that reuse plans are the
+# concurrency-sensitive surface; race-check them on every PR.
+race:
+	$(GO) test -race ./internal/core/... ./internal/solver/...
+
+bench:
+	$(GO) test -bench . -benchtime 1x ./...

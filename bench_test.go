@@ -513,3 +513,48 @@ func BenchmarkApplications(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkPlanReuse demonstrates the planner/executor win: steady-state
+// Plan.Execute is allocation-free (0 allocs/op) and never re-pays the
+// CSC→BlockedCSR conversion, while the per-call Sketch path replans — and
+// reconverts, for Algorithm 4 — on every invocation.
+func BenchmarkPlanReuse(b *testing.B) {
+	a, d := benchMatrix(b)
+	configs := []struct {
+		name string
+		opts core.Options
+	}{
+		{"Alg3/seq", core.Options{Algorithm: core.Alg3, Seed: 1, Workers: 1}},
+		{"Alg4/seq", core.Options{Algorithm: core.Alg4, Seed: 1, Workers: 1}},
+		{"Alg4/workers4", core.Options{Algorithm: core.Alg4, Seed: 1, Workers: 4, BlockD: 450, BlockN: 150}},
+	}
+	for _, cfg := range configs {
+		cfg := cfg
+		b.Run("Execute/"+cfg.name, func(b *testing.B) {
+			p, err := core.NewPlan(a, d, cfg.opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer p.Close()
+			out := dense.NewMatrix(d, a.N)
+			if _, err := p.Execute(out); err != nil { // warm the worker pool
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Execute(out); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("SketchPerCall/"+cfg.name, func(b *testing.B) {
+			sk := newSketcher(b, d, cfg.opts)
+			out := dense.NewMatrix(d, a.N)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sk.SketchInto(out, a)
+			}
+		})
+	}
+}

@@ -118,7 +118,8 @@ func table2() {
 }
 
 // tableSampleBreakdown is Tables III and V: total vs sample time for both
-// algorithms under one blocking config.
+// algorithms under one blocking config. Times are steady-state executes of
+// a reused plan, so Alg4's conversion is excluded from both columns.
 func tableSampleBreakdown(id, bn int, label string) {
 	t := bench.NewTable(fmt.Sprintf("TABLE %s — sample vs total time, %s (b_n=%d, b_d=%d)",
 		roman(id), label, bn, core.DefaultBlockD),
@@ -129,21 +130,11 @@ func tableSampleBreakdown(id, bn int, label string) {
 			name = "Algorithm 4"
 		}
 		for _, w := range workloads() {
-			sk := mustSketcher(w.D, core.Options{
+			tm := mustTime(w.A, w.D, core.Options{
 				Algorithm: alg, Seed: uint64(*seed), Workers: 1, Timed: true,
 				BlockD: core.DefaultBlockD, BlockN: bn,
 			})
-			ahat := dense.NewMatrix(w.D, w.A.N)
-			var best core.Stats
-			bestTotal := time.Duration(1<<63 - 1)
-			for i := 0; i < *trials; i++ {
-				st := sk.SketchInto(ahat, w.A)
-				if st.Total < bestTotal {
-					bestTotal = st.Total
-					best = st
-				}
-			}
-			t.AddRow(w.Name, name, best.Total, best.SampleTime)
+			t.AddRow(w.Name, name, tm.Stats.Total, tm.Stats.SampleTime)
 		}
 	}
 	emit(t)
@@ -166,13 +157,11 @@ func table4() {
 		s = nil
 		runtime.GC()
 
-		// Conversion cost, measured separately as in the paper.
-		tConv := bench.BestOf(*trials, func() {
-			sparse.NewBlockedCSR(w.A, core.DefaultBlockNAlg4)
-		})
-		t4u := timeSketchAlg4Compute(w, rng.Uniform11)
-		t4p := timeSketchAlg4Compute(w, rng.Rademacher)
-		t.AddRow(w.Name, tJulia, tEigen, t4u, t4p, tConv)
+		// Conversion cost falls out of the plan stats: it is charged once
+		// at plan time, exactly the quantity Table IV lists separately.
+		tm4u := mustTime(w.A, w.D, alg4Opts(rng.Uniform11))
+		tm4p := mustTime(w.A, w.D, alg4Opts(rng.Rademacher))
+		t.AddRow(w.Name, tJulia, tEigen, tm4u.Execute, tm4p.Execute, tm4u.Convert)
 	}
 	emit(t)
 }
@@ -185,11 +174,8 @@ func table6() {
 		t3 := timeSketch(w, core.Alg3, rng.Uniform11, core.DefaultBlockNAlg3)
 		t.AddRow(w.Name, "Algorithm 3", "N/A", t3)
 
-		tConv := bench.BestOf(*trials, func() {
-			sparse.NewBlockedCSR(w.A, core.DefaultBlockNAlg4)
-		})
-		t4 := timeSketchAlg4Compute(w, rng.Uniform11)
-		t.AddRow(w.Name, "Algorithm 4", tConv, t4)
+		tm4 := mustTime(w.A, w.D, alg4Opts(rng.Uniform11))
+		t.AddRow(w.Name, "Algorithm 4", tm4.Convert, tm4.Execute)
 	}
 	emit(t)
 	// The AlgAuto inspector's verdicts under this host's measured h
@@ -230,21 +216,11 @@ func table7() {
 		row := []interface{}{th}
 		for _, setup := range setups {
 			for _, alg := range []core.Algorithm{core.Alg4, core.Alg3} {
-				sk := mustSketcher(w.D, core.Options{
+				tm := mustTime(w.A, w.D, core.Options{
 					Algorithm: alg, Seed: uint64(*seed),
 					Workers: th, BlockD: setup.bd, BlockN: setup.bn,
 				})
-				ahat := dense.NewMatrix(w.D, w.A.N)
-				var best core.Stats
-				bestTotal := time.Duration(1<<63 - 1)
-				for i := 0; i < *trials; i++ {
-					st := sk.SketchInto(ahat, w.A)
-					if st.Total < bestTotal {
-						bestTotal = st.Total
-						best = st
-					}
-				}
-				row = append(row, best.Total, best.GFlops())
+				row = append(row, tm.Stats.Total, tm.Stats.GFlops())
 			}
 		}
 		// Column order per setup: Alg4 then Alg3, matching the paper.
@@ -360,47 +336,36 @@ func mustSketcher(d int, opts core.Options) *core.Sketcher {
 	return sk
 }
 
+// mustTime runs bench.TimeSketch (plan once, best-of executes) or exits.
+func mustTime(a *sparse.CSC, d int, opts core.Options) bench.SketchTiming {
+	tm, err := bench.TimeSketch(a, d, opts, *trials)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spmmbench:", err)
+		os.Exit(1)
+	}
+	return tm
+}
+
+// alg4Opts is the standard Table IV/VI Algorithm 4 configuration.
+func alg4Opts(dist rng.Distribution) core.Options {
+	return core.Options{
+		Algorithm: core.Alg4, Dist: dist, Seed: uint64(*seed), Workers: 1,
+		BlockD: core.DefaultBlockD, BlockN: core.DefaultBlockNAlg4,
+	}
+}
+
 func timeSketch(w bench.SpMMWorkload, alg core.Algorithm, dist rng.Distribution, bn int) time.Duration {
-	sk := mustSketcher(w.D, core.Options{
+	tm := mustTime(w.A, w.D, core.Options{
 		Algorithm: alg, Dist: dist, Seed: uint64(*seed), Workers: 1,
 		BlockD: core.DefaultBlockD, BlockN: bn,
 	})
-	ahat := dense.NewMatrix(w.D, w.A.N)
-	return bench.BestOf(*trials, func() { sk.SketchInto(ahat, w.A) })
+	return tm.Execute
 }
 
-// timeSketchAlg4Compute times Algorithm 4 and subtracts its conversion
-// phase, since Table IV lists conversion separately.
-func timeSketchAlg4Compute(w bench.SpMMWorkload, dist rng.Distribution) time.Duration {
-	sk := mustSketcher(w.D, core.Options{
-		Algorithm: core.Alg4, Dist: dist, Seed: uint64(*seed), Workers: 1,
-		BlockD: core.DefaultBlockD, BlockN: core.DefaultBlockNAlg4,
-	})
-	ahat := dense.NewMatrix(w.D, w.A.N)
-	best := time.Duration(1<<63 - 1)
-	for i := 0; i < *trials; i++ {
-		st := sk.SketchInto(ahat, w.A)
-		if v := st.Total - st.ConvertTime; v < best {
-			best = v
-		}
-	}
-	return best
-}
-
+// timeSketchD times an Algorithm 4 steady-state execute (the plan absorbs
+// the conversion, matching the figure's compute-only series).
 func timeSketchD(a *sparse.CSC, d int, dist rng.Distribution) time.Duration {
-	sk := mustSketcher(d, core.Options{
-		Algorithm: core.Alg4, Dist: dist, Seed: uint64(*seed), Workers: 1,
-		BlockD: core.DefaultBlockD, BlockN: core.DefaultBlockNAlg4,
-	})
-	ahat := dense.NewMatrix(d, a.N)
-	best := time.Duration(1<<63 - 1)
-	for i := 0; i < *trials; i++ {
-		st := sk.SketchInto(ahat, a)
-		if v := st.Total - st.ConvertTime; v < best {
-			best = v
-		}
-	}
-	return best
+	return mustTime(a, d, alg4Opts(dist)).Execute
 }
 
 func timePregen(a *sparse.CSC, d int) time.Duration {

@@ -2,10 +2,11 @@ package core
 
 import (
 	"sketchsp/internal/analysis"
+	"sketchsp/internal/rng"
 	"sketchsp/internal/sparse"
 )
 
-// AlgAuto asks the Sketcher to inspect the matrix and pick between Alg3 and
+// AlgAuto asks the planner to inspect the matrix and pick between Alg3 and
 // Alg4 with the §III-B cost model — a lightweight take on the
 // inspector-executor idea the paper cites from MKL's sparse library.
 const AlgAuto Algorithm = -1
@@ -22,26 +23,25 @@ const AlgAuto Algorithm = -1
 //     d1-entry column (d1/8 lines), which Algorithm 3's column-ordered walk
 //     avoids.
 //
-// h ≤ 0 selects 1 (pessimistic for recomputation); cacheBytes ≤ 0 selects
-// 32 MiB. The choice is a heuristic ranking, not a guarantee; Table VI's
-// lesson — Algorithm 3 for wildly varying patterns — corresponds to the
-// penalty term dominating.
+// h is the relative cost of one random sample versus one memory access for
+// the baseline uniform distribution; it is scaled by the configured
+// distribution's measured per-sample cost (rng.DistCost), so a fused-±1
+// Rademacher sketch is charged far less recomputation than a ziggurat
+// Gaussian one. h ≤ 0 selects 1 (pessimistic for recomputation);
+// cacheBytes ≤ 0 selects 32 MiB. The choice is a heuristic ranking, not a
+// guarantee; Table VI's lesson — Algorithm 3 for wildly varying patterns —
+// corresponds to the penalty term dominating.
 func ChooseAlgorithm(a *sparse.CSC, d int, opts Options, h float64, cacheBytes int64) Algorithm {
 	if h <= 0 {
 		h = 1
 	}
+	h *= rng.DistCost(opts.Dist)
 	if cacheBytes <= 0 {
 		cacheBytes = 32 << 20
 	}
-	sk := Sketcher{d: d, opts: opts}
-
-	sk.opts.Algorithm = Alg3
-	bd3, _ := sk.blockSizes(a.N)
-	sk.opts.Algorithm = Alg4
-	bd4, bn4 := sk.blockSizes(a.N)
+	bd4, bn4 := resolveBlockSizes(d, a.N, Alg4, opts.BlockD, opts.BlockN)
 
 	cost3 := h * float64(analysis.PredictAlg3Samples(a, d))
-	_ = bd3
 
 	samples4 := float64(analysis.PredictAlg4Samples(a, d, bn4))
 	slabs := (a.N + bn4 - 1) / bn4
@@ -56,15 +56,4 @@ func ChooseAlgorithm(a *sparse.CSC, d int, opts Options, h float64, cacheBytes i
 		return Alg4
 	}
 	return Alg3
-}
-
-// resolveAlgorithm maps AlgAuto to a concrete kernel at sketch time.
-func (sk *Sketcher) resolveAlgorithm(a *sparse.CSC) Algorithm {
-	if sk.opts.Algorithm != AlgAuto {
-		return sk.opts.Algorithm
-	}
-	h := sk.opts.RNGCost
-	return ChooseAlgorithm(a, sk.d, Options{
-		BlockD: sk.opts.BlockD, BlockN: sk.opts.BlockN,
-	}, h, 0)
 }

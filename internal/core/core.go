@@ -3,20 +3,22 @@
 // kernels (Algorithm 3 and Algorithm 4), in sequential and shared-memory
 // parallel form, together with the block-size heuristics of §III-A/§V-B.
 //
-// The central object is Sketcher, which computes Â = S·A for a CSC matrix A
-// without ever materialising the random d×m sketching matrix S: every
-// (block-row, sparse-row) pair (r, j) is an O(1) RNG checkpoint from which
-// the needed d₁ entries of S's column j are regenerated on demand.
+// The package is organised as a planner/executor split (plan.go): NewPlan
+// inspects (A, d, Options) once — resolving AlgAuto, fixing the blocking,
+// converting to BlockedCSR, pre-scaling A for the ScaledInt trick — and the
+// returned Plan executes repeated sketches allocation-free on a persistent
+// worker pool. Sketcher is the original one-shot surface, kept as a thin
+// wrapper that plans and executes per call: every (block-row, sparse-row)
+// pair (r, j) is an O(1) RNG checkpoint from which the needed d₁ entries of
+// S's column j are regenerated on demand, so Â = S·A is computed without
+// ever materialising the random d×m sketching matrix S.
 package core
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 	"time"
 
 	"sketchsp/internal/dense"
-	"sketchsp/internal/kernels"
 	"sketchsp/internal/rng"
 	"sketchsp/internal/sparse"
 )
@@ -50,9 +52,9 @@ func (a Algorithm) String() string {
 	}
 }
 
-// Options configures a Sketcher. The zero value gives the paper's defaults:
-// Algorithm 3, 4-lane xoshiro, uniform (-1,1) entries, auto block sizes,
-// sequential execution.
+// Options configures a Sketcher or Plan. The zero value gives the paper's
+// defaults: Algorithm 3, 4-lane xoshiro, uniform (-1,1) entries, auto block
+// sizes, sequential execution.
 type Options struct {
 	// Algorithm picks the compute kernel (default Alg3).
 	Algorithm Algorithm
@@ -79,11 +81,28 @@ type Options struct {
 	Timed bool
 	// RNGCost is the relative cost h of generating one random value,
 	// used only by AlgAuto's inspector (0 selects 1; measure the host's
-	// value with analysis.EstimateH).
+	// value with analysis.EstimateH). The inspector additionally scales
+	// h by the configured distribution's measured per-sample cost
+	// (rng.DistCost), so a ±1 sketch's recomputation is charged far less
+	// than a Gaussian one.
 	RNGCost float64
+	// TuneBlockN lets the planner choose b_n for Algorithm 4 with the
+	// §III-B sample-count model (analysis.TuneBlockN) instead of the
+	// static default. Only consulted when BlockN is 0; it adds an
+	// O(nnz·log n) inspection pass at plan time, amortised across
+	// executes. Tuning never changes the sketch values: b_n affects
+	// memory traffic, not RNG checkpoints.
+	TuneBlockN bool
 }
 
 // Stats reports what a sketch invocation did.
+//
+// Accounting split: the planner/executor surface charges one-time
+// inspection work (format conversion, pre-scaling, task construction) to
+// PlanStats at plan time, so Plan.Execute returns Stats with
+// ConvertTime == 0 and Total covering compute only. The one-shot
+// Sketcher/Sketch path plans internally on every call, so its Stats fold
+// that call's conversion into ConvertTime and Total as before.
 type Stats struct {
 	// Samples is the number of random values generated.
 	Samples int64
@@ -93,9 +112,13 @@ type Stats struct {
 	// (only populated when Options.Timed is set).
 	SampleTime time.Duration
 	// ConvertTime is the CSC→BlockedCSR conversion time (Alg4 only).
+	// It is paid once per plan: Plan.Execute always reports 0 here (see
+	// PlanStats.ConvertTime); the one-shot Sketcher path re-plans per
+	// call and reports that call's conversion.
 	ConvertTime time.Duration
-	// Total is the wall-clock time of the whole sketch, including
-	// conversion.
+	// Total is the wall-clock time of the invocation: plan + execute
+	// (including conversion) for the one-shot Sketcher path, execute
+	// only for Plan.Execute.
 	Total time.Duration
 }
 
@@ -107,9 +130,12 @@ func (s Stats) GFlops() float64 {
 	return float64(s.Flops) / s.Total.Seconds() / 1e9
 }
 
-// Sketcher computes Â = S·A for a fixed sketch size d and configuration.
-// A Sketcher is safe for concurrent use by multiple goroutines: all mutable
-// state lives in per-call worker contexts.
+// Sketcher computes Â = S·A for a fixed sketch size d and configuration —
+// the one-shot surface, implemented as a thin wrapper that builds a Plan
+// and executes it once per call. A Sketcher is safe for concurrent use by
+// multiple goroutines: all mutable state lives in the per-call plan.
+// Repeated-sketch consumers should hold a Plan instead (NewPlan) to
+// amortise the per-call setup this wrapper re-pays.
 type Sketcher struct {
 	d    int
 	opts Options
@@ -142,18 +168,19 @@ func (sk *Sketcher) D() int { return sk.d }
 // Options returns the sketcher's configuration.
 func (sk *Sketcher) Options() Options { return sk.opts }
 
-// blockSizes resolves the effective (b_d, b_n) for an n-column input.
-func (sk *Sketcher) blockSizes(n int) (bd, bn int) {
-	bd = sk.opts.BlockD
+// resolveBlockSizes resolves the effective (b_d, b_n) for an n-column input
+// under algorithm alg, from the requested (or 0 = default) sizes.
+func resolveBlockSizes(d, n int, alg Algorithm, optBD, optBN int) (bd, bn int) {
+	bd = optBD
 	if bd == 0 {
 		bd = DefaultBlockD
 	}
-	if bd > sk.d {
-		bd = sk.d
+	if bd > d {
+		bd = d
 	}
-	bn = sk.opts.BlockN
+	bn = optBN
 	if bn == 0 {
-		if sk.opts.Algorithm == Alg4 {
+		if alg == Alg4 {
 			bn = DefaultBlockNAlg4
 		} else {
 			bn = DefaultBlockNAlg3
@@ -168,11 +195,9 @@ func (sk *Sketcher) blockSizes(n int) (bd, bn int) {
 	return bd, bn
 }
 
-func (sk *Sketcher) workers() int {
-	if sk.opts.Workers == 0 {
-		return runtime.GOMAXPROCS(0)
-	}
-	return sk.opts.Workers
+// blockSizes resolves the effective (b_d, b_n) for an n-column input.
+func (sk *Sketcher) blockSizes(n int) (bd, bn int) {
+	return resolveBlockSizes(sk.d, n, sk.opts.Algorithm, sk.opts.BlockD, sk.opts.BlockN)
 }
 
 // Sketch allocates and returns Â = S·A (d×n, column-major).
@@ -183,33 +208,23 @@ func (sk *Sketcher) Sketch(a *sparse.CSC) (*dense.Matrix, Stats) {
 }
 
 // SketchInto computes Â = S·A into the caller's d×n matrix, overwriting it.
+// It plans and executes in one shot; the legacy panic-on-dimension-mismatch
+// contract is preserved here, while the Plan surface reports errors instead.
 func (sk *Sketcher) SketchInto(ahat *dense.Matrix, a *sparse.CSC) Stats {
-	if ahat.Rows != sk.d || ahat.Cols != a.N {
+	start := time.Now()
+	p, err := NewPlan(a, sk.d, sk.opts)
+	if err != nil {
+		panic("core: SketchInto: " + err.Error())
+	}
+	defer p.Close()
+	st, err := p.Execute(ahat)
+	if err != nil {
 		panic(fmt.Sprintf("core: SketchInto Â is %dx%d, want %dx%d",
 			ahat.Rows, ahat.Cols, sk.d, a.N))
 	}
-	start := time.Now()
-	ahat.Zero()
-
-	// The scaling trick stores S as raw int32 values; fold the 2⁻³¹
-	// factor into A once so the hot loop does no per-sample scaling
-	// (§III-C: computing (Sf)(A/f) with f = 1/maxint).
-	if sk.opts.Dist == rng.ScaledInt {
-		a = a.Clone()
-		a.Scale(rng.Scale31)
-	}
-
-	var st Stats
-	st.Flops = 2 * int64(sk.d) * int64(a.NNZ())
-	// Resolve AlgAuto before dispatch so the block-size defaults match
-	// the kernel that actually runs.
-	run := *sk
-	run.opts.Algorithm = sk.resolveAlgorithm(a)
-	if run.opts.Algorithm == Alg4 {
-		run.runAlg4(ahat, a, &st)
-	} else {
-		run.runAlg3(ahat, a, &st)
-	}
+	// One-shot accounting: this call paid for planning, so surface the
+	// conversion here and charge the full wall clock.
+	st.ConvertTime = p.Stats().ConvertTime
 	st.Total = time.Since(start)
 	return st
 }
@@ -241,84 +256,4 @@ func makeTasks(d, n, bd, bn int) []blockTask {
 		}
 	}
 	return tasks
-}
-
-func (sk *Sketcher) runAlg3(ahat *dense.Matrix, a *sparse.CSC, st *Stats) {
-	bd, bn := sk.blockSizes(a.N)
-	tasks := makeTasks(sk.d, a.N, bd, bn)
-	sk.forEachTask(tasks, bd, func(t blockTask, s *rng.Sampler, v []float64, sampleTime *time.Duration) int64 {
-		sub := ahat.View(t.i0, t.j0, t.d1, t.n1)
-		slab := a.ColSlice(t.j0, t.j0+t.n1)
-		if sk.opts.Timed {
-			return kernels.Kernel3Timed(sub, slab, uint64(t.i0), s, v, sampleTime)
-		}
-		return kernels.Kernel3(sub, slab, uint64(t.i0), s, v)
-	}, st)
-}
-
-func (sk *Sketcher) runAlg4(ahat *dense.Matrix, a *sparse.CSC, st *Stats) {
-	bd, bn := sk.blockSizes(a.N)
-	tc := time.Now()
-	blocked := sparse.NewBlockedCSRParallel(a, bn, sk.workers())
-	st.ConvertTime = time.Since(tc)
-
-	tasks := makeTasks(sk.d, a.N, bd, bn)
-	sk.forEachTask(tasks, bd, func(t blockTask, s *rng.Sampler, v []float64, sampleTime *time.Duration) int64 {
-		sub := ahat.View(t.i0, t.j0, t.d1, t.n1)
-		slab := blocked.Blocks[t.j0/bn]
-		if sk.opts.Timed {
-			return kernels.Kernel4Timed(sub, slab, uint64(t.i0), s, v, sampleTime)
-		}
-		return kernels.Kernel4(sub, slab, uint64(t.i0), s, v)
-	}, st)
-}
-
-// forEachTask runs fn over every block task, sequentially or with a worker
-// pool. Each worker owns a private sampler and scratch vector; results are
-// reproducible regardless of scheduling because every kernel call
-// re-anchors the RNG at its own (block-row, sparse-row) checkpoints.
-func (sk *Sketcher) forEachTask(tasks []blockTask, scratch int,
-	fn func(t blockTask, s *rng.Sampler, v []float64, sampleTime *time.Duration) int64, st *Stats) {
-
-	w := sk.workers()
-	if w <= 1 || len(tasks) == 1 {
-		s := rng.NewSampler(rng.NewSource(sk.opts.Source, sk.opts.Seed), sk.opts.Dist)
-		v := make([]float64, scratch)
-		for _, t := range tasks {
-			st.Samples += fn(t, s, v, &st.SampleTime)
-		}
-		return
-	}
-
-	var (
-		wg      sync.WaitGroup
-		mu      sync.Mutex
-		samples int64
-		sampled time.Duration
-	)
-	work := make(chan blockTask)
-	for i := 0; i < w; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			s := rng.NewSampler(rng.NewSource(sk.opts.Source, sk.opts.Seed), sk.opts.Dist)
-			v := make([]float64, scratch)
-			var localSamples int64
-			var localSampled time.Duration
-			for t := range work {
-				localSamples += fn(t, s, v, &localSampled)
-			}
-			mu.Lock()
-			samples += localSamples
-			sampled += localSampled
-			mu.Unlock()
-		}()
-	}
-	for _, t := range tasks {
-		work <- t
-	}
-	close(work)
-	wg.Wait()
-	st.Samples += samples
-	st.SampleTime += sampled
 }

@@ -1,0 +1,327 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"sketchsp/internal/analysis"
+	"sketchsp/internal/dense"
+	"sketchsp/internal/kernels"
+	"sketchsp/internal/rng"
+	"sketchsp/internal/sparse"
+)
+
+// PlanStats reports what planning decided and what it cost. All one-time
+// inspector work — AlgAuto resolution, block-size choice, task-list
+// construction, the CSC→BlockedCSR conversion, the ScaledInt pre-scale —
+// is charged here, never to Plan.Execute.
+type PlanStats struct {
+	// Algorithm is the concrete kernel the plan dispatches to (AlgAuto is
+	// resolved at plan time via the §III-B cost model).
+	Algorithm Algorithm
+	// BlockD and BlockN are the resolved block sizes (b_d, b_n).
+	BlockD, BlockN int
+	// Workers is the resolved worker count (clamped to the task count).
+	Workers int
+	// Tasks is the number of outer-block cells of Algorithm 1's blocking.
+	Tasks int
+	// TunedBlockN reports that BlockN came from the §III-B sample-count
+	// tuner (Options.TuneBlockN) rather than the static default.
+	TunedBlockN bool
+	// ConvertTime is the CSC→BlockedCSR conversion time (Alg4 only),
+	// charged exactly once per plan. Repeated Execute calls never re-pay
+	// it; Execute's Stats report ConvertTime == 0.
+	ConvertTime time.Duration
+	// PlanTime is the total planning wall clock, including ConvertTime.
+	PlanTime time.Duration
+}
+
+// workspace is the per-worker mutable state of a plan: a private sampler,
+// the d₁-length scratch vector the kernels overwrite with generated entries
+// of S, a reusable sub-view header for Â, and the per-round accumulators.
+// Pre-allocating these at plan time is what makes Execute allocation-free.
+type workspace struct {
+	s          *rng.Sampler
+	v          []float64
+	sub        dense.Matrix
+	samples    int64
+	sampleTime time.Duration
+}
+
+// planPool is a plan's persistent worker pool: goroutines started lazily on
+// the first parallel Execute and reused by every subsequent call until
+// Plan.Close.
+type planPool struct {
+	work chan blockTask
+	wg   sync.WaitGroup
+}
+
+// Plan is a reusable execution plan for Â = S·A — the inspector half of an
+// inspector–executor split. NewPlan inspects (A, d, Options) once: it
+// resolves AlgAuto with the §III-B cost model, fixes (b_d, b_n), builds the
+// outer-block task list, performs the CSC→BlockedCSR conversion (Alg4) and
+// the ScaledInt pre-scaled clone of A, and allocates per-worker samplers and
+// scratch. Execute then computes the sketch with zero steady-state
+// allocations, dispatching onto a persistent worker pool shared across
+// calls.
+//
+// A Plan pins the matrix it was built for: the caller must not mutate A
+// between Execute calls. Execute is safe for concurrent use (calls are
+// serialised internally; each one saturates the plan's workers anyway).
+// Close releases the worker pool; a Plan must not be copied.
+type Plan struct {
+	d    int
+	n    int // columns of A = columns of Â
+	opts Options
+	alg  Algorithm
+	bd   int
+	bn   int
+
+	flops   int64
+	a       *sparse.CSC        // Alg3 input (ScaledInt: pre-scaled clone)
+	slabs   []*sparse.CSC      // Alg3 column slabs, indexed by j0/bn
+	blocked *sparse.BlockedCSR // Alg4 structure, converted once
+	tasks   []blockTask
+	workers int
+	stats   PlanStats
+
+	mu      sync.Mutex // serialises Execute/Close
+	round   sync.WaitGroup
+	ws      []*workspace
+	pool    *planPool
+	curAhat *dense.Matrix
+	closed  bool
+}
+
+// NewPlan inspects (a, d, opts) and returns an executable plan. It performs
+// every per-matrix setup cost exactly once so that repeated Execute calls —
+// the SAP solver, RandSVD power schemes, serving workloads — run at
+// steady-state kernel speed.
+func NewPlan(a *sparse.CSC, d int, opts Options) (*Plan, error) {
+	if a == nil {
+		return nil, fmt.Errorf("core: NewPlan: nil input matrix")
+	}
+	if d <= 0 {
+		return nil, fmt.Errorf("core: sketch size d=%d must be positive", d)
+	}
+	if opts.BlockD < 0 || opts.BlockN < 0 || opts.Workers < 0 {
+		return nil, fmt.Errorf("core: negative option (BlockD=%d BlockN=%d Workers=%d)",
+			opts.BlockD, opts.BlockN, opts.Workers)
+	}
+	start := time.Now()
+	p := &Plan{d: d, n: a.N, opts: opts}
+
+	// Resolve AlgAuto once, at plan time (the inspector of §III-B).
+	alg := opts.Algorithm
+	if alg == AlgAuto {
+		alg = ChooseAlgorithm(a, d, opts, opts.RNGCost, 0)
+	}
+	p.alg = alg
+	p.opts.Algorithm = alg
+
+	bd, bn := resolveBlockSizes(d, a.N, alg, opts.BlockD, opts.BlockN)
+	if opts.TuneBlockN && opts.BlockN == 0 && alg == Alg4 && a.N > 0 {
+		// Feed the §III-B sample-count tuner into the block-size choice.
+		// b_n affects traffic only, never RNG checkpoints, so tuning
+		// cannot change the sketch values.
+		h := opts.RNGCost
+		if h <= 0 {
+			h = 1
+		}
+		h *= rng.DistCost(opts.Dist)
+		if ranked := analysis.TuneBlockN(a, d, h, nil); len(ranked) > 0 {
+			bn = ranked[0].BlockN
+			p.stats.TunedBlockN = true
+		}
+	}
+	p.bd, p.bn = bd, bn
+
+	// The scaling trick stores S as raw int32 values; fold the 2⁻³¹ factor
+	// into A once per plan so the hot loop does no per-sample scaling
+	// (§III-C: computing (Sf)(A/f) with f = 1/maxint).
+	src := a
+	if opts.Dist == rng.ScaledInt {
+		src = a.Clone()
+		src.Scale(rng.Scale31)
+	}
+	p.a = src
+	p.flops = 2 * int64(d) * int64(a.NNZ())
+	p.tasks = makeTasks(d, a.N, bd, bn)
+
+	w := opts.Workers
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > len(p.tasks) {
+		w = len(p.tasks)
+	}
+	if w < 1 {
+		w = 1
+	}
+	p.workers = w
+
+	nSlabs := 0
+	if bn > 0 {
+		nSlabs = (a.N + bn - 1) / bn
+	}
+	if alg == Alg4 {
+		tc := time.Now()
+		p.blocked = sparse.NewBlockedCSRParallel(src, bn, w)
+		p.stats.ConvertTime = time.Since(tc)
+	} else {
+		// Pre-slice the CSC column slabs so Execute never allocates the
+		// per-slab headers Kernel3 consumes.
+		p.slabs = make([]*sparse.CSC, nSlabs)
+		for k := 0; k < nSlabs; k++ {
+			j0 := k * bn
+			j1 := j0 + bn
+			if j1 > a.N {
+				j1 = a.N
+			}
+			p.slabs[k] = src.ColSlice(j0, j1)
+		}
+	}
+
+	p.ws = make([]*workspace, w)
+	for i := range p.ws {
+		p.ws[i] = &workspace{
+			s: rng.NewSampler(rng.NewSource(opts.Source, opts.Seed), opts.Dist),
+			v: make([]float64, bd),
+		}
+	}
+
+	p.stats.Algorithm = alg
+	p.stats.BlockD, p.stats.BlockN = bd, bn
+	p.stats.Workers = w
+	p.stats.Tasks = len(p.tasks)
+	p.stats.PlanTime = time.Since(start)
+	return p, nil
+}
+
+// D returns the sketch size (rows of Â).
+func (p *Plan) D() int { return p.d }
+
+// N returns the column count of the planned input (columns of Â).
+func (p *Plan) N() int { return p.n }
+
+// Options returns the plan's configuration with Algorithm resolved.
+func (p *Plan) Options() Options { return p.opts }
+
+// Stats returns what planning decided and cost. The one-time ConvertTime
+// lives here; Execute's per-call Stats never include it.
+func (p *Plan) Stats() PlanStats { return p.stats }
+
+// Execute computes Â = S·A into the caller's d×n matrix, overwriting it.
+// Steady-state calls are allocation-free: samplers, scratch vectors, the
+// task list, and the blocked sparse structure are all reused from the plan,
+// and the worker pool persists across calls (started lazily on the first
+// parallel Execute, shut down by Close). The result is bit-identical to the
+// one-shot Sketcher path under the same (seed, d, blocking), independent of
+// the worker count and of how many times the plan has been executed.
+func (p *Plan) Execute(ahat *dense.Matrix) (Stats, error) {
+	if ahat == nil {
+		return Stats{}, fmt.Errorf("core: Execute: nil output matrix")
+	}
+	if ahat.Rows != p.d || ahat.Cols != p.n {
+		return Stats{}, fmt.Errorf("core: Execute Â is %dx%d, want %dx%d",
+			ahat.Rows, ahat.Cols, p.d, p.n)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return Stats{}, fmt.Errorf("core: Execute on closed Plan")
+	}
+	start := time.Now()
+	ahat.Zero()
+	for _, ws := range p.ws {
+		ws.samples = 0
+		ws.sampleTime = 0
+	}
+	p.curAhat = ahat
+	if p.workers > 1 {
+		if p.pool == nil {
+			p.startPool()
+		}
+		p.round.Add(len(p.tasks))
+		for _, t := range p.tasks {
+			p.pool.work <- t
+		}
+		p.round.Wait()
+	} else {
+		ws := p.ws[0]
+		for _, t := range p.tasks {
+			p.runTask(t, ws)
+		}
+	}
+	p.curAhat = nil
+
+	st := Stats{Flops: p.flops}
+	for _, ws := range p.ws {
+		st.Samples += ws.samples
+		st.SampleTime += ws.sampleTime
+	}
+	st.Total = time.Since(start)
+	return st, nil
+}
+
+// Close shuts down the plan's persistent worker pool. It is idempotent;
+// Execute after Close returns an error. Sequential plans (Workers == 1)
+// hold no pool and Close is a no-op for them.
+func (p *Plan) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.closed = true
+	if p.pool != nil {
+		close(p.pool.work)
+		p.pool.wg.Wait()
+		p.pool = nil
+	}
+}
+
+// startPool launches the persistent workers. Worker i owns workspace i for
+// the lifetime of the pool; round state (curAhat, accumulator resets) is
+// published to workers by the happens-before edges of the task channel and
+// collected back through the round WaitGroup.
+func (p *Plan) startPool() {
+	p.pool = &planPool{work: make(chan blockTask)}
+	for i := 0; i < p.workers; i++ {
+		ws := p.ws[i]
+		p.pool.wg.Add(1)
+		go func() {
+			defer p.pool.wg.Done()
+			for t := range p.pool.work {
+				p.runTask(t, ws)
+				p.round.Done()
+			}
+		}()
+	}
+}
+
+// runTask executes one outer-block cell. Cells write disjoint regions of Â,
+// so tasks parallelise without synchronisation (§II-C); results are
+// reproducible regardless of scheduling because every kernel call re-anchors
+// the RNG at its own (block-row, sparse-row) checkpoints.
+func (p *Plan) runTask(t blockTask, ws *workspace) {
+	sub := &ws.sub
+	p.curAhat.ViewInto(sub, t.i0, t.j0, t.d1, t.n1)
+	if p.alg == Alg4 {
+		slab := p.blocked.Blocks[t.j0/p.bn]
+		if p.opts.Timed {
+			ws.samples += kernels.Kernel4Timed(sub, slab, uint64(t.i0), ws.s, ws.v, &ws.sampleTime)
+		} else {
+			ws.samples += kernels.Kernel4(sub, slab, uint64(t.i0), ws.s, ws.v)
+		}
+		return
+	}
+	slab := p.slabs[t.j0/p.bn]
+	if p.opts.Timed {
+		ws.samples += kernels.Kernel3Timed(sub, slab, uint64(t.i0), ws.s, ws.v, &ws.sampleTime)
+	} else {
+		ws.samples += kernels.Kernel3(sub, slab, uint64(t.i0), ws.s, ws.v)
+	}
+}

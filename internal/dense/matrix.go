@@ -67,6 +67,23 @@ func (m *Matrix) View(i0, j0, r, c int) *Matrix {
 	return &Matrix{Rows: r, Cols: c, Stride: m.Stride, Data: m.Data[off:end]}
 }
 
+// ViewInto writes the submatrix [i0:i0+r, j0:j0+c] of m into dst, sharing
+// storage with m. It is the allocation-free form of View: hot loops reuse
+// one Matrix header instead of heap-allocating a view per block.
+func (m *Matrix) ViewInto(dst *Matrix, i0, j0, r, c int) {
+	if i0 < 0 || j0 < 0 || r < 0 || c < 0 || i0+r > m.Rows || j0+c > m.Cols {
+		panic(fmt.Sprintf("dense: view [%d:%d, %d:%d] out of %dx%d", i0, i0+r, j0, j0+c, m.Rows, m.Cols))
+	}
+	dst.Rows, dst.Cols, dst.Stride = r, c, m.Stride
+	if r == 0 || c == 0 {
+		dst.Data = nil
+		return
+	}
+	off := j0*m.Stride + i0
+	end := (j0+c-1)*m.Stride + i0 + r
+	dst.Data = m.Data[off:end]
+}
+
 // Clone returns a deep copy of m with a tight stride.
 func (m *Matrix) Clone() *Matrix {
 	out := NewMatrix(m.Rows, m.Cols)

@@ -186,3 +186,47 @@ func TestCopyFrom(t *testing.T) {
 		t.Fatal("CopyFrom mismatch")
 	}
 }
+
+func TestViewIntoMatchesView(t *testing.T) {
+	m := NewMatrixFrom(4, 5, []float64{
+		1, 2, 3, 4, 5,
+		6, 7, 8, 9, 10,
+		11, 12, 13, 14, 15,
+		16, 17, 18, 19, 20,
+	})
+	var dst Matrix
+	for _, c := range [][4]int{{0, 0, 4, 5}, {1, 2, 2, 3}, {3, 4, 1, 1}, {2, 1, 0, 2}, {0, 3, 3, 0}} {
+		want := m.View(c[0], c[1], c[2], c[3])
+		m.ViewInto(&dst, c[0], c[1], c[2], c[3])
+		if dst.Rows != want.Rows || dst.Cols != want.Cols || dst.Stride != want.Stride {
+			t.Fatalf("ViewInto%v header = %dx%d/%d, want %dx%d/%d",
+				c, dst.Rows, dst.Cols, dst.Stride, want.Rows, want.Cols, want.Stride)
+		}
+		if (dst.Data == nil) != (want.Data == nil) || len(dst.Data) != len(want.Data) {
+			t.Fatalf("ViewInto%v data window differs from View", c)
+		}
+		for j := 0; j < dst.Cols; j++ {
+			for i := 0; i < dst.Rows; i++ {
+				if dst.At(i, j) != want.At(i, j) {
+					t.Fatalf("ViewInto%v element (%d,%d) = %g, want %g", c, i, j, dst.At(i, j), want.At(i, j))
+				}
+			}
+		}
+	}
+	// Writes through the reused header must land in the parent.
+	m.ViewInto(&dst, 1, 1, 2, 2)
+	dst.Set(0, 0, -99)
+	if m.At(1, 1) != -99 {
+		t.Fatal("ViewInto does not alias parent storage")
+	}
+}
+
+func TestViewIntoOutOfBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-bounds ViewInto did not panic")
+		}
+	}()
+	var dst Matrix
+	NewMatrix(3, 3).ViewInto(&dst, 2, 2, 2, 2)
+}

@@ -1,0 +1,87 @@
+package rng
+
+import (
+	"sync"
+	"time"
+)
+
+// distCostTable holds the measured per-sample cost of each distribution
+// relative to Uniform11 (≡ 1 exactly). Populated once per process by
+// measureDistCosts.
+var (
+	distCostOnce  sync.Once
+	distCostTable [Junk + 1]float64
+)
+
+// DistCost returns the relative per-sample generation cost of dist, with
+// Uniform11 normalised to exactly 1. The §III-B cost model multiplies its
+// h parameter by this factor so that cheap sketches (fused ±1 Rademacher,
+// the scaling trick) are charged less recomputation than expensive ones
+// (ziggurat Gaussian). Costs are measured once per process with the same
+// batched-xoshiro fast paths the kernels use — Rademacher through RawWords
+// (1 bit/sample), the rest through Fill — and clamped to [1/64, 64] so a
+// noisy measurement can never flip the model by orders of magnitude.
+// Unknown distributions cost 1.
+func DistCost(dist Distribution) float64 {
+	distCostOnce.Do(measureDistCosts)
+	if dist < 0 || int(dist) >= len(distCostTable) {
+		return 1
+	}
+	return distCostTable[dist]
+}
+
+func measureDistCosts() {
+	const n = 4096 // samples per timing pass, big enough to amortise call overhead
+	const reps = 8
+	dst := make([]float64, n)
+
+	timeFill := func(d Distribution) float64 {
+		s := NewSampler(NewBatchXoshiro(0x9e3779b97f4a7c15), d)
+		s.Fill(dst) // warm buffers and code paths
+		best := time.Duration(1<<63 - 1)
+		for r := 0; r < reps; r++ {
+			s.SetState(uint64(r), 0)
+			t0 := time.Now()
+			s.Fill(dst)
+			if e := time.Since(t0); e < best {
+				best = e
+			}
+		}
+		return float64(best)
+	}
+	// Rademacher's kernel path never materialises ±1 values: it consumes
+	// sign bits straight from RawWords, so measure that.
+	timeRademacher := func() float64 {
+		s := NewSampler(NewBatchXoshiro(0x9e3779b97f4a7c15), Rademacher)
+		s.RawWords(n)
+		best := time.Duration(1<<63 - 1)
+		for r := 0; r < reps; r++ {
+			s.SetState(uint64(r), 0)
+			t0 := time.Now()
+			s.RawWords(n)
+			if e := time.Since(t0); e < best {
+				best = e
+			}
+		}
+		return float64(best)
+	}
+
+	base := timeFill(Uniform11)
+	if base <= 0 {
+		base = 1 // timer too coarse: degrade to all-equal costs
+	}
+	clamp := func(c float64) float64 {
+		if c < 1.0/64 {
+			return 1.0 / 64
+		}
+		if c > 64 {
+			return 64
+		}
+		return c
+	}
+	distCostTable[Uniform11] = 1
+	distCostTable[Rademacher] = clamp(timeRademacher() / base)
+	distCostTable[Gaussian] = clamp(timeFill(Gaussian) / base)
+	distCostTable[ScaledInt] = clamp(timeFill(ScaledInt) / base)
+	distCostTable[Junk] = clamp(timeFill(Junk) / base)
+}

@@ -1,0 +1,36 @@
+package rng
+
+import "testing"
+
+func TestDistCostBaseline(t *testing.T) {
+	if c := DistCost(Uniform11); c != 1 {
+		t.Errorf("DistCost(Uniform11) = %g, want exactly 1", c)
+	}
+}
+
+func TestDistCostPositiveAndClamped(t *testing.T) {
+	for _, d := range []Distribution{Uniform11, Rademacher, Gaussian, ScaledInt, Junk} {
+		c := DistCost(d)
+		if c < 1.0/64 || c > 64 {
+			t.Errorf("DistCost(%v) = %g outside clamp [1/64, 64]", d, c)
+		}
+	}
+}
+
+func TestDistCostUnknownDistribution(t *testing.T) {
+	if c := DistCost(Distribution(-1)); c != 1 {
+		t.Errorf("DistCost(-1) = %g, want 1", c)
+	}
+	if c := DistCost(Distribution(99)); c != 1 {
+		t.Errorf("DistCost(99) = %g, want 1", c)
+	}
+}
+
+// The ordering the §III-B cost model relies on: the fused 1-bit Rademacher
+// path must measure cheaper than the ziggurat Gaussian, by a wide margin.
+func TestDistCostRademacherCheaperThanGaussian(t *testing.T) {
+	r, g := DistCost(Rademacher), DistCost(Gaussian)
+	if r >= g {
+		t.Errorf("DistCost(Rademacher)=%g not below DistCost(Gaussian)=%g", r, g)
+	}
+}

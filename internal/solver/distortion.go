@@ -28,11 +28,10 @@ func Distortion(a *sparse.CSC, d int, opts core.Options) (float64, error) {
 			return 0, fmt.Errorf("solver: A is structurally rank deficient; distortion undefined")
 		}
 	}
-	sk, err := core.NewSketcher(d, opts)
+	ahat, _, err := sketchWithPlan(a, d, opts)
 	if err != nil {
 		return 0, err
 	}
-	ahat, _ := sk.Sketch(a)
 	// W = Â·R⁻¹ by forward substitution over columns: column j of Â is
 	// Σ_{k≤j} W[:,k]·R[k,j].
 	w := dense.NewMatrix(d, a.N)

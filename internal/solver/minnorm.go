@@ -5,7 +5,6 @@ import (
 	"math"
 	"time"
 
-	"sketchsp/internal/core"
 	"sketchsp/internal/dense"
 	"sketchsp/internal/linalg"
 	"sketchsp/internal/lsqr"
@@ -38,15 +37,13 @@ func SolveMinNorm(a *sparse.CSC, b []float64, opts Options) ([]float64, Info, er
 	if d < a.M+1 {
 		d = a.M + 1
 	}
-	sk, err := core.NewSketcher(d, opts.Sketch)
+	ahat, skTime, err := sketchWithPlan(at, d, opts.Sketch)
 	if err != nil {
 		return nil, info, err
 	}
-	t0 := time.Now()
-	ahat, _ := sk.Sketch(at)
-	info.SketchTime = time.Since(t0)
+	info.SketchTime = skTime
 
-	t0 = time.Now()
+	t0 := time.Now()
 	qr := linalg.NewQRBlocked(ahat)
 	r := qr.R()
 	info.FactorTime = time.Since(t0)

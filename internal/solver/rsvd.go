@@ -62,13 +62,11 @@ func RandSVD(a *sparse.CSC, rank, oversample, powerIters int, opts core.Options)
 	// paper's kernel with d = k and the n×m transpose as input; the k×n
 	// random matrix Ω is S itself, generated on the fly.
 	at := a.Transpose() // n×m
-	sk, err := core.NewSketcher(k, opts)
+	// k×m sketch of Aᵀ: rows span the row space of Aᵀ = column space of A.
+	yt, sketchTime, err := sketchWithPlan(at, k, opts)
 	if err != nil {
 		return nil, err
 	}
-	t0 := time.Now()
-	yt, _ := sk.Sketch(at) // k×m: rows span the row space of Aᵀ = column space of A
-	sketchTime := time.Since(t0)
 	y := yt.Transpose() // m×k sample matrix Y = A·Ωᵀ
 
 	// Optional power iterations: Y ← A·(Aᵀ·Y), re-orthonormalising each
@@ -152,11 +150,10 @@ func LeverageScores(a *sparse.CSC, kJL int, opts Options) ([]float64, error) {
 	if d < a.N+1 {
 		d = a.N + 1
 	}
-	sk, err := core.NewSketcher(d, opts.Sketch)
+	ahat, _, err := sketchWithPlan(a, d, opts.Sketch)
 	if err != nil {
 		return nil, err
 	}
-	ahat, _ := sk.Sketch(a)
 	qr := linalg.NewQRBlocked(ahat)
 	if qr.RDiagMin() == 0 {
 		return nil, fmt.Errorf("solver: sketch is rank deficient; leverage scores undefined")

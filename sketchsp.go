@@ -10,7 +10,10 @@
 //   - Sketching: Sketch / NewSketcher compute Â = S·A with Algorithm 3
 //     (kji over CSC) or Algorithm 4 (jki over blocked CSR), sequentially or
 //     in parallel, for uniform (-1,1), ±1 (Rademacher), Gaussian or
-//     integer-scaled entries of S.
+//     integer-scaled entries of S. Repeated-sketch consumers build a Plan
+//     once with NewPlan and call Plan.Execute per sketch: format
+//     conversion, algorithm choice and all workspaces are paid at plan
+//     time, leaving executes allocation-free on a persistent worker pool.
 //
 //   - Least squares: SolveLeastSquares runs the paper's sketch-and-
 //     precondition solver (SAP-QR / SAP-SVD) and its baselines (LSQR-D and
@@ -29,6 +32,7 @@ package sketchsp
 
 import (
 	"fmt"
+	"time"
 
 	"sketchsp/internal/core"
 	"sketchsp/internal/dense"
@@ -62,6 +66,12 @@ type (
 	SketchStats = core.Stats
 	// Sketcher computes Â = S·A for a fixed sketch size and options.
 	Sketcher = core.Sketcher
+	// Plan is a reusable sketch plan: built once by NewPlan, executed many
+	// times allocation-free. Close it to release its worker pool.
+	Plan = core.Plan
+	// PlanStats reports the planner's decisions and one-time costs
+	// (resolved algorithm, blocking, conversion time).
+	PlanStats = core.PlanStats
 	// Algorithm selects the compute kernel (Alg3 or Alg4).
 	Algorithm = core.Algorithm
 	// Distribution selects the distribution of S's entries.
@@ -115,14 +125,32 @@ func NewSketcher(d int, opts SketchOptions) (*Sketcher, error) {
 	return core.NewSketcher(d, opts)
 }
 
-// Sketch computes Â = S·A with a freshly configured sketcher; d is the
-// number of rows of S (typically γ·n for a small constant γ).
+// NewPlan inspects (a, d, opts) once — resolving AlgAuto, fixing block
+// sizes, converting formats, allocating per-worker state — and returns a
+// reusable Plan whose Execute calls are steady-state allocation-free.
+// Prefer it over Sketch whenever the same matrix is sketched more than once
+// (solvers, power iterations, serving); call Plan.Close when done.
+func NewPlan(a *CSC, d int, opts SketchOptions) (*Plan, error) {
+	return core.NewPlan(a, d, opts)
+}
+
+// Sketch computes Â = S·A in one shot, planning and executing internally;
+// d is the number of rows of S (typically γ·n for a small constant γ).
+// Its Stats fold the plan's one-time costs (conversion) into this call.
 func Sketch(a *CSC, d int, opts SketchOptions) (*Matrix, SketchStats, error) {
-	sk, err := core.NewSketcher(d, opts)
+	p, err := core.NewPlan(a, d, opts)
 	if err != nil {
 		return nil, SketchStats{}, err
 	}
-	ahat, st := sk.Sketch(a)
+	defer p.Close()
+	start := time.Now()
+	ahat := dense.NewMatrix(d, a.N)
+	st, err := p.Execute(ahat)
+	if err != nil {
+		return nil, SketchStats{}, err
+	}
+	st.ConvertTime = p.Stats().ConvertTime
+	st.Total = time.Since(start) + p.Stats().PlanTime
 	return ahat, st, nil
 }
 

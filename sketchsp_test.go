@@ -184,3 +184,40 @@ func TestLeverageScoresPublicAPI(t *testing.T) {
 		t.Fatalf("Σℓ = %g, want ≈ 25", sum)
 	}
 }
+
+func TestPlanPublicAPI(t *testing.T) {
+	a := sketchsp.RandomUniform(2000, 100, 0.02, 42)
+	d := 3 * a.N
+	opts := sketchsp.SketchOptions{Algorithm: sketchsp.AlgAuto, Seed: 1, Workers: 2}
+
+	p, err := sketchsp.NewPlan(a, d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	ps := p.Stats()
+	if ps.Algorithm != sketchsp.Alg3 && ps.Algorithm != sketchsp.Alg4 {
+		t.Fatalf("plan left AlgAuto unresolved: %v", ps.Algorithm)
+	}
+
+	want, _, err := sketchsp.Sketch(a, d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sketchsp.NewDense(d, a.N)
+	for rep := 0; rep < 2; rep++ {
+		st, err := p.Execute(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.ConvertTime != 0 {
+			t.Fatalf("rep %d: Execute reported ConvertTime %v, want 0 (charged at plan time)", rep, st.ConvertTime)
+		}
+		if want.MaxAbsDiff(got) != 0 {
+			t.Fatalf("rep %d: plan sketch differs from one-shot Sketch", rep)
+		}
+	}
+	if _, err := p.Execute(sketchsp.NewDense(d-1, a.N)); err == nil {
+		t.Fatal("dimension mismatch accepted by Plan.Execute")
+	}
+}
