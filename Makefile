@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: ci build test vet race bench
+.PHONY: ci build test vet race bench bench-json
 
 ci: vet test race
 
@@ -24,3 +24,8 @@ race:
 
 bench:
 	$(GO) test -bench . -benchtime 1x ./...
+
+# Scheduler A/B on skewed sparsity; records (benchmark name, ns/op, GFlops,
+# measured imbalance ratio) per scheduler into BENCH_PR2.json.
+bench-json:
+	$(GO) run ./cmd/spmmbench -skew -scale 0.05 -json BENCH_PR2.json

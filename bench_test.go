@@ -558,3 +558,63 @@ func BenchmarkPlanReuse(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkSkewedExecute is the PR-2 acceptance benchmark: on skewed inputs
+// the nnz-aware weighted work-stealing scheduler must beat the uniform
+// shared-channel dispatch. The AbnormalB instance is sized so that at
+// bn = 500 the uniform grid puts ~all mass in ONE slab (n = 1500, middle
+// third = exactly one slab): uniform dispatch then degenerates to one busy
+// worker, while the weighted partition splits that slab into ~worker-count
+// pieces. NOTE: the speedup only manifests on multi-core hosts; on a
+// single-core machine the two schedulers are compute-bound identical (see
+// EXPERIMENTS.md on parallel measurements).
+func BenchmarkSkewedExecute(b *testing.B) {
+	inputs := []struct {
+		name string
+		a    *sparse.CSC
+	}{
+		{"AbnormalB", sparse.AbnormalB(20000, 1500, 300000, 2998.0/3000.0, 1)},
+		{"PowerLaw", sparse.PowerLaw(20000, 1500, 300000, 1.6, 1)},
+	}
+	const d = 900
+	for _, in := range inputs {
+		for _, sc := range []struct {
+			name  string
+			sched core.Scheduler
+		}{
+			{"uniform", core.SchedUniform},
+			{"nosteal", core.SchedNoSteal},
+			{"weighted", core.SchedWeighted},
+		} {
+			in, sc := in, sc
+			b.Run(fmt.Sprintf("%s/%s", in.name, sc.name), func(b *testing.B) {
+				p, err := core.NewPlan(in.a, d, core.Options{
+					Algorithm: core.Alg3, Seed: 1, Workers: 8,
+					BlockD: d, BlockN: 500, Sched: sc.sched,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer p.Close()
+				out := dense.NewMatrix(d, in.a.N)
+				if _, err := p.Execute(out); err != nil { // warm the pool
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				var last core.Stats
+				for i := 0; i < b.N; i++ {
+					st, err := p.Execute(out)
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = st
+				}
+				b.ReportMetric(float64(sketchFlops(d, in.a)*int64(b.N))/b.Elapsed().Seconds()/1e9, "GF/s")
+				if last.Imbalance > 0 {
+					b.ReportMetric(last.Imbalance, "imbalance")
+				}
+			})
+		}
+	}
+}

@@ -9,9 +9,11 @@
 //	spmmbench -all                  # run everything at the default scale
 //	spmmbench -table 2 -scale 0.1   # one table, custom matrix scale
 //	spmmbench -fig 4                # the Figure 4 density sweep
+//	spmmbench -skew -json out.json  # scheduler A/B on skewed inputs
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -39,11 +41,13 @@ var (
 	spyDir  = flag.String("spydir", "", "also write Figure 5 spy plots as PGM images into this directory")
 	figDir  = flag.String("figdir", "", "also write Figure 4 as an SVG chart into this directory")
 	csvOut  = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
+	skew    = flag.Bool("skew", false, "run the scheduler A/B suite on skewed sparsity (uniform vs AbnormalB/Banded/power-law)")
+	jsonOut = flag.String("json", "", "with -skew: also write the records as JSON to this file")
 )
 
 func main() {
 	flag.Parse()
-	if !*all && *table == 0 && *fig == 0 {
+	if !*all && *table == 0 && *fig == 0 && !*skew {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -64,6 +68,105 @@ func main() {
 	}
 	if *all || *fig == 5 {
 		fig5()
+	}
+	if *all || *skew {
+		skewSuite()
+	}
+}
+
+// skewRecord is one (workload, scheduler) measurement of the skew suite —
+// the JSON schema consumed by the bench-json Make target.
+type skewRecord struct {
+	Name      string  `json:"name"`
+	Scheduler string  `json:"scheduler"`
+	NsOp      int64   `json:"ns_op"`
+	GFlops    float64 `json:"gflops"`
+	Imbalance float64 `json:"imbalance"`
+}
+
+// skewSuite races the PR-1 uniform shared-channel scheduler against the
+// nnz-aware weighted work-stealing scheduler on four sparsity shapes. On a
+// uniform matrix the two must tie (the weighted partition degenerates to
+// the grid); on the skewed shapes the uniform scheduler's measured
+// imbalance approaches the worker count while the weighted one stays near
+// 1 — which converts into wall-clock speedup on multi-core hosts (see
+// EXPERIMENTS.md for the single-core caveat).
+func skewSuite() {
+	workers := *threads
+	if workers == 0 {
+		workers = 8
+	}
+	m := int(400000 * *scale)
+	n := int(30000 * *scale)
+	nnz := int(6e6 * *scale)
+	if m < 2000 {
+		m = 2000
+	}
+	if n < 300 {
+		n = 300
+	}
+	if nnz < 20000 {
+		nnz = 20000
+	}
+	d := (3 * n) / 5
+	density := float64(nnz) / (float64(m) * float64(n))
+	inputs := []struct {
+		name string
+		a    *sparse.CSC
+	}{
+		{"uniform", sparse.RandomUniform(m, n, density, *seed)},
+		{"abnormalB", sparse.AbnormalB(m, n, nnz, 2998.0/3000.0, *seed)},
+		{"banded", sparse.Banded(m, n, n/50+1, 0.5, *seed)},
+		{"powerlaw-1.6", sparse.PowerLaw(m, n, nnz, 1.6, *seed)},
+	}
+	scheds := []core.Scheduler{core.SchedUniform, core.SchedNoSteal, core.SchedWeighted}
+
+	t := bench.NewTable(fmt.Sprintf(
+		"SKEW SUITE — scheduler A/B at %d workers (GOMAXPROCS=%d on this host; wall-clock speedup needs ≥%d cores)",
+		workers, runtime.GOMAXPROCS(0), workers),
+		"pattern", "scheduler", "time", "GF/s", "imbalance", "pred.imb", "tasks", "steals", "speedup")
+	var records []skewRecord
+	for _, in := range inputs {
+		var base time.Duration
+		for _, sc := range scheds {
+			tm := mustTime(in.a, d, core.Options{
+				Algorithm: core.Alg3, Seed: uint64(*seed), Workers: workers,
+				BlockD: d, BlockN: 500, Sched: sc,
+			})
+			if sc == core.SchedUniform {
+				base = tm.Execute
+			}
+			speedup := "1.00x"
+			if base > 0 && tm.Execute > 0 {
+				speedup = fmt.Sprintf("%.2fx", float64(base)/float64(tm.Execute))
+			}
+			t.AddRow(in.name, sc.String(), tm.Execute,
+				fmt.Sprintf("%.2f", tm.Stats.GFlops()),
+				fmt.Sprintf("%.2f", tm.Stats.Imbalance),
+				fmt.Sprintf("%.2f", tm.PlanStats.PredictedImbalance),
+				tm.PlanStats.Tasks, tm.Stats.Steals, speedup)
+			records = append(records, skewRecord{
+				Name:      in.name,
+				Scheduler: sc.String(),
+				NsOp:      tm.Execute.Nanoseconds(),
+				GFlops:    tm.Stats.GFlops(),
+				Imbalance: tm.Stats.Imbalance,
+			})
+		}
+	}
+	emit(t)
+	if *jsonOut != "" {
+		buf, err := json.MarshalIndent(records, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spmmbench:", err)
+			return
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonOut, buf, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "spmmbench:", err)
+			return
+		}
+		fmt.Printf("(wrote %s)\n", *jsonOut)
 	}
 }
 

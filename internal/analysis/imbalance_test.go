@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLPTAssignBasics(t *testing.T) {
+	// Classic LPT instance: weights {7,6,5,4,3} on 2 workers. Greedy trace:
+	// 7→w0{7,0}, 6→w1{7,6}, 5→w1{7,11}, 4→w0{11,11}, 3→w0 (tie, lowest
+	// index) → {14,11}. Makespan 14 vs the optimum 13 ({7,6} | {5,4,3}) —
+	// the canonical instance showing LPT is a 4/3-approximation, not exact.
+	weights := []int64{3, 7, 5, 6, 4}
+	assign, loads := LPTAssign(weights, 2)
+	if len(assign) != 5 || len(loads) != 2 {
+		t.Fatalf("shape: assign %d loads %d", len(assign), len(loads))
+	}
+	var sum int64
+	for _, l := range loads {
+		sum += l
+	}
+	if sum != 25 {
+		t.Fatalf("loads sum %d, want 25", sum)
+	}
+	// Per-bin loads must equal the sum of assigned weights.
+	check := make([]int64, 2)
+	for i, w := range assign {
+		if w < 0 || w > 1 {
+			t.Fatalf("assign[%d]=%d out of range", i, w)
+		}
+		check[w] += weights[i]
+	}
+	for w := range check {
+		if check[w] != loads[w] {
+			t.Fatalf("bin %d: recomputed %d != reported %d", w, check[w], loads[w])
+		}
+	}
+	if loads[0] != 14 || loads[1] != 11 {
+		t.Fatalf("loads %v, want the LPT trace {14, 11}", loads)
+	}
+}
+
+func TestLPTAssignDeterministicTies(t *testing.T) {
+	weights := []int64{5, 5, 5, 5}
+	a1, l1 := LPTAssign(weights, 4)
+	a2, l2 := LPTAssign(weights, 4)
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatal("LPT assignment not deterministic")
+		}
+	}
+	for w := range l1 {
+		if l1[w] != l2[w] || l1[w] != 5 {
+			t.Fatalf("loads %v, want all 5", l1)
+		}
+	}
+	// Lowest-index tie-break: the first (equal-weight) task goes to worker 0.
+	if a1[0] != 0 {
+		t.Fatalf("first task on worker %d, want 0 (lowest-index ties)", a1[0])
+	}
+}
+
+func TestLPTAssignDegenerate(t *testing.T) {
+	if a, l := LPTAssign(nil, 4); len(a) != 0 || len(l) != 4 {
+		t.Fatal("empty weights")
+	}
+	// workers < 1 clamps to 1.
+	_, l := LPTAssign([]int64{1, 2, 3}, 0)
+	if len(l) != 1 || l[0] != 6 {
+		t.Fatalf("workers=0: loads %v", l)
+	}
+	// More workers than tasks: heaviest tasks land on distinct bins.
+	_, l = LPTAssign([]int64{9, 1}, 5)
+	nonzero := 0
+	for _, v := range l {
+		if v > 0 {
+			nonzero++
+		}
+	}
+	if nonzero != 2 {
+		t.Fatalf("loads %v, want 2 nonzero bins", l)
+	}
+}
+
+func TestLPTBeatsRoundRobinOnSkew(t *testing.T) {
+	// One huge task plus many small: round-robin in index order piles the
+	// big task together with 1/w of the small ones; LPT isolates it.
+	rng := rand.New(rand.NewSource(7))
+	weights := make([]int64, 33)
+	weights[0] = 10000
+	for i := 1; i < len(weights); i++ {
+		weights[i] = int64(10 + rng.Intn(90))
+	}
+	workers := 4
+	_, loads := LPTAssign(weights, workers)
+	lpt := Imbalance(loads)
+
+	rr := make([]int64, workers)
+	for i, w := range weights {
+		rr[i%workers] += w
+	}
+	if rrImb := Imbalance(rr); lpt >= rrImb {
+		t.Fatalf("LPT imbalance %.3f not better than round-robin %.3f", lpt, rrImb)
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	cases := []struct {
+		loads []int64
+		want  float64
+	}{
+		{[]int64{10, 10, 10, 10}, 1.0},
+		{[]int64{40, 0, 0, 0}, 4.0},
+		{[]int64{30, 10}, 1.5},
+		{[]int64{}, 0},
+		{[]int64{0, 0}, 0},
+	}
+	for _, c := range cases {
+		if got := Imbalance(c.loads); got != c.want {
+			t.Fatalf("Imbalance(%v) = %g, want %g", c.loads, got, c.want)
+		}
+	}
+}
+
+func TestPredictImbalance(t *testing.T) {
+	if PredictImbalance(nil, 8) != 0 {
+		t.Fatal("empty weights should predict 0")
+	}
+	// Perfectly divisible work predicts 1.0.
+	if got := PredictImbalance([]int64{5, 5, 5, 5}, 4); got != 1.0 {
+		t.Fatalf("uniform prediction %g, want 1.0", got)
+	}
+	// A single monolithic task on 4 workers cannot be balanced: ratio = 4.
+	if got := PredictImbalance([]int64{100}, 4); got != 4.0 {
+		t.Fatalf("monolith prediction %g, want 4.0", got)
+	}
+}

@@ -93,6 +93,12 @@ type Options struct {
 	// executes. Tuning never changes the sketch values: b_n affects
 	// memory traffic, not RNG checkpoints.
 	TuneBlockN bool
+	// Sched selects the task scheduler (default SchedWeighted: nnz-aware
+	// partition + LPT prepacked queues + work stealing). SchedUniform
+	// restores the uniform-grid shared-channel executor for A/B
+	// comparison. The choice never affects the sketch bits — only which
+	// worker computes which block, and how columns group into slabs.
+	Sched Scheduler
 }
 
 // Stats reports what a sketch invocation did.
@@ -120,6 +126,19 @@ type Stats struct {
 	// (including conversion) for the one-shot Sketcher path, execute
 	// only for Plan.Execute.
 	Total time.Duration
+	// Steals counts tasks executed by a worker other than their prepacked
+	// owner (work-stealing schedulers only; 0 for SchedUniform and
+	// sequential runs).
+	Steals int64
+	// WorkerBusy is the measured per-worker busy time for the round. It
+	// aliases a plan-owned buffer to keep Execute allocation-free: the
+	// next Execute on the same plan overwrites it, so callers that keep
+	// it across rounds must copy. Nil for one-shot Sketcher stats.
+	WorkerBusy []time.Duration
+	// Imbalance is the measured load-imbalance ratio of the round,
+	// max(WorkerBusy)·workers/sum(WorkerBusy) — 1.0 is perfect balance,
+	// ~workers means one worker did everything. 0 when unmeasured.
+	Imbalance float64
 }
 
 // GFlops returns the achieved GFLOP/s over the total runtime.
@@ -230,30 +249,15 @@ func (sk *Sketcher) SketchInto(ahat *dense.Matrix, a *sparse.CSC) Stats {
 }
 
 // blockTask is one (block-row of Â, column-slab) cell of Algorithm 1's
-// (⌈d/b_d⌉, 1, ⌈n/b_n⌉) blocking. Cells write disjoint regions of Â, so
-// they parallelise without synchronisation (§II-C: parallelise the outer
-// loops).
+// blocking, generalised to an arbitrary column partition. Cells write
+// disjoint regions of Â, so they parallelise without synchronisation
+// (§II-C: parallelise the outer loops). weight is the nnz(slab)·d1 cost
+// estimate the scheduler balances on; slab indexes the plan's partition so
+// runTask never recomputes j0/b_n (which would be wrong for variable-width
+// slabs).
 type blockTask struct {
 	i0, d1 int // block-row offset and height
 	j0, n1 int // column-slab offset and width
-}
-
-func makeTasks(d, n, bd, bn int) []blockTask {
-	tasks := make([]blockTask, 0, ((n+bn-1)/bn)*((d+bd-1)/bd))
-	// Outermost over columns of A to encourage caching of the sparse
-	// data and Â (Algorithm 1's loop order).
-	for j0 := 0; j0 < n; j0 += bn {
-		n1 := bn
-		if j0+n1 > n {
-			n1 = n - j0
-		}
-		for i0 := 0; i0 < d; i0 += bd {
-			d1 := bd
-			if i0+d1 > d {
-				d1 = d - i0
-			}
-			tasks = append(tasks, blockTask{i0: i0, d1: d1, j0: j0, n1: n1})
-		}
-	}
-	return tasks
+	slab   int // index into the plan's column partition
+	weight int64
 }

@@ -14,19 +14,37 @@ import (
 )
 
 // PlanStats reports what planning decided and what it cost. All one-time
-// inspector work — AlgAuto resolution, block-size choice, task-list
-// construction, the CSC→BlockedCSR conversion, the ScaledInt pre-scale —
-// is charged here, never to Plan.Execute.
+// inspector work — AlgAuto resolution, block-size choice, the nnz-aware
+// column partition, task-list construction, the CSC→BlockedCSR conversion,
+// the ScaledInt pre-scale — is charged here, never to Plan.Execute.
 type PlanStats struct {
 	// Algorithm is the concrete kernel the plan dispatches to (AlgAuto is
 	// resolved at plan time via the §III-B cost model).
 	Algorithm Algorithm
-	// BlockD and BlockN are the resolved block sizes (b_d, b_n).
+	// BlockD and BlockN are the resolved block sizes (b_d, b_n). For the
+	// weighted schedulers BlockN is the nominal grid width the partition
+	// started from; actual slab widths vary (see Slabs/SlabsSplit).
 	BlockD, BlockN int
 	// Workers is the resolved worker count (clamped to the task count).
 	Workers int
-	// Tasks is the number of outer-block cells of Algorithm 1's blocking.
+	// Tasks is the number of outer-block cells after partitioning.
 	Tasks int
+	// Scheduler is the task scheduler the plan executes with.
+	Scheduler Scheduler
+	// Slabs is the number of column slabs in the final partition.
+	Slabs int
+	// SlabsSplit counts uniform grid slabs the nnz-aware partitioner
+	// subdivided; SlabsFused counts boundary removals from fusing light
+	// neighbours. Both 0 for SchedUniform.
+	SlabsSplit, SlabsFused int
+	// MinTaskWeight/MaxTaskWeight/MeanTaskWeight summarise the nnz·d1
+	// task-weight histogram the scheduler balances on.
+	MinTaskWeight, MaxTaskWeight int64
+	MeanTaskWeight               float64
+	// PredictedImbalance is the load-imbalance ratio of the LPT prepacking
+	// (analysis.PredictImbalance): the planner's a-priori estimate before
+	// stealing. 1.0 = perfectly balanced queues.
+	PredictedImbalance float64
 	// TunedBlockN reports that BlockN came from the §III-B sample-count
 	// tuner (Options.TuneBlockN) rather than the static default.
 	TunedBlockN bool
@@ -48,24 +66,30 @@ type workspace struct {
 	sub        dense.Matrix
 	samples    int64
 	sampleTime time.Duration
+	busy       time.Duration
+	steals     int64
 }
 
 // planPool is a plan's persistent worker pool: goroutines started lazily on
 // the first parallel Execute and reused by every subsequent call until
-// Plan.Close.
+// Plan.Close. SchedUniform workers drain the shared work channel;
+// weighted-scheduler workers wake once per round on their private start
+// channel and drain/steal from the plan's sched queues.
 type planPool struct {
-	work chan blockTask
-	wg   sync.WaitGroup
+	work  chan blockTask
+	start []chan struct{}
+	wg    sync.WaitGroup
 }
 
 // Plan is a reusable execution plan for Â = S·A — the inspector half of an
 // inspector–executor split. NewPlan inspects (A, d, Options) once: it
-// resolves AlgAuto with the §III-B cost model, fixes (b_d, b_n), builds the
-// outer-block task list, performs the CSC→BlockedCSR conversion (Alg4) and
-// the ScaledInt pre-scaled clone of A, and allocates per-worker samplers and
-// scratch. Execute then computes the sketch with zero steady-state
-// allocations, dispatching onto a persistent worker pool shared across
-// calls.
+// resolves AlgAuto with the §III-B cost model, fixes (b_d, b_n), refines the
+// column grid into an nnz-balanced partition, builds the weighted task list
+// and LPT-prepacked work-stealing queues, performs the CSC→BlockedCSR
+// conversion (Alg4) and the ScaledInt pre-scaled clone of A, and allocates
+// per-worker samplers and scratch. Execute then computes the sketch with
+// zero steady-state allocations, dispatching onto a persistent worker pool
+// shared across calls.
 //
 // A Plan pins the matrix it was built for: the caller must not mutate A
 // between Execute calls. Execute is safe for concurrent use (calls are
@@ -79,13 +103,17 @@ type Plan struct {
 	bd   int
 	bn   int
 
-	flops   int64
-	a       *sparse.CSC        // Alg3 input (ScaledInt: pre-scaled clone)
-	slabs   []*sparse.CSC      // Alg3 column slabs, indexed by j0/bn
-	blocked *sparse.BlockedCSR // Alg4 structure, converted once
-	tasks   []blockTask
-	workers int
-	stats   PlanStats
+	flops    int64
+	a        *sparse.CSC        // Alg3 input (ScaledInt: pre-scaled clone)
+	colStart []int              // column partition; slab k = [colStart[k], colStart[k+1])
+	slabs    []*sparse.CSC      // Alg3 column slabs, indexed by task.slab
+	blocked  *sparse.BlockedCSR // Alg4 structure, converted once
+	tasks    []blockTask
+	workers  int
+	schedIs  Scheduler
+	sch      *sched
+	busyBuf  []time.Duration
+	stats    PlanStats
 
 	mu      sync.Mutex // serialises Execute/Close
 	round   sync.WaitGroup
@@ -110,8 +138,11 @@ func NewPlan(a *sparse.CSC, d int, opts Options) (*Plan, error) {
 		return nil, fmt.Errorf("core: negative option (BlockD=%d BlockN=%d Workers=%d)",
 			opts.BlockD, opts.BlockN, opts.Workers)
 	}
+	if opts.Sched < SchedWeighted || opts.Sched > SchedUniform {
+		return nil, fmt.Errorf("core: unknown scheduler %d", int(opts.Sched))
+	}
 	start := time.Now()
-	p := &Plan{d: d, n: a.N, opts: opts}
+	p := &Plan{d: d, n: a.N, opts: opts, schedIs: opts.Sched}
 
 	// Resolve AlgAuto once, at plan time (the inspector of §III-B).
 	alg := opts.Algorithm
@@ -148,12 +179,31 @@ func NewPlan(a *sparse.CSC, d int, opts Options) (*Plan, error) {
 	}
 	p.a = src
 	p.flops = 2 * int64(d) * int64(a.NNZ())
-	p.tasks = makeTasks(d, a.N, bd, bn)
 
+	// Resolve the worker budget before partitioning: the slab target
+	// scales with it. The final worker count is re-clamped to the task
+	// count below.
 	w := opts.Workers
 	if w == 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
+	if w < 1 {
+		w = 1
+	}
+
+	// Column partition: the uniform b_n grid for SchedUniform, the
+	// nnz-refined partition otherwise. Repartitioning is bit-safe — slab
+	// boundaries stay on whole columns and every kernel call re-anchors
+	// the RNG per (block-row, sparse-row) — see schedule.go.
+	blockRows := (d + bd - 1) / bd
+	if p.schedIs == SchedUniform {
+		p.colStart = sparse.UniformColSplit(a.N, bn)
+	} else {
+		p.colStart, p.stats.SlabsSplit, p.stats.SlabsFused =
+			colPartition(src, bn, targetSlabCount(w, blockRows, a.N))
+	}
+	p.tasks = makeWeightedTasks(d, bd, src, p.colStart)
+
 	if w > len(p.tasks) {
 		w = len(p.tasks)
 	}
@@ -162,25 +212,17 @@ func NewPlan(a *sparse.CSC, d int, opts Options) (*Plan, error) {
 	}
 	p.workers = w
 
-	nSlabs := 0
-	if bn > 0 {
-		nSlabs = (a.N + bn - 1) / bn
-	}
+	nSlabs := len(p.colStart) - 1
 	if alg == Alg4 {
 		tc := time.Now()
-		p.blocked = sparse.NewBlockedCSRParallel(src, bn, w)
+		p.blocked = sparse.NewBlockedCSRPartition(src, p.colStart, w)
 		p.stats.ConvertTime = time.Since(tc)
 	} else {
 		// Pre-slice the CSC column slabs so Execute never allocates the
 		// per-slab headers Kernel3 consumes.
 		p.slabs = make([]*sparse.CSC, nSlabs)
 		for k := 0; k < nSlabs; k++ {
-			j0 := k * bn
-			j1 := j0 + bn
-			if j1 > a.N {
-				j1 = a.N
-			}
-			p.slabs[k] = src.ColSlice(j0, j1)
+			p.slabs[k] = src.ColSlice(p.colStart[k], p.colStart[k+1])
 		}
 	}
 
@@ -191,11 +233,34 @@ func NewPlan(a *sparse.CSC, d int, opts Options) (*Plan, error) {
 			v: make([]float64, bd),
 		}
 	}
+	p.busyBuf = make([]time.Duration, w)
+	if p.schedIs != SchedUniform && w > 1 {
+		p.sch = newSched(p.tasks, w)
+	}
 
 	p.stats.Algorithm = alg
 	p.stats.BlockD, p.stats.BlockN = bd, bn
 	p.stats.Workers = w
 	p.stats.Tasks = len(p.tasks)
+	p.stats.Scheduler = p.schedIs
+	p.stats.Slabs = nSlabs
+	if len(p.tasks) > 0 {
+		min, max, sum := p.tasks[0].weight, p.tasks[0].weight, int64(0)
+		weights := make([]int64, len(p.tasks))
+		for i, t := range p.tasks {
+			weights[i] = t.weight
+			if t.weight < min {
+				min = t.weight
+			}
+			if t.weight > max {
+				max = t.weight
+			}
+			sum += t.weight
+		}
+		p.stats.MinTaskWeight, p.stats.MaxTaskWeight = min, max
+		p.stats.MeanTaskWeight = float64(sum) / float64(len(p.tasks))
+		p.stats.PredictedImbalance = analysis.PredictImbalance(weights, w)
+	}
 	p.stats.PlanTime = time.Since(start)
 	return p, nil
 }
@@ -215,11 +280,12 @@ func (p *Plan) Stats() PlanStats { return p.stats }
 
 // Execute computes Â = S·A into the caller's d×n matrix, overwriting it.
 // Steady-state calls are allocation-free: samplers, scratch vectors, the
-// task list, and the blocked sparse structure are all reused from the plan,
-// and the worker pool persists across calls (started lazily on the first
-// parallel Execute, shut down by Close). The result is bit-identical to the
-// one-shot Sketcher path under the same (seed, d, blocking), independent of
-// the worker count and of how many times the plan has been executed.
+// task list, the scheduler queues, and the blocked sparse structure are all
+// reused from the plan, and the worker pool persists across calls (started
+// lazily on the first parallel Execute, shut down by Close). The result is
+// bit-identical to the one-shot Sketcher path under the same (seed, d,
+// blocking), independent of the worker count, the scheduler, and of how
+// many times the plan has been executed.
 func (p *Plan) Execute(ahat *dense.Matrix) (Stats, error) {
 	if ahat == nil {
 		return Stats{}, fmt.Errorf("core: Execute: nil output matrix")
@@ -238,29 +304,57 @@ func (p *Plan) Execute(ahat *dense.Matrix) (Stats, error) {
 	for _, ws := range p.ws {
 		ws.samples = 0
 		ws.sampleTime = 0
+		ws.busy = 0
+		ws.steals = 0
 	}
 	p.curAhat = ahat
 	if p.workers > 1 {
 		if p.pool == nil {
 			p.startPool()
 		}
-		p.round.Add(len(p.tasks))
-		for _, t := range p.tasks {
-			p.pool.work <- t
+		if p.schedIs == SchedUniform {
+			p.round.Add(len(p.tasks))
+			for _, t := range p.tasks {
+				p.pool.work <- t
+			}
+			p.round.Wait()
+		} else {
+			// One wake token per worker; each worker drains its LPT
+			// queue, then steals, then Dones exactly once. The private
+			// channels give the happens-before edge that publishes the
+			// counter reset; the WaitGroup publishes results back.
+			p.sch.reset()
+			p.round.Add(p.workers)
+			for _, c := range p.pool.start {
+				c <- struct{}{}
+			}
+			p.round.Wait()
 		}
-		p.round.Wait()
 	} else {
 		ws := p.ws[0]
+		t0 := time.Now()
 		for _, t := range p.tasks {
 			p.runTask(t, ws)
 		}
+		ws.busy = time.Since(t0)
 	}
 	p.curAhat = nil
 
 	st := Stats{Flops: p.flops}
-	for _, ws := range p.ws {
+	var maxBusy, sumBusy time.Duration
+	for i, ws := range p.ws {
 		st.Samples += ws.samples
 		st.SampleTime += ws.sampleTime
+		st.Steals += ws.steals
+		p.busyBuf[i] = ws.busy
+		sumBusy += ws.busy
+		if ws.busy > maxBusy {
+			maxBusy = ws.busy
+		}
+	}
+	st.WorkerBusy = p.busyBuf
+	if sumBusy > 0 {
+		st.Imbalance = float64(maxBusy) * float64(p.workers) / float64(sumBusy)
 	}
 	st.Total = time.Since(start)
 	return st, nil
@@ -278,28 +372,87 @@ func (p *Plan) Close() {
 	p.closed = true
 	if p.pool != nil {
 		close(p.pool.work)
+		for _, c := range p.pool.start {
+			close(c)
+		}
 		p.pool.wg.Wait()
 		p.pool = nil
 	}
 }
 
 // startPool launches the persistent workers. Worker i owns workspace i for
-// the lifetime of the pool; round state (curAhat, accumulator resets) is
-// published to workers by the happens-before edges of the task channel and
-// collected back through the round WaitGroup.
+// the lifetime of the pool; round state (curAhat, accumulator and scheduler
+// resets) is published to workers by the happens-before edges of the task
+// or start channels and collected back through the round WaitGroup.
 func (p *Plan) startPool() {
 	p.pool = &planPool{work: make(chan blockTask)}
+	if p.schedIs == SchedUniform {
+		for i := 0; i < p.workers; i++ {
+			ws := p.ws[i]
+			p.pool.wg.Add(1)
+			go func() {
+				defer p.pool.wg.Done()
+				for t := range p.pool.work {
+					t0 := time.Now()
+					p.runTask(t, ws)
+					ws.busy += time.Since(t0)
+					p.round.Done()
+				}
+			}()
+		}
+		return
+	}
+	p.pool.start = make([]chan struct{}, p.workers)
 	for i := 0; i < p.workers; i++ {
+		i := i
 		ws := p.ws[i]
+		c := make(chan struct{})
+		p.pool.start[i] = c
 		p.pool.wg.Add(1)
 		go func() {
 			defer p.pool.wg.Done()
-			for t := range p.pool.work {
-				p.runTask(t, ws)
+			for range c {
+				p.runWorker(i, ws)
 				p.round.Done()
 			}
 		}()
 	}
+}
+
+// runWorker is one weighted-scheduler worker's round: drain the own LPT
+// queue front-to-back (heaviest first), then — with stealing enabled — keep
+// claiming from whichever victim has the most remaining queued weight until
+// every queue is empty. Claims go through the victim's atomic cursor, so a
+// task runs exactly once no matter who wins it; the sketch bits cannot
+// depend on the winner because every kernel call re-anchors the RNG.
+func (p *Plan) runWorker(w int, ws *workspace) {
+	t0 := time.Now()
+	s := p.sch
+	for {
+		ti := s.claim(w)
+		if ti < 0 {
+			break
+		}
+		p.runTask(p.tasks[ti], ws)
+	}
+	if p.schedIs == SchedWeighted {
+		for {
+			v := s.victim(w)
+			if v < 0 {
+				break
+			}
+			ti := s.claim(v)
+			if ti < 0 {
+				// Lost the race for the victim's tail; let the owner's
+				// in-flight remain-updates land before rescanning.
+				runtime.Gosched()
+				continue
+			}
+			ws.steals++
+			p.runTask(p.tasks[ti], ws)
+		}
+	}
+	ws.busy += time.Since(t0)
 }
 
 // runTask executes one outer-block cell. Cells write disjoint regions of Â,
@@ -310,7 +463,7 @@ func (p *Plan) runTask(t blockTask, ws *workspace) {
 	sub := &ws.sub
 	p.curAhat.ViewInto(sub, t.i0, t.j0, t.d1, t.n1)
 	if p.alg == Alg4 {
-		slab := p.blocked.Blocks[t.j0/p.bn]
+		slab := p.blocked.Blocks[t.slab]
 		if p.opts.Timed {
 			ws.samples += kernels.Kernel4Timed(sub, slab, uint64(t.i0), ws.s, ws.v, &ws.sampleTime)
 		} else {
@@ -318,7 +471,7 @@ func (p *Plan) runTask(t blockTask, ws *workspace) {
 		}
 		return
 	}
-	slab := p.slabs[t.j0/p.bn]
+	slab := p.slabs[t.slab]
 	if p.opts.Timed {
 		ws.samples += kernels.Kernel3Timed(sub, slab, uint64(t.i0), ws.s, ws.v, &ws.sampleTime)
 	} else {

@@ -79,6 +79,30 @@ func Kernel3Timed(ahat *dense.Matrix, asub *sparse.CSC, blockRow uint64, s *rng.
 	v = v[:d1]
 	var generated int64
 	var sampled time.Duration
+	if s.Dist() == rng.Rademacher {
+		// Same fused ±1 path as the untimed kernel (bit-for-bit identical
+		// output), with the generation phase — state seek + raw sign words
+		// — under the timer. Previously the timed variant fell back to the
+		// generic Fill path, so Table III/V runs measured a different
+		// (slower, but equal-valued) ±1 kernel than production executed.
+		for k := 0; k < n1; k++ {
+			rows, vals := asub.ColView(k)
+			if len(rows) == 0 {
+				continue
+			}
+			col := ahat.Col(k)
+			for t, j := range rows {
+				t0 := time.Now()
+				s.SetState(blockRow, uint64(j))
+				w := s.RawWords(d1)
+				sampled += time.Since(t0)
+				generated += int64(d1)
+				axpySign(vals[t], w, col)
+			}
+		}
+		*sampleTime += sampled
+		return generated
+	}
 	for k := 0; k < n1; k++ {
 		rows, vals := asub.ColView(k)
 		if len(rows) == 0 {

@@ -75,6 +75,26 @@ func Kernel4Timed(ahat *dense.Matrix, slab *sparse.CSR, blockRow uint64, s *rng.
 	v = v[:d1]
 	var generated int64
 	var sampled time.Duration
+	if s.Dist() == rng.Rademacher {
+		// Same fused ±1 path as the untimed kernel (bit-for-bit identical
+		// output) with generation under the timer — see Kernel3Timed.
+		for j := 0; j < slab.M; j++ {
+			cols, vals := slab.RowView(j)
+			if len(cols) == 0 {
+				continue
+			}
+			t0 := time.Now()
+			s.SetState(blockRow, uint64(j))
+			w := s.RawWords(d1)
+			sampled += time.Since(t0)
+			generated += int64(d1)
+			for t, k := range cols {
+				axpySign(vals[t], w, ahat.Col(k))
+			}
+		}
+		*sampleTime += sampled
+		return generated
+	}
 	for j := 0; j < slab.M; j++ {
 		cols, vals := slab.RowView(j)
 		if len(cols) == 0 {

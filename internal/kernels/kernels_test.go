@@ -198,34 +198,48 @@ func TestKernelsSkipEmptyRowsAndColumns(t *testing.T) {
 	}
 }
 
+// The timed kernels must be observationally identical to the untimed ones —
+// same bits, same sample counts — for EVERY distribution. ±1 sketches are
+// the regression case: the timed variants used to fall back to the generic
+// Fill path while the untimed kernels took the fused sign-bit path, so the
+// Table III/V instrumentation measured a kernel production never ran.
 func TestTimedKernelsMatchUntimed(t *testing.T) {
 	r := rand.New(rand.NewSource(5))
-	d1, m, n1 := 12, 25, 6
+	// d1 = 67 straddles a 64-bit sign-word boundary in the fused ±1 path.
+	d1, m, n1 := 67, 25, 6
 	a := randCSC(r, m, n1, 50)
 	slab := a.ToCSR()
 
-	run := func(timed bool, alg int) *dense.Matrix {
+	run := func(timed bool, alg int, dist rng.Distribution) (*dense.Matrix, int64) {
 		ahat := dense.NewMatrix(d1, n1)
-		s := rng.NewSampler(rng.NewBatchXoshiro(11), rng.Uniform11)
+		s := rng.NewSampler(rng.NewBatchXoshiro(11), dist)
 		v := make([]float64, d1)
 		var dt time.Duration
 		switch {
 		case alg == 3 && timed:
-			Kernel3Timed(ahat, a, 9, s, v, &dt)
+			return ahat, Kernel3Timed(ahat, a, 9, s, v, &dt)
 		case alg == 3:
-			Kernel3(ahat, a, 9, s, v)
+			return ahat, Kernel3(ahat, a, 9, s, v)
 		case alg == 4 && timed:
-			Kernel4Timed(ahat, slab, 9, s, v, &dt)
+			return ahat, Kernel4Timed(ahat, slab, 9, s, v, &dt)
 		default:
-			Kernel4(ahat, slab, 9, s, v)
+			return ahat, Kernel4(ahat, slab, 9, s, v)
 		}
-		return ahat
 	}
-	for _, alg := range []int{3, 4} {
-		plain := run(false, alg)
-		timed := run(true, alg)
-		if plain.MaxAbsDiff(timed) != 0 {
-			t.Fatalf("alg %d: timed variant changed the result", alg)
+	dists := []rng.Distribution{rng.Uniform11, rng.Rademacher, rng.Gaussian, rng.ScaledInt}
+	for _, dist := range dists {
+		for _, alg := range []int{3, 4} {
+			plain, genP := run(false, alg, dist)
+			timed, genT := run(true, alg, dist)
+			if genP != genT {
+				t.Fatalf("%v alg %d: timed generated %d samples, untimed %d",
+					dist, alg, genT, genP)
+			}
+			for k := range plain.Data {
+				if plain.Data[k] != timed.Data[k] {
+					t.Fatalf("%v alg %d: timed variant changed bits at %d", dist, alg, k)
+				}
+			}
 		}
 	}
 }

@@ -113,6 +113,18 @@ func (a *CSC) At(i, j int) float64 {
 	return 0
 }
 
+// SlabNNZ returns nnz(A[:, j0:j1]), the number of stored entries in the
+// vertical column slab [j0, j1). ColPtr is exactly the prefix sum of the
+// per-column nonzero counts, so the answer is a two-load O(1) lookup — cheap
+// enough that the nnz-aware task partitioner and the BlockedCSR conversion
+// both call it per candidate slab during planning.
+func (a *CSC) SlabNNZ(j0, j1 int) int {
+	if j0 < 0 || j1 < j0 || j1 > a.N {
+		panic(fmt.Sprintf("sparse: SlabNNZ [%d:%d] of %d cols", j0, j1, a.N))
+	}
+	return a.ColPtr[j1] - a.ColPtr[j0]
+}
+
 // ColView returns the row indices and values of column j (aliases storage).
 func (a *CSC) ColView(j int) (rows []int, vals []float64) {
 	lo, hi := a.ColPtr[j], a.ColPtr[j+1]

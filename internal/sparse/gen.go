@@ -131,6 +131,48 @@ func AbnormalB(m, n, totalNNZ int, frac float64, seed int64) *CSC {
 	return coo.ToCSC()
 }
 
+// PowerLaw generates an m×n matrix whose column degrees follow a Zipf
+// (power-law) profile: column j carries a share ∝ (j+1)^(-alpha) of the
+// requested nnz total, capped at m entries per column, with row positions
+// uniform without replacement and values uniform in (-1, 1). Column 0 is the
+// heaviest by construction, so the mass concentrates in the leading column
+// slabs — the adversarial input for uniform (b_d, b_n) task partitioning and
+// the model workload of the nnz-aware scheduler benchmarks (alpha ≈ 1–2
+// matches the degree skew of the web/social matrices FlashSketch targets;
+// alpha = 0 degenerates to equal column degrees).
+//
+// Per-column counts are rounded with a running cumulative target so the
+// realised total matches nnz exactly whenever no column hits the m cap.
+func PowerLaw(m, n, nnz int, alpha float64, seed int64) *CSC {
+	if alpha < 0 {
+		panic(fmt.Sprintf("sparse: PowerLaw alpha=%g negative", alpha))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	weights := make([]float64, n)
+	total := 0.0
+	for j := 0; j < n; j++ {
+		weights[j] = math.Pow(float64(j+1), -alpha)
+		total += weights[j]
+	}
+	coo := NewCOO(m, n, nnz+n)
+	acc, assigned := 0.0, 0
+	for j := 0; j < n; j++ {
+		acc += float64(nnz) * weights[j] / total
+		k := int(math.Round(acc)) - assigned
+		if k < 0 {
+			k = 0
+		}
+		if k > m {
+			k = m
+		}
+		assigned += k
+		sampleRows(rng, m, k, func(i int) {
+			coo.Append(i, j, rng.Float64()*2-1)
+		})
+	}
+	return coo.ToCSC()
+}
+
 // AbnormalC builds the paper's Abnormal_C pattern: every `stride`-th column
 // is fully dense, all others zero.
 func AbnormalC(m, n, stride int, seed int64) *CSC {

@@ -142,6 +142,100 @@ func TestFixedRowNNZClampsPerRow(t *testing.T) {
 	}
 }
 
+func TestPowerLawShapeAndTotal(t *testing.T) {
+	m, n, nnz := 5000, 400, 60000
+	a := PowerLaw(m, n, nnz, 1.5, 9)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.M != m || a.N != n {
+		t.Fatalf("dims %dx%d, want %dx%d", a.M, a.N, m, n)
+	}
+	// Running-cumulative rounding keeps the realised total exact as long as
+	// no column saturates at m (none does at this density).
+	if a.NNZ() != nnz {
+		t.Fatalf("nnz = %d, want exactly %d", a.NNZ(), nnz)
+	}
+	for _, v := range a.Val {
+		if v <= -1 || v >= 1 {
+			t.Fatalf("value %g outside (-1,1)", v)
+		}
+	}
+}
+
+func TestPowerLawDegreeDistribution(t *testing.T) {
+	// m is chosen above nnz/ζ_n(alpha) ≈ 24k so no column hits the m cap and
+	// the analytic Zipf share is exact up to rounding.
+	m, n, nnz := 50000, 400, 60000
+	alpha := 1.5
+	a := PowerLaw(m, n, nnz, alpha, 9)
+	deg := func(j int) int { return a.ColPtr[j+1] - a.ColPtr[j] }
+	// Zipf ranking: degrees non-increasing in column index (ties allowed;
+	// rounding can wobble by at most one, so compare with slack 1).
+	for j := 1; j < n; j++ {
+		if deg(j) > deg(j-1)+1 {
+			t.Fatalf("degree increased at column %d: %d -> %d", j-1, deg(j-1), deg(j))
+		}
+	}
+	// The head must be far heavier than the uniform share: with alpha=1.5
+	// the top 10%% of columns carry well over half the mass.
+	head := a.SlabNNZ(0, n/10)
+	if frac := float64(head) / float64(a.NNZ()); frac < 0.5 {
+		t.Fatalf("top-decile mass fraction %g, want > 0.5 at alpha=%g", frac, alpha)
+	}
+	// deg(j) should track the Zipf law within rounding: check the analytic
+	// share of column 0.
+	want := float64(nnz) * 1 / zipfNorm(n, alpha)
+	if got := float64(deg(0)); math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("deg(0) = %g, want ≈ %g", got, want)
+	}
+	// alpha = 0 degenerates to (near-)equal degrees.
+	flat := PowerLaw(1000, 100, 10000, 0, 3)
+	for j := 0; j < 100; j++ {
+		if d := flat.ColPtr[j+1] - flat.ColPtr[j]; d < 99 || d > 101 {
+			t.Fatalf("alpha=0 column %d degree %d, want ≈100", j, d)
+		}
+	}
+}
+
+func zipfNorm(n int, alpha float64) float64 {
+	s := 0.0
+	for j := 0; j < n; j++ {
+		s += math.Pow(float64(j+1), -alpha)
+	}
+	return s
+}
+
+func TestPowerLawCapsAtColumnHeight(t *testing.T) {
+	// Tiny m forces the head columns to saturate; the overflow redistributes
+	// to later columns and every degree stays ≤ m.
+	a := PowerLaw(8, 50, 300, 2, 5)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 50; j++ {
+		if d := a.ColPtr[j+1] - a.ColPtr[j]; d > 8 {
+			t.Fatalf("column %d degree %d exceeds m=8", j, d)
+		}
+	}
+	if a.NNZ() == 0 {
+		t.Fatal("saturated power-law matrix came out empty")
+	}
+}
+
+func TestPowerLawDeterministic(t *testing.T) {
+	a := PowerLaw(500, 60, 3000, 1.2, 11)
+	b := PowerLaw(500, 60, 3000, 1.2, 11)
+	if a.NNZ() != b.NNZ() {
+		t.Fatal("same seed, different nnz")
+	}
+	for i := range a.Val {
+		if a.Val[i] != b.Val[i] || a.RowIdx[i] != b.RowIdx[i] {
+			t.Fatal("same seed, different matrix")
+		}
+	}
+}
+
 func TestBlockDiagonalish(t *testing.T) {
 	a := BlockDiagonalish(200, 100, 4, 0.3, 0.001, 7)
 	if err := a.Validate(); err != nil {

@@ -291,6 +291,102 @@ func TestBlockedCSRAt(t *testing.T) {
 	}
 }
 
+func TestSlabNNZMatchesColPtr(t *testing.T) {
+	a := RandomUniform(300, 80, 0.05, 19)
+	for _, rng := range [][2]int{{0, 80}, {0, 0}, {80, 80}, {10, 10}, {7, 31}, {79, 80}} {
+		j0, j1 := rng[0], rng[1]
+		want := 0
+		for j := j0; j < j1; j++ {
+			want += a.ColPtr[j+1] - a.ColPtr[j]
+		}
+		if got := a.SlabNNZ(j0, j1); got != want {
+			t.Fatalf("SlabNNZ(%d,%d) = %d, want %d", j0, j1, got, want)
+		}
+	}
+	if a.SlabNNZ(0, a.N) != a.NNZ() {
+		t.Fatal("full-slab SlabNNZ != NNZ")
+	}
+	for _, bad := range [][2]int{{-1, 5}, {5, 4}, {0, 81}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SlabNNZ(%d,%d) did not panic", bad[0], bad[1])
+				}
+			}()
+			a.SlabNNZ(bad[0], bad[1])
+		}()
+	}
+}
+
+func TestUniformColSplit(t *testing.T) {
+	cases := []struct {
+		n, bn int
+		want  []int
+	}{
+		{33, 10, []int{0, 10, 20, 30, 33}},
+		{30, 10, []int{0, 10, 20, 30}},
+		{5, 10, []int{0, 5}},
+		{0, 10, []int{0}},
+		{1, 1, []int{0, 1}},
+	}
+	for _, c := range cases {
+		got := UniformColSplit(c.n, c.bn)
+		if len(got) != len(c.want) {
+			t.Fatalf("UniformColSplit(%d,%d) = %v, want %v", c.n, c.bn, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("UniformColSplit(%d,%d) = %v, want %v", c.n, c.bn, got, c.want)
+			}
+		}
+	}
+}
+
+// A variable-width partition must reassemble to the same matrix and keep At
+// correct across the uneven slab boundaries.
+func TestBlockedCSRPartitionVariableWidths(t *testing.T) {
+	a := RandomUniform(60, 40, 0.12, 23)
+	colStart := []int{0, 1, 4, 5, 17, 30, 40} // deliberately ragged
+	for _, workers := range []int{1, 4} {
+		b := NewBlockedCSRPartition(a, colStart, workers)
+		if b.NumBlocks() != len(colStart)-1 {
+			t.Fatalf("workers=%d: %d blocks, want %d", workers, b.NumBlocks(), len(colStart)-1)
+		}
+		if b.NNZ() != a.NNZ() {
+			t.Fatalf("workers=%d: nnz %d != %d", workers, b.NNZ(), a.NNZ())
+		}
+		if b.BlockCols != 13 {
+			t.Fatalf("workers=%d: nominal width %d, want 13 (widest slab)", workers, b.BlockCols)
+		}
+		for j := 0; j < a.N; j++ {
+			for i := 0; i < a.M; i++ {
+				if a.At(i, j) != b.At(i, j) {
+					t.Fatalf("workers=%d: At(%d,%d) mismatch", workers, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestBlockedCSRPartitionRejectsBadPartitions(t *testing.T) {
+	a := RandomUniform(20, 10, 0.2, 29)
+	for _, bad := range [][]int{
+		{1, 10},        // does not start at 0
+		{0, 5},         // does not end at n
+		{0, 5, 5, 10},  // empty slab
+		{0, 7, 3, 10},  // non-monotone
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("partition %v accepted", bad)
+				}
+			}()
+			NewBlockedCSRPartition(a, bad, 1)
+		}()
+	}
+}
+
 func TestCSRMulVecTAgainstCSC(t *testing.T) {
 	r := rand.New(rand.NewSource(31))
 	a := RandomUniform(40, 25, 0.15, 31)

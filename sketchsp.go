@@ -74,6 +74,8 @@ type (
 	PlanStats = core.PlanStats
 	// Algorithm selects the compute kernel (Alg3 or Alg4).
 	Algorithm = core.Algorithm
+	// Scheduler selects how a Plan maps block tasks onto workers.
+	Scheduler = core.Scheduler
 	// Distribution selects the distribution of S's entries.
 	Distribution = rng.Distribution
 	// SourceKind selects the RNG engine.
@@ -92,6 +94,20 @@ const (
 	// §III-B cost model (set SketchOptions.RNGCost to this host's measured
 	// h for a better-informed choice).
 	AlgAuto = core.AlgAuto
+)
+
+// Task schedulers (SketchOptions.Sched). The choice never changes the
+// sketch bits — only how columns group into slabs and which worker computes
+// which block.
+const (
+	// SchedWeighted is the default: nnz-weighted slab repartition, LPT
+	// prepacked per-worker queues, work stealing from the heaviest victim.
+	SchedWeighted = core.SchedWeighted
+	// SchedNoSteal keeps the weighted partition but disables stealing.
+	SchedNoSteal = core.SchedNoSteal
+	// SchedUniform is the uniform-grid shared-channel dispatch (the A/B
+	// baseline for the skew benchmarks).
+	SchedUniform = core.SchedUniform
 )
 
 // Distributions for the entries of S.
@@ -232,6 +248,14 @@ func NewDense(r, c int) *Matrix { return dense.NewMatrix(r, c) }
 // given density, values uniform in (-1, 1).
 func RandomUniform(m, n int, density float64, seed int64) *CSC {
 	return sparse.RandomUniform(m, n, density, seed)
+}
+
+// PowerLaw generates a sparse matrix whose column degrees follow a Zipf
+// power law with exponent alpha (column j receives ∝ (j+1)^−alpha of the
+// nnz budget), values uniform in (-1, 1) — the skewed workload for the
+// scheduler benchmarks. alpha = 0 degenerates to uniform column degrees.
+func PowerLaw(m, n, nnz int, alpha float64, seed int64) *CSC {
+	return sparse.PowerLaw(m, n, nnz, alpha, seed)
 }
 
 // ReadMatrixMarketFile parses a MatrixMarket coordinate file.
