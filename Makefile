@@ -18,9 +18,12 @@ vet:
 	$(GO) vet ./...
 
 # The planner/executor worker pool and the solvers that reuse plans are the
-# concurrency-sensitive surface; race-check them on every PR.
+# concurrency-sensitive surface; race-check them on every PR. The service
+# suite (plan cache, single-flight, eviction/cancellation hammers) runs
+# twice so a lucky interleaving on the first pass doesn't mask a race.
 race:
 	$(GO) test -race ./internal/core/... ./internal/solver/...
+	$(GO) test -race -count=2 ./internal/service/...
 
 bench:
 	$(GO) test -bench . -benchtime 1x ./...
@@ -29,3 +32,5 @@ bench:
 # measured imbalance ratio) per scheduler into BENCH_PR2.json.
 bench-json:
 	$(GO) run ./cmd/spmmbench -skew -scale 0.05 -json BENCH_PR2.json
+	$(GO) test -run - -bench BenchmarkServiceHit -benchtime 100x .
+	$(GO) run ./cmd/spmmbench -serve -scale 0.05 -json BENCH_PR3.json

@@ -5,6 +5,7 @@
 package sketchsp
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -554,6 +555,43 @@ func BenchmarkPlanReuse(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				sk.SketchInto(out, a)
+			}
+		})
+	}
+}
+
+// BenchmarkServiceHit mirrors BenchmarkPlanReuse one layer up: the whole
+// service request path on a cache hit — admission gate, O(nnz) fingerprint,
+// cache lookup, refcount, allocation-free Execute, metrics — versus the
+// bare plan execute it wraps. The hit path must stay at 0 allocs/op
+// (TestServiceHitZeroAlloc in internal/service enforces it; the -benchmem
+// column here shows it). Wired into `make bench-json`, with serve-mode
+// results recorded in BENCH_PR3.json.
+func BenchmarkServiceHit(b *testing.B) {
+	a, d := benchMatrix(b)
+	configs := []struct {
+		name string
+		opts SketchOptions
+	}{
+		{"Alg3/seq", SketchOptions{Algorithm: Alg3, Seed: 1, Workers: 1}},
+		{"Alg4/workers4", SketchOptions{Algorithm: Alg4, Seed: 1, Workers: 4, BlockD: 450, BlockN: 150}},
+	}
+	for _, cfg := range configs {
+		cfg := cfg
+		b.Run(cfg.name, func(b *testing.B) {
+			svc := NewService(ServiceConfig{Capacity: 4, MaxInFlight: 2})
+			defer svc.Close()
+			out := NewDense(d, a.N)
+			ctx := context.Background()
+			if _, err := svc.SketchInto(ctx, out, a, d, cfg.opts); err != nil {
+				b.Fatal(err) // miss: build the plan, warm the pool
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := svc.SketchInto(ctx, out, a, d, cfg.opts); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}

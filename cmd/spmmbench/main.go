@@ -10,6 +10,7 @@
 //	spmmbench -table 2 -scale 0.1   # one table, custom matrix scale
 //	spmmbench -fig 4                # the Figure 4 density sweep
 //	spmmbench -skew -json out.json  # scheduler A/B on skewed inputs
+//	spmmbench -serve -clients 8     # concurrent sketch-service replay
 package main
 
 import (
@@ -42,12 +43,12 @@ var (
 	figDir  = flag.String("figdir", "", "also write Figure 4 as an SVG chart into this directory")
 	csvOut  = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
 	skew    = flag.Bool("skew", false, "run the scheduler A/B suite on skewed sparsity (uniform vs AbnormalB/Banded/power-law)")
-	jsonOut = flag.String("json", "", "with -skew: also write the records as JSON to this file")
+	jsonOut = flag.String("json", "", "with -skew or -serve: also write the records as JSON to this file")
 )
 
 func main() {
 	flag.Parse()
-	if !*all && *table == 0 && *fig == 0 && !*skew {
+	if !*all && *table == 0 && *fig == 0 && !*skew && !*serve {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -71,6 +72,9 @@ func main() {
 	}
 	if *all || *skew {
 		skewSuite()
+	}
+	if *serve {
+		serveSuite()
 	}
 }
 

@@ -1,0 +1,255 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sketchsp/internal/bench"
+	"sketchsp/internal/core"
+	"sketchsp/internal/dense"
+	"sketchsp/internal/service"
+	"sketchsp/internal/sparse"
+)
+
+// The -serve mode replays a mixed multi-matrix workload through the
+// concurrent sketch service: several client goroutines issue requests whose
+// matrix popularity follows a Zipf-ish law (a couple of hot matrices, a
+// tail of cold ones), the cache capacity sits below the matrix count so
+// evictions keep flowing, and the run ends with the ServiceStats snapshot —
+// hit rate, builds/evictions, latency quantiles, per-entry imbalance — plus
+// an in-process measurement of the cache-hit path (ns/op, allocs/op,
+// mirroring BenchmarkServiceHit). With -json the record set is written out
+// (the bench-json Make target appends it to BENCH_PR3.json).
+
+var (
+	serve     = flag.Bool("serve", false, "replay a mixed multi-matrix workload through the concurrent sketch service")
+	clients   = flag.Int("clients", 8, "with -serve: concurrent client goroutines")
+	requests  = flag.Int("requests", 300, "with -serve: total requests replayed")
+	cacheCap  = flag.Int("cache", 4, "with -serve: plan-cache capacity (below the matrix count to force evictions)")
+	inFlight  = flag.Int("inflight", 0, "with -serve: MaxInFlight admission bound (0 = GOMAXPROCS)")
+	hitBenchN = flag.Int("hitbench", 50, "with -serve: iterations of the cache-hit micro-measurement (0 disables)")
+)
+
+// serveWorkload is one matrix of the replay mix.
+type serveWorkload struct {
+	name   string
+	a      *sparse.CSC
+	d      int
+	opts   core.Options
+	weight float64 // relative popularity
+}
+
+// serveRecord is the JSON schema of a -serve run.
+type serveRecord struct {
+	Clients     int     `json:"clients"`
+	Requests    int64   `json:"requests"`
+	Errors      int64   `json:"errors"`
+	CacheCap    int     `json:"cache_capacity"`
+	Matrices    int     `json:"matrices"`
+	HitRate     float64 `json:"hit_rate"`
+	Builds      int64   `json:"builds"`
+	Evictions   int64   `json:"evictions"`
+	Cancels     int64   `json:"cancels"`
+	Rejections  int64   `json:"rejections"`
+	WallMS      float64 `json:"wall_ms"`
+	ThroughputS float64 `json:"requests_per_s"`
+	P50us       int64   `json:"latency_p50_us"`
+	P95us       int64   `json:"latency_p95_us"`
+	P99us       int64   `json:"latency_p99_us"`
+	MeanUS      int64   `json:"latency_mean_us"`
+	HitNsOp     int64   `json:"hit_bench_ns_op"`
+	HitAllocsOp float64 `json:"hit_bench_allocs_op"`
+}
+
+func serveWorkloads() []serveWorkload {
+	m := int(200000 * *scale)
+	n := int(15000 * *scale)
+	nnz := int(3e6 * *scale)
+	if m < 2000 {
+		m = 2000
+	}
+	if n < 200 {
+		n = 200
+	}
+	if nnz < 20000 {
+		nnz = 20000
+	}
+	density := float64(nnz) / (float64(m) * float64(n))
+	base := core.Options{Algorithm: core.AlgAuto, Seed: uint64(*seed), Sched: core.SchedWeighted}
+	mk := func(name string, a *sparse.CSC, weight float64) serveWorkload {
+		return serveWorkload{name: name, a: a, d: (3 * a.N) / 5, opts: base, weight: weight}
+	}
+	// Two hot matrices, a warm middle, a cold tail — with the default
+	// -cache 4 the tail keeps evicting the middle while the hot pair stays
+	// resident, which is the regime a plan cache is for.
+	return []serveWorkload{
+		mk("hot-uniform", sparse.RandomUniform(m, n, density, *seed), 8),
+		mk("hot-powerlaw", sparse.PowerLaw(m, n, nnz, 1.6, *seed+1), 5),
+		mk("warm-banded", sparse.Banded(m/2, n, n/50+1, 0.5, *seed+2), 3),
+		mk("warm-uniform-wide", sparse.RandomUniform(m/2, 2*n, density/2, *seed+3), 2),
+		mk("cold-abnormalB", sparse.AbnormalB(m/2, n, nnz/2, 2998.0/3000.0, *seed+4), 1),
+		mk("cold-uniform-small", sparse.RandomUniform(m/4, n/2, density*2, *seed+5), 1),
+	}
+}
+
+func serveSuite() {
+	wls := serveWorkloads()
+	// RequestTimeout stays 0: a service deadline wraps every context in
+	// WithTimeout, which allocates and would pollute the cache-hit
+	// allocs/op measurement below.
+	svc := service.New(service.Config{
+		Capacity:    *cacheCap,
+		MaxInFlight: *inFlight,
+	})
+	defer svc.Close()
+
+	// Cumulative popularity table for the Zipf-ish draw.
+	cum := make([]float64, len(wls))
+	total := 0.0
+	for i, w := range wls {
+		total += w.weight
+		cum[i] = total
+	}
+	pick := func(r *rand.Rand) int {
+		x := r.Float64() * total
+		for i, c := range cum {
+			if x < c {
+				return i
+			}
+		}
+		return len(wls) - 1
+	}
+
+	var issued, failed atomic.Int64
+	budget := int64(*requests)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(*seed)*1000 + int64(c)))
+			outs := make(map[int]*dense.Matrix, len(wls))
+			ctx := context.Background()
+			for issued.Add(1) <= budget {
+				i := pick(r)
+				w := wls[i]
+				out, ok := outs[i]
+				if !ok {
+					out = dense.NewMatrix(w.d, w.a.N)
+					outs[i] = out
+				}
+				if _, err := svc.SketchInto(ctx, out, w.a, w.d, w.opts); err != nil {
+					failed.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	st := svc.Stats()
+
+	lookups := st.Hits + st.Misses
+	hitRate := 0.0
+	if lookups > 0 {
+		hitRate = float64(st.Hits) / float64(lookups)
+	}
+	fmt.Printf("\nSERVE SUITE — %d requests, %d clients, cache %d/%d matrices, GOMAXPROCS=%d\n",
+		st.Requests, *clients, *cacheCap, len(wls), runtime.GOMAXPROCS(0))
+	fmt.Printf("  wall %v  (%.0f req/s)   hit rate %.1f%%   builds %d   evictions %d   errors %d\n",
+		wall.Round(time.Millisecond), float64(st.Requests)/wall.Seconds(),
+		100*hitRate, st.Builds, st.Evictions, failed.Load())
+	fmt.Printf("  latency mean %v   p50 %v   p95 %v   p99 %v   max %v\n",
+		st.LatencyMean, st.LatencyP50, st.LatencyP95, st.LatencyP99, st.LatencyMax)
+
+	t := bench.NewTable("resident cache entries (MRU first)",
+		"matrix", "nnz", "d", "alg", "executes", "steals", "imb.mean", "imb.max", "pred.imb")
+	for _, e := range st.Entries {
+		name := fmt.Sprintf("%dx%d", e.M, e.N)
+		for _, w := range wls {
+			if w.a.M == e.M && w.a.N == e.N && w.a.NNZ() == e.NNZ {
+				name = w.name
+				break
+			}
+		}
+		t.AddRow(name, e.NNZ, e.D, e.Plan.Algorithm.String(), e.Executes, e.Steals,
+			fmt.Sprintf("%.2f", e.MeanImbalance),
+			fmt.Sprintf("%.2f", e.MaxImbalance),
+			fmt.Sprintf("%.2f", e.Plan.PredictedImbalance))
+	}
+	emit(t)
+
+	// Cache-hit micro-measurement: single caller, hottest matrix resident,
+	// tight loop — the in-process twin of BenchmarkServiceHit. Allocations
+	// are counted via MemStats mallocs, so 0.0 here is the same guarantee
+	// the AllocsPerRun test pins.
+	var hitNS int64
+	var hitAllocs float64
+	if *hitBenchN > 0 {
+		w := wls[0]
+		out := dense.NewMatrix(w.d, w.a.N)
+		ctx := context.Background()
+		if _, err := svc.SketchInto(ctx, out, w.a, w.d, w.opts); err != nil {
+			fmt.Fprintln(os.Stderr, "spmmbench: hit bench warmup:", err)
+		} else {
+			var ms0, ms1 runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&ms0)
+			t0 := time.Now()
+			for i := 0; i < *hitBenchN; i++ {
+				if _, err := svc.SketchInto(ctx, out, w.a, w.d, w.opts); err != nil {
+					fmt.Fprintln(os.Stderr, "spmmbench: hit bench:", err)
+					break
+				}
+			}
+			dt := time.Since(t0)
+			runtime.ReadMemStats(&ms1)
+			hitNS = dt.Nanoseconds() / int64(*hitBenchN)
+			hitAllocs = float64(ms1.Mallocs-ms0.Mallocs) / float64(*hitBenchN)
+			fmt.Printf("\ncache-hit path (%s): %d ns/op   %.1f allocs/op over %d iterations\n",
+				w.name, hitNS, hitAllocs, *hitBenchN)
+		}
+	}
+
+	if *jsonOut != "" {
+		rec := serveRecord{
+			Clients:     *clients,
+			Requests:    st.Requests,
+			Errors:      failed.Load(),
+			CacheCap:    *cacheCap,
+			Matrices:    len(wls),
+			HitRate:     hitRate,
+			Builds:      st.Builds,
+			Evictions:   st.Evictions,
+			Cancels:     st.Cancels,
+			Rejections:  st.Rejections,
+			WallMS:      float64(wall.Microseconds()) / 1000,
+			ThroughputS: float64(st.Requests) / wall.Seconds(),
+			P50us:       st.LatencyP50.Microseconds(),
+			P95us:       st.LatencyP95.Microseconds(),
+			P99us:       st.LatencyP99.Microseconds(),
+			MeanUS:      st.LatencyMean.Microseconds(),
+			HitNsOp:     hitNS,
+			HitAllocsOp: hitAllocs,
+		}
+		buf, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spmmbench:", err)
+			return
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonOut, buf, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "spmmbench:", err)
+			return
+		}
+		fmt.Printf("(wrote %s)\n", *jsonOut)
+	}
+}

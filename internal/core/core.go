@@ -172,11 +172,11 @@ const (
 // positive.
 func NewSketcher(d int, opts Options) (*Sketcher, error) {
 	if d <= 0 {
-		return nil, fmt.Errorf("core: sketch size d=%d must be positive", d)
+		return nil, fmt.Errorf("%w: d=%d", ErrInvalidSketchSize, d)
 	}
 	if opts.BlockD < 0 || opts.BlockN < 0 || opts.Workers < 0 {
-		return nil, fmt.Errorf("core: negative option (BlockD=%d BlockN=%d Workers=%d)",
-			opts.BlockD, opts.BlockN, opts.Workers)
+		return nil, fmt.Errorf("%w: negative (BlockD=%d BlockN=%d Workers=%d)",
+			ErrBadOptions, opts.BlockD, opts.BlockN, opts.Workers)
 	}
 	return &Sketcher{d: d, opts: opts}, nil
 }

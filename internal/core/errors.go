@@ -1,0 +1,55 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"sketchsp/internal/sparse"
+)
+
+// Typed errors for the construction and execution surfaces. Callers match
+// them with errors.Is; the concrete messages wrap these sentinels with the
+// offending values. The facade re-exports them, so a serving layer can
+// classify a failed request (bad argument vs closed plan) without string
+// matching.
+var (
+	// ErrNilMatrix is returned when the sparse input matrix is nil.
+	ErrNilMatrix = errors.New("core: nil input matrix")
+	// ErrInvalidSketchSize is returned when the sketch size d is not
+	// positive.
+	ErrInvalidSketchSize = errors.New("core: sketch size must be positive")
+	// ErrInvalidMatrix is returned when the CSC input is structurally
+	// broken — e.g. the zero value &CSC{}, whose ColPtr is nil instead of
+	// the required N+1-length prefix-sum array. (Degenerate but *valid*
+	// shapes — 0×n, m×0, empty columns — are not errors; they sketch to
+	// zero blocks.)
+	ErrInvalidMatrix = errors.New("core: structurally invalid CSC matrix")
+	// ErrBadOptions is returned for out-of-domain Options fields
+	// (negative block sizes or worker counts, unknown scheduler).
+	ErrBadOptions = errors.New("core: invalid options")
+	// ErrPlanClosed is returned by Execute on a plan whose references have
+	// all been released (or that was Closed directly).
+	ErrPlanClosed = errors.New("core: plan is closed")
+)
+
+// quickValidate performs the O(1) structural checks NewPlan relies on. The
+// full O(nnz) CSC.Validate is the constructor's job; here we only reject
+// inputs whose compressed arrays are inconsistent enough to make the
+// planner index out of bounds — the zero-value &CSC{} with its nil ColPtr,
+// a ColPtr that does not cover all N columns, or mismatched nnz arrays. It
+// never walks the entries.
+func quickValidate(a *sparse.CSC) error {
+	switch {
+	case a.M < 0 || a.N < 0:
+		return fmt.Errorf("%w: negative dims %dx%d", ErrInvalidMatrix, a.M, a.N)
+	case len(a.ColPtr) != a.N+1:
+		return fmt.Errorf("%w: ColPtr len %d want %d", ErrInvalidMatrix, len(a.ColPtr), a.N+1)
+	case a.ColPtr[0] != 0:
+		return fmt.Errorf("%w: ColPtr[0]=%d want 0", ErrInvalidMatrix, a.ColPtr[0])
+	case len(a.RowIdx) != len(a.Val):
+		return fmt.Errorf("%w: len(RowIdx)=%d != len(Val)=%d", ErrInvalidMatrix, len(a.RowIdx), len(a.Val))
+	case a.ColPtr[a.N] != len(a.Val):
+		return fmt.Errorf("%w: ColPtr[N]=%d != nnz=%d", ErrInvalidMatrix, a.ColPtr[a.N], len(a.Val))
+	}
+	return nil
+}

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sketchsp/internal/analysis"
@@ -94,7 +96,14 @@ type planPool struct {
 // A Plan pins the matrix it was built for: the caller must not mutate A
 // between Execute calls. Execute is safe for concurrent use (calls are
 // serialised internally; each one saturates the plan's workers anyway).
-// Close releases the worker pool; a Plan must not be copied.
+// A Plan must not be copied.
+//
+// Lifecycle: a plan is reference-counted. NewPlan returns it holding one
+// reference, which Close releases (idempotently). Shared holders — a plan
+// cache serving concurrent requests — take additional references with
+// Retain and drop them with Release; the worker pool shuts down when the
+// last reference goes, never mid-Execute, so an evicting cache can Close a
+// plan while requests still execute on it.
 type Plan struct {
 	d    int
 	n    int // columns of A = columns of Â
@@ -115,12 +124,19 @@ type Plan struct {
 	busyBuf  []time.Duration
 	stats    PlanStats
 
-	mu      sync.Mutex // serialises Execute/Close
-	round   sync.WaitGroup
-	ws      []*workspace
-	pool    *planPool
-	curAhat *dense.Matrix
-	closed  bool
+	// gate is a capacity-1 semaphore serialising Execute rounds and the
+	// final shutdown. Unlike a sync.Mutex it can be acquired in a select
+	// against ctx.Done(), which is what makes ExecuteContext's queueing
+	// cancellable.
+	gate     chan struct{}
+	refs     atomic.Int64 // live references; shutdown when it hits 0
+	closeReq atomic.Bool  // Close already released the initial reference
+	round    sync.WaitGroup
+	ws       []*workspace
+	pool     *planPool
+	curAhat  *dense.Matrix
+	curCtx   context.Context // non-nil only while a cancellable round runs
+	closed   bool            // guarded by gate
 }
 
 // NewPlan inspects (a, d, opts) and returns an executable plan. It performs
@@ -129,20 +145,24 @@ type Plan struct {
 // steady-state kernel speed.
 func NewPlan(a *sparse.CSC, d int, opts Options) (*Plan, error) {
 	if a == nil {
-		return nil, fmt.Errorf("core: NewPlan: nil input matrix")
+		return nil, ErrNilMatrix
 	}
 	if d <= 0 {
-		return nil, fmt.Errorf("core: sketch size d=%d must be positive", d)
+		return nil, fmt.Errorf("%w: d=%d", ErrInvalidSketchSize, d)
 	}
 	if opts.BlockD < 0 || opts.BlockN < 0 || opts.Workers < 0 {
-		return nil, fmt.Errorf("core: negative option (BlockD=%d BlockN=%d Workers=%d)",
-			opts.BlockD, opts.BlockN, opts.Workers)
+		return nil, fmt.Errorf("%w: negative (BlockD=%d BlockN=%d Workers=%d)",
+			ErrBadOptions, opts.BlockD, opts.BlockN, opts.Workers)
 	}
 	if opts.Sched < SchedWeighted || opts.Sched > SchedUniform {
-		return nil, fmt.Errorf("core: unknown scheduler %d", int(opts.Sched))
+		return nil, fmt.Errorf("%w: unknown scheduler %d", ErrBadOptions, int(opts.Sched))
+	}
+	if err := quickValidate(a); err != nil {
+		return nil, err
 	}
 	start := time.Now()
-	p := &Plan{d: d, n: a.N, opts: opts, schedIs: opts.Sched}
+	p := &Plan{d: d, n: a.N, opts: opts, schedIs: opts.Sched, gate: make(chan struct{}, 1)}
+	p.refs.Store(1)
 
 	// Resolve AlgAuto once, at plan time (the inspector of §III-B).
 	alg := opts.Algorithm
@@ -287,6 +307,17 @@ func (p *Plan) Stats() PlanStats { return p.stats }
 // blocking), independent of the worker count, the scheduler, and of how
 // many times the plan has been executed.
 func (p *Plan) Execute(ahat *dense.Matrix) (Stats, error) {
+	return p.ExecuteContext(context.Background(), ahat)
+}
+
+// ExecuteContext is Execute with cancellation: the wait for the plan's
+// execute slot is a select against ctx.Done(), and once the round is
+// running the workers poll ctx between tasks and bail out early on
+// cancellation — a deadline or cancel therefore propagates into the worker
+// pool instead of letting the round run to completion. On a ctx error the
+// returned Stats are zero and ahat holds a partial, unusable sketch.
+// Like Execute, steady-state calls allocate nothing.
+func (p *Plan) ExecuteContext(ctx context.Context, ahat *dense.Matrix) (Stats, error) {
 	if ahat == nil {
 		return Stats{}, fmt.Errorf("core: Execute: nil output matrix")
 	}
@@ -294,10 +325,17 @@ func (p *Plan) Execute(ahat *dense.Matrix) (Stats, error) {
 		return Stats{}, fmt.Errorf("core: Execute Â is %dx%d, want %dx%d",
 			ahat.Rows, ahat.Cols, p.d, p.n)
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	select {
+	case p.gate <- struct{}{}:
+	case <-ctx.Done():
+		return Stats{}, ctx.Err()
+	}
+	defer func() { <-p.gate }()
 	if p.closed {
-		return Stats{}, fmt.Errorf("core: Execute on closed Plan")
+		return Stats{}, ErrPlanClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return Stats{}, err
 	}
 	start := time.Now()
 	ahat.Zero()
@@ -308,6 +346,13 @@ func (p *Plan) Execute(ahat *dense.Matrix) (Stats, error) {
 		ws.steals = 0
 	}
 	p.curAhat = ahat
+	if ctx.Done() != nil {
+		// Publish the context for the workers' between-task cancellation
+		// polls. The channel sends below give the happens-before edge; the
+		// field stays nil for uncancellable contexts so the hot path pays
+		// no Err() calls.
+		p.curCtx = ctx
+	}
 	if p.workers > 1 {
 		if p.pool == nil {
 			p.startPool()
@@ -339,6 +384,12 @@ func (p *Plan) Execute(ahat *dense.Matrix) (Stats, error) {
 		ws.busy = time.Since(t0)
 	}
 	p.curAhat = nil
+	p.curCtx = nil
+	if err := ctx.Err(); err != nil {
+		// The round was cut short: remaining tasks were skipped, so ahat
+		// is partial garbage. Report the cancellation, not stats.
+		return Stats{}, err
+	}
 
 	st := Stats{Flops: p.flops}
 	var maxBusy, sumBusy time.Duration
@@ -360,12 +411,46 @@ func (p *Plan) Execute(ahat *dense.Matrix) (Stats, error) {
 	return st, nil
 }
 
-// Close shuts down the plan's persistent worker pool. It is idempotent;
-// Execute after Close returns an error. Sequential plans (Workers == 1)
-// hold no pool and Close is a no-op for them.
+// Close releases the reference NewPlan handed out. It is idempotent. If no
+// Retain-ed references remain, the worker pool shuts down (waiting out any
+// in-flight Execute) and subsequent Executes return ErrPlanClosed;
+// otherwise shutdown is deferred to the final Release.
 func (p *Plan) Close() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	if p.closeReq.CompareAndSwap(false, true) {
+		p.Release()
+	}
+}
+
+// Retain takes an additional reference on the plan, keeping its worker pool
+// alive across Close until the matching Release. It reports false — and
+// takes nothing — when every reference is already gone (the plan is closed
+// or closing); a caller seeing false must not Execute.
+func (p *Plan) Retain() bool {
+	for {
+		r := p.refs.Load()
+		if r <= 0 {
+			return false
+		}
+		if p.refs.CompareAndSwap(r, r+1) {
+			return true
+		}
+	}
+}
+
+// Release drops a reference taken by Retain (or, via Close, the initial
+// one). The last Release shuts the worker pool down; it waits for an
+// in-flight Execute to finish first, so a cache can release a plan that
+// concurrent requests are still executing on without a use-after-close.
+func (p *Plan) Release() {
+	n := p.refs.Add(-1)
+	if n > 0 {
+		return
+	}
+	if n < 0 {
+		panic("core: Plan reference over-released")
+	}
+	p.gate <- struct{}{}
+	defer func() { <-p.gate }()
 	if p.closed {
 		return
 	}
@@ -460,6 +545,11 @@ func (p *Plan) runWorker(w int, ws *workspace) {
 // reproducible regardless of scheduling because every kernel call re-anchors
 // the RNG at its own (block-row, sparse-row) checkpoints.
 func (p *Plan) runTask(t blockTask, ws *workspace) {
+	if c := p.curCtx; c != nil && c.Err() != nil {
+		// Round cancelled: skip the compute but keep draining, so the
+		// claim/channel protocol and the round WaitGroup stay balanced.
+		return
+	}
 	sub := &ws.sub
 	p.curAhat.ViewInto(sub, t.i0, t.j0, t.d1, t.n1)
 	if p.alg == Alg4 {

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"sketchsp/internal/dense"
+	"sketchsp/internal/sparse"
+)
+
+// TestTypedConstructionErrors pins the typed-error contract: bad arguments
+// produce errors matchable with errors.Is, never panics, and degenerate but
+// structurally valid shapes are accepted.
+func TestTypedConstructionErrors(t *testing.T) {
+	valid := sparse.RandomUniform(50, 10, 0.2, 1)
+	cases := []struct {
+		name string
+		a    *sparse.CSC
+		d    int
+		opts Options
+		want error
+	}{
+		{"nil matrix", nil, 8, Options{}, ErrNilMatrix},
+		{"zero d", valid, 0, Options{}, ErrInvalidSketchSize},
+		{"negative d", valid, -3, Options{}, ErrInvalidSketchSize},
+		{"zero-value CSC", &sparse.CSC{}, 8, Options{}, ErrInvalidMatrix},
+		{"truncated ColPtr", &sparse.CSC{M: 2, N: 3, ColPtr: []int{0, 0}}, 8, Options{}, ErrInvalidMatrix},
+		{"inconsistent nnz", &sparse.CSC{M: 2, N: 1, ColPtr: []int{0, 2}, RowIdx: []int{0}, Val: []float64{1}}, 8, Options{}, ErrInvalidMatrix},
+		{"negative workers", valid, 8, Options{Workers: -1}, ErrBadOptions},
+		{"unknown scheduler", valid, 8, Options{Sched: Scheduler(99)}, ErrBadOptions},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := NewPlan(tc.a, tc.d, tc.opts)
+			if p != nil {
+				defer p.Close()
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("NewPlan error = %v, want errors.Is(%v)", err, tc.want)
+			}
+		})
+	}
+	// Degenerate valid shapes must plan and execute.
+	for _, deg := range []*sparse.CSC{
+		{M: 0, N: 4, ColPtr: []int{0, 0, 0, 0, 0}},
+		{M: 7, N: 0, ColPtr: []int{0}},
+	} {
+		p, err := NewPlan(deg, 5, Options{Seed: 1})
+		if err != nil {
+			t.Fatalf("degenerate %dx%d rejected: %v", deg.M, deg.N, err)
+		}
+		out := dense.NewMatrix(5, deg.N)
+		if _, err := p.Execute(out); err != nil {
+			t.Fatalf("degenerate %dx%d execute: %v", deg.M, deg.N, err)
+		}
+		for _, v := range out.Data {
+			if v != 0 {
+				t.Fatalf("degenerate sketch has nonzero entry %v", v)
+			}
+		}
+		p.Close()
+	}
+	if _, err := NewSketcher(0, Options{}); !errors.Is(err, ErrInvalidSketchSize) {
+		t.Fatalf("NewSketcher(0) error = %v", err)
+	}
+}
+
+// TestExecuteContextCancellation checks the two cancellation points: a
+// context that is dead on arrival never starts the round, and a cancel
+// landing mid-round propagates into the worker pool, cutting the round
+// short — after which the plan stays healthy for subsequent executes.
+func TestExecuteContextCancellation(t *testing.T) {
+	a := sparse.RandomUniform(30000, 300, 0.01, 7)
+	d := 450
+	opts := Options{Seed: 3, Workers: 2, BlockD: 64}
+	p, err := NewPlan(a, d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	out := dense.NewMatrix(d, a.N)
+
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.ExecuteContext(dead, out); !errors.Is(err, context.Canceled) {
+		t.Fatalf("dead-on-arrival ctx: err = %v, want Canceled", err)
+	}
+
+	ctx, cancel2 := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancel2()
+	}()
+	if _, err := p.ExecuteContext(ctx, out); !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-round cancel: err = %v, want Canceled", err)
+	}
+
+	// The plan must still produce correct bits after an aborted round.
+	st, err := p.Execute(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Samples == 0 {
+		t.Fatal("post-cancel execute generated no samples")
+	}
+	fresh, err := NewPlan(a, d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Close()
+	want := dense.NewMatrix(d, a.N)
+	if _, err := fresh.Execute(want); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Data {
+		if math.Float64bits(want.Data[i]) != math.Float64bits(out.Data[i]) {
+			t.Fatalf("post-cancel execute diverged at flat index %d", i)
+		}
+	}
+}
+
+// TestPlanRetainRelease pins the reference-counting lifecycle: Close only
+// releases the initial reference, Retain-ed holders keep executing, the
+// last Release shuts down, and both Close and Retain behave at the
+// boundaries (idempotent close, Retain-after-death refusal).
+func TestPlanRetainRelease(t *testing.T) {
+	a := sparse.RandomUniform(500, 50, 0.05, 2)
+	p, err := NewPlan(a, 75, Options{Seed: 1, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := dense.NewMatrix(75, a.N)
+
+	if !p.Retain() {
+		t.Fatal("Retain on a live plan refused")
+	}
+	p.Close() // releases the initial reference; ours keeps it alive
+	p.Close() // idempotent
+	if _, err := p.Execute(out); err != nil {
+		t.Fatalf("Execute with a retained reference after Close: %v", err)
+	}
+	p.Release() // last reference: worker pool shuts down
+	if _, err := p.Execute(out); !errors.Is(err, ErrPlanClosed) {
+		t.Fatalf("Execute after final release: err = %v, want ErrPlanClosed", err)
+	}
+	if p.Retain() {
+		t.Fatal("Retain succeeded on a fully released plan")
+	}
+}

@@ -1,0 +1,171 @@
+package service
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"time"
+
+	"sketchsp/internal/core"
+	"sketchsp/internal/sparse"
+)
+
+// planKey identifies a cacheable plan: the structural fingerprint of the
+// input matrix plus the sketch configuration. core.Options is a flat struct
+// of scalars, so the key is comparable and map lookups allocate nothing.
+// Options are keyed verbatim: requests that spell the same effective
+// configuration differently (Workers 0 vs the resolved GOMAXPROCS) cache
+// separately, which costs a duplicate plan but never a wrong answer.
+type planKey struct {
+	fp   sparse.Fingerprint
+	d    int
+	opts core.Options
+}
+
+// entry is one cache slot: the single-flight build state plus the per-entry
+// aggregation of execute metrics. The cache's reference to the plan is the
+// initial NewPlan reference, released by entry.close on eviction; every
+// request Retains around its own Execute.
+type entry struct {
+	key   planKey
+	ready chan struct{} // closed when the build finished (plan or err set)
+	plan  *core.Plan
+	err   error
+	elem  *list.Element
+
+	mu       sync.Mutex // guards the aggregates below
+	executes int64
+	steals   int64
+	busy     time.Duration
+	imbN     int64 // parallel rounds that measured an imbalance ratio
+	imbSum   float64
+	imbMax   float64
+}
+
+// record folds one execute's stats into the entry aggregates.
+func (e *entry) record(st core.Stats) {
+	e.mu.Lock()
+	e.executes++
+	e.steals += st.Steals
+	e.busy += st.Total
+	if st.Imbalance > 0 {
+		e.imbN++
+		e.imbSum += st.Imbalance
+		if st.Imbalance > e.imbMax {
+			e.imbMax = st.Imbalance
+		}
+	}
+	e.mu.Unlock()
+}
+
+// close releases the cache's plan reference. It waits for an in-progress
+// build first (an entry can be evicted while still building under churn);
+// in-flight executes are unaffected — they hold their own references.
+func (e *entry) close() {
+	<-e.ready
+	if e.plan != nil {
+		e.plan.Close()
+	}
+}
+
+// plan resolves the key to a live, Retain-ed plan, building it under
+// single-flight on a miss. The caller must Release the returned plan. The
+// returned entry is valid for stats recording as long as the plan is held.
+//
+// The retry loop covers one rare race: between observing a ready entry and
+// Retain-ing its plan, an eviction plus the last concurrent Release may
+// have shut the plan down. Retain then reports false and the request
+// rebuilds — correctness never depends on eviction timing.
+func (s *Service) plan(ctx context.Context, k planKey, a *sparse.CSC) (*core.Plan, *entry, error) {
+	for {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return nil, nil, ErrClosed
+		}
+		e, ok := s.entries[k]
+		var evicted []*entry
+		if ok {
+			s.lru.MoveToFront(e.elem)
+			s.hits.Add(1)
+			s.mu.Unlock()
+		} else {
+			s.misses.Add(1)
+			e = &entry{key: k, ready: make(chan struct{})}
+			e.elem = s.lru.PushFront(e)
+			s.entries[k] = e
+			evicted = s.evictLocked()
+			s.mu.Unlock()
+			for _, old := range evicted {
+				// Closing may wait on a foreign in-progress build; do it
+				// off the request path.
+				go old.close()
+			}
+			s.build(e, a)
+		}
+
+		select {
+		case <-e.ready:
+		case <-ctx.Done():
+			s.cancels.Add(1)
+			return nil, nil, ctx.Err()
+		}
+		if e.err != nil {
+			return nil, nil, e.err
+		}
+		if e.plan.Retain() {
+			return e.plan, e, nil
+		}
+		// Plan fully released under us: drop the dead entry if it is still
+		// mapped, then retry (rebuilding if necessary).
+		s.mu.Lock()
+		if cur, ok := s.entries[k]; ok && cur == e {
+			delete(s.entries, k)
+			s.lru.Remove(e.elem)
+		}
+		s.mu.Unlock()
+	}
+}
+
+// build constructs the plan for a freshly inserted entry and publishes the
+// outcome by closing ready. Exactly one goroutine per entry runs this — the
+// one that inserted it — which is the single-flight guarantee the
+// concurrency suite asserts (builds == distinct keys, regardless of how
+// many requests raced). A failed build removes the entry so later requests
+// retry instead of caching the error forever.
+func (s *Service) build(e *entry, a *sparse.CSC) {
+	defer close(e.ready)
+	p, err := core.NewPlan(a, e.key.d, e.key.opts)
+	if err != nil {
+		e.err = err
+		s.buildErrors.Add(1)
+		s.mu.Lock()
+		if cur, ok := s.entries[e.key]; ok && cur == e {
+			delete(s.entries, e.key)
+			s.lru.Remove(e.elem)
+		}
+		s.mu.Unlock()
+		return
+	}
+	s.builds.Add(1)
+	e.plan = p
+}
+
+// evictLocked trims the LRU tail down to capacity and returns the evicted
+// entries for the caller to close outside the lock (entry.close can block
+// on a build and on the plan's execute gate). Called with s.mu held.
+func (s *Service) evictLocked() []*entry {
+	var out []*entry
+	for s.lru.Len() > s.cfg.Capacity {
+		back := s.lru.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*entry)
+		s.lru.Remove(back)
+		delete(s.entries, e.key)
+		s.evictions.Add(1)
+		out = append(out, e)
+	}
+	return out
+}

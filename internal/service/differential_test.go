@@ -1,0 +1,223 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"sketchsp/internal/core"
+	"sketchsp/internal/dense"
+	"sketchsp/internal/rng"
+	"sketchsp/internal/sparse"
+)
+
+// The differential harness: for every sampled (shape, density,
+// distribution, scheduler, workers, algorithm) configuration, the service —
+// on both its miss path and its cache-hit path — must produce sketches
+// bit-identical to a fresh one-shot Sketcher. This is the correctness
+// contract that lets a serving layer cache plans at all: a cached plan is
+// indistinguishable from planning anew.
+
+// diffShape describes one matrix generator of the configuration space.
+type diffShape struct {
+	name string
+	gen  func(density float64, seed int64) *sparse.CSC
+}
+
+// emptyEvenCols builds an m×n matrix whose even-indexed columns are empty —
+// the empty-column degenerate the fingerprint fuzz target also covers.
+func emptyEvenCols(m, n int, density float64, seed int64) *sparse.CSC {
+	r := rand.New(rand.NewSource(seed))
+	per := int(density * float64(m))
+	if per < 1 {
+		per = 1
+	}
+	coo := sparse.NewCOO(m, n, per*n/2)
+	for j := 1; j < n; j += 2 {
+		for k := 0; k < per; k++ {
+			coo.Append(r.Intn(m), j, r.Float64()*2-1)
+		}
+	}
+	return coo.ToCSC()
+}
+
+func diffShapes() []diffShape {
+	return []diffShape{
+		{"tall-500x80", func(dens float64, seed int64) *sparse.CSC {
+			return sparse.RandomUniform(500, 80, dens, seed)
+		}},
+		{"tall-2000x40", func(dens float64, seed int64) *sparse.CSC {
+			return sparse.RandomUniform(2000, 40, dens, seed)
+		}},
+		{"powerlaw-600x90", func(dens float64, seed int64) *sparse.CSC {
+			nnz := int(dens * 600 * 90)
+			if nnz < 10 {
+				nnz = 10
+			}
+			return sparse.PowerLaw(600, 90, nnz, 1.5, seed)
+		}},
+		{"square-128x128", func(dens float64, seed int64) *sparse.CSC {
+			return sparse.RandomUniform(128, 128, dens, seed)
+		}},
+		{"emptycols-300x64", func(dens float64, seed int64) *sparse.CSC {
+			return emptyEvenCols(300, 64, dens, seed)
+		}},
+		{"degenerate-0xn", func(dens float64, seed int64) *sparse.CSC {
+			return &sparse.CSC{M: 0, N: 33, ColPtr: make([]int, 34)}
+		}},
+		{"degenerate-mx0", func(dens float64, seed int64) *sparse.CSC {
+			return &sparse.CSC{M: 77, N: 0, ColPtr: []int{0}}
+		}},
+		{"single-col", func(dens float64, seed int64) *sparse.CSC {
+			return sparse.RandomUniform(400, 1, dens, seed)
+		}},
+		{"single-row", func(dens float64, seed int64) *sparse.CSC {
+			return sparse.RandomUniform(1, 60, dens, seed)
+		}},
+	}
+}
+
+// assertBitIdentical fails unless got and want agree on every Float64 bit.
+func assertBitIdentical(t *testing.T, label string, want, got *dense.Matrix) {
+	t.Helper()
+	if want.Rows != got.Rows || want.Cols != got.Cols {
+		t.Fatalf("%s: shape %dx%d vs %dx%d", label, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for j := 0; j < want.Cols; j++ {
+		wc, gc := want.Col(j), got.Col(j)
+		for i := range wc {
+			if math.Float64bits(wc[i]) != math.Float64bits(gc[i]) {
+				t.Fatalf("%s: bit mismatch at (%d,%d): % x vs % x",
+					label, i, j, wc[i], gc[i])
+			}
+		}
+	}
+}
+
+// TestDifferentialServiceVsOneShot sweeps the configuration product —
+// 9 shapes × 4 distributions × 3 schedulers with workers, algorithm,
+// density and blocking cycling deterministically — for 108 sampled
+// configurations (well past the 48-configuration acceptance floor). Each
+// one asserts service ≡ one-shot on the miss path AND on the cache-hit
+// path, while a deliberately small cache capacity keeps evictions flowing
+// underneath.
+func TestDifferentialServiceVsOneShot(t *testing.T) {
+	shapes := diffShapes()
+	dists := []rng.Distribution{rng.Uniform11, rng.Rademacher, rng.Gaussian, rng.ScaledInt}
+	scheds := []core.Scheduler{core.SchedWeighted, core.SchedNoSteal, core.SchedUniform}
+	workerChoices := []int{1, 2, 4, 8}
+	algChoices := []core.Algorithm{core.Alg3, core.Alg4, core.AlgAuto}
+	densities := []float64{0.004, 0.02, 0.08}
+
+	svc := New(Config{Capacity: 6, MaxInFlight: 4})
+	defer svc.Close()
+	ctx := context.Background()
+	r := rand.New(rand.NewSource(20240806))
+
+	configs := 0
+	for si, sh := range shapes {
+		for di, dist := range dists {
+			for ci, sched := range scheds {
+				workers := workerChoices[(si+di+ci)%len(workerChoices)]
+				alg := algChoices[(si*2+di+ci)%len(algChoices)]
+				dens := densities[(si+di*2+ci)%len(densities)]
+				seed := uint64(1000 + si*100 + di*10 + ci)
+				a := sh.gen(dens, int64(seed))
+				d := 2*a.N/3 + 7 // always positive, exercises ragged block rows
+				opts := core.Options{
+					Algorithm: alg,
+					Dist:      dist,
+					Sched:     sched,
+					Workers:   workers,
+					Seed:      seed,
+					// Small blocking on some configs forces multi-task
+					// plans even at these test sizes.
+					BlockD: []int{0, 13, 64}[r.Intn(3)],
+					BlockN: []int{0, 9}[r.Intn(2)],
+				}
+				label := fmt.Sprintf("%s/%v/%v/w%d/%v/dens%g",
+					sh.name, dist, sched, workers, alg, dens)
+
+				// Reference: a fresh one-shot sketch.
+				sk, err := core.NewSketcher(d, opts)
+				if err != nil {
+					t.Fatalf("%s: NewSketcher: %v", label, err)
+				}
+				want, _ := sk.Sketch(a)
+
+				// Service, miss path.
+				before := svc.Stats()
+				got1, _, err := svc.Sketch(ctx, a, d, opts)
+				if err != nil {
+					t.Fatalf("%s: service miss path: %v", label, err)
+				}
+				assertBitIdentical(t, label+"/miss", want, got1)
+
+				// Service, hit path (immediately after: guaranteed resident).
+				got2 := dense.NewMatrix(d, a.N)
+				if _, err := svc.SketchInto(ctx, got2, a, d, opts); err != nil {
+					t.Fatalf("%s: service hit path: %v", label, err)
+				}
+				assertBitIdentical(t, label+"/hit", want, got2)
+				after := svc.Stats()
+				if after.Hits <= before.Hits {
+					t.Fatalf("%s: second request did not hit the cache (hits %d → %d)",
+						label, before.Hits, after.Hits)
+				}
+				configs++
+			}
+		}
+	}
+	if configs < 48 {
+		t.Fatalf("differential suite sampled only %d configurations, want ≥ 48", configs)
+	}
+	st := svc.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("capacity %d saw no evictions over %d configs — eviction path untested",
+			6, configs)
+	}
+	t.Logf("differential: %d configs, %d hits, %d misses, %d builds, %d evictions",
+		configs, st.Hits, st.Misses, st.Builds, st.Evictions)
+}
+
+// TestDifferentialBatch asserts SketchBatch returns the same bits as
+// issuing its requests individually, across mixed matrices, duplicate
+// requests in one batch, and error entries, which must fail alone.
+func TestDifferentialBatch(t *testing.T) {
+	svc := New(Config{Capacity: 8, MaxInFlight: 4})
+	defer svc.Close()
+	a1 := sparse.RandomUniform(400, 50, 0.03, 11)
+	a2 := sparse.PowerLaw(300, 40, 900, 1.3, 12)
+	o1 := core.Options{Seed: 5, Workers: 2}
+	o2 := core.Options{Seed: 6, Workers: 2, Algorithm: core.Alg4}
+
+	reqs := []Request{
+		{A: a1, D: 75, Opts: o1},
+		{A: a2, D: 60, Opts: o2},
+		{A: a1, D: 75, Opts: o1}, // duplicate: same group, same plan
+		{A: nil, D: 10},          // fails alone
+		{A: a1, D: 0, Opts: o1},  // fails alone
+	}
+	resps := svc.SketchBatch(context.Background(), reqs)
+	if len(resps) != len(reqs) {
+		t.Fatalf("got %d responses for %d requests", len(resps), len(reqs))
+	}
+	for i := 0; i < 3; i++ {
+		if resps[i].Err != nil {
+			t.Fatalf("request %d failed: %v", i, resps[i].Err)
+		}
+	}
+	if resps[3].Err == nil || resps[4].Err == nil {
+		t.Fatal("invalid batch entries did not fail")
+	}
+
+	sk1, _ := core.NewSketcher(75, o1)
+	want1, _ := sk1.Sketch(a1)
+	sk2, _ := core.NewSketcher(60, o2)
+	want2, _ := sk2.Sketch(a2)
+	assertBitIdentical(t, "batch[0]", want1, resps[0].Ahat)
+	assertBitIdentical(t, "batch[1]", want2, resps[1].Ahat)
+	assertBitIdentical(t, "batch[2]", want1, resps[2].Ahat)
+}

@@ -1,0 +1,125 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"sketchsp/internal/core"
+	"sketchsp/internal/dense"
+	"sketchsp/internal/sparse"
+)
+
+// TestServiceHitZeroAlloc is the hard guard behind BenchmarkServiceHit: the
+// whole cache-hit request path — admission, fingerprint, lookup, LRU touch,
+// refcount, ExecuteContext, metric recording — must allocate nothing, or
+// the service loses the allocation-free steady state PR 1 bought.
+func TestServiceHitZeroAlloc(t *testing.T) {
+	svc := New(Config{Capacity: 4, MaxInFlight: 2})
+	defer svc.Close()
+	a := sparse.RandomUniform(3000, 200, 0.01, 1)
+	d := 300
+	opts := core.Options{Seed: 9, Workers: 2}
+	out := dense.NewMatrix(d, a.N)
+	ctx := context.Background()
+	if _, err := svc.SketchInto(ctx, out, a, d, opts); err != nil { // build + warm pool
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := svc.SketchInto(ctx, out, a, d, opts); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("cache-hit path allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestBuildErrorNotCached: a structurally invalid matrix fails the build
+// with the typed core error, the failed entry is dropped (so the error is
+// not cached forever), and the counters record it.
+func TestBuildErrorNotCached(t *testing.T) {
+	svc := New(Config{Capacity: 4, MaxInFlight: 2})
+	defer svc.Close()
+	bad := &sparse.CSC{M: 3, N: 2, ColPtr: []int{0}} // truncated ColPtr
+	ctx := context.Background()
+	for i := 1; i <= 2; i++ {
+		_, _, err := svc.Sketch(ctx, bad, 8, core.Options{})
+		if !errors.Is(err, core.ErrInvalidMatrix) {
+			t.Fatalf("attempt %d: err = %v, want ErrInvalidMatrix", i, err)
+		}
+		if got := svc.Stats().BuildErrors; got != int64(i) {
+			t.Fatalf("attempt %d: BuildErrors = %d (error entry cached?)", i, got)
+		}
+	}
+	if st := svc.Stats(); st.CachedPlans != 0 {
+		t.Fatalf("failed build left %d entries resident", st.CachedPlans)
+	}
+
+	// Typed argument errors short-circuit before touching the cache.
+	if _, _, err := svc.Sketch(ctx, nil, 8, core.Options{}); !errors.Is(err, core.ErrNilMatrix) {
+		t.Fatalf("nil matrix: %v", err)
+	}
+	valid := sparse.RandomUniform(50, 10, 0.2, 1)
+	if _, _, err := svc.Sketch(ctx, valid, 0, core.Options{}); !errors.Is(err, core.ErrInvalidSketchSize) {
+		t.Fatalf("d=0: %v", err)
+	}
+}
+
+// TestRequestTimeoutConfig: the service-level deadline applies even when
+// the caller passes an undeadlined context.
+func TestRequestTimeoutConfig(t *testing.T) {
+	svc := New(Config{Capacity: 2, MaxInFlight: 1, RequestTimeout: 2 * time.Millisecond})
+	defer svc.Close()
+	big := sparse.RandomUniform(40000, 300, 0.01, 2)
+	_, _, err := svc.Sketch(context.Background(), big, 450, core.Options{Seed: 1, Workers: 2, BlockD: 64})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded from the service deadline", err)
+	}
+}
+
+// TestServiceStatsSnapshot sanity-checks the observability surface: latency
+// quantiles are ordered and populated, per-entry aggregates see their
+// executes, and plan stats ride along.
+func TestServiceStatsSnapshot(t *testing.T) {
+	svc := New(Config{Capacity: 4, MaxInFlight: 4})
+	defer svc.Close()
+	ctx := context.Background()
+	a := sparse.PowerLaw(4000, 120, 24000, 1.6, 3)
+	d := 180
+	opts := core.Options{Seed: 7, Workers: 4}
+	for i := 0; i < 5; i++ {
+		if _, _, err := svc.Sketch(ctx, a, d, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := svc.Stats()
+	if st.Requests != 5 {
+		t.Fatalf("Requests = %d, want 5", st.Requests)
+	}
+	if st.LatencyP50 <= 0 || st.LatencyP95 < st.LatencyP50 || st.LatencyP99 < st.LatencyP95 {
+		t.Fatalf("latency quantiles disordered: p50=%v p95=%v p99=%v",
+			st.LatencyP50, st.LatencyP95, st.LatencyP99)
+	}
+	if st.LatencyMax <= 0 || st.LatencyMean <= 0 {
+		t.Fatalf("latency mean/max unpopulated: mean=%v max=%v", st.LatencyMean, st.LatencyMax)
+	}
+	if len(st.Entries) != 1 {
+		t.Fatalf("entries = %d, want 1", len(st.Entries))
+	}
+	e := st.Entries[0]
+	if e.Executes != 5 || e.M != a.M || e.N != a.N || e.NNZ != a.NNZ() || e.D != d {
+		t.Fatalf("entry aggregate wrong: %+v", e)
+	}
+	if e.Plan.Workers < 1 || e.Plan.Tasks < 1 {
+		t.Fatalf("plan stats missing from entry: %+v", e.Plan)
+	}
+	if e.MeanImbalance < 1 || e.MaxImbalance < e.MeanImbalance {
+		t.Fatalf("imbalance aggregates implausible: mean=%v max=%v",
+			e.MeanImbalance, e.MaxImbalance)
+	}
+	if e.Busy <= 0 {
+		t.Fatalf("entry busy time unpopulated")
+	}
+}

@@ -1,0 +1,169 @@
+package service
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+
+	"sketchsp/internal/core"
+)
+
+// latencyBuckets is the histogram resolution: bucket i counts requests with
+// latency in [1µs·2^i, 1µs·2^(i+1)), i.e. 1µs up to ~34s, with bucket 0
+// absorbing sub-microsecond requests and the last bucket everything slower.
+const latencyBuckets = 26
+
+// latencyHist is a lock-free log₂ latency histogram. observe is on the
+// request hot path and must not allocate.
+type latencyHist struct {
+	count   atomic.Int64
+	sumNS   atomic.Int64
+	maxNS   atomic.Int64
+	buckets [latencyBuckets]atomic.Int64
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	h.count.Add(1)
+	h.sumNS.Add(ns)
+	for {
+		cur := h.maxNS.Load()
+		if ns <= cur || h.maxNS.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	i := bits.Len64(uint64(ns / 1000)) // 0 for <1µs, 1 for [1µs,2µs), ...
+	if i >= latencyBuckets {
+		i = latencyBuckets - 1
+	}
+	h.buckets[i].Add(1)
+}
+
+// quantile returns an upper bound of the q-quantile (0 < q ≤ 1) from the
+// bucket boundaries: the top edge of the first bucket at which the
+// cumulative count reaches q·total. Zero when empty.
+func (h *latencyHist) quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	want := int64(q * float64(total))
+	if want < 1 {
+		want = 1
+	}
+	var cum int64
+	for i := 0; i < latencyBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= want {
+			return time.Duration(1000 << uint(i)) // 1µs·2^i
+		}
+	}
+	return time.Duration(h.maxNS.Load())
+}
+
+// EntryStats is the per-cache-entry slice of a Stats snapshot: which plan,
+// how hot, and how well its executes balanced. Mean/MaxImbalance aggregate
+// the measured core.Stats.Imbalance ratio over this entry's executes
+// (1.0 = perfect balance; only parallel rounds report one).
+type EntryStats struct {
+	// Matrix shape and sketch size identifying the entry (from the key).
+	M, N, NNZ int
+	D         int
+	// Plan summarises what the planner decided for this entry (resolved
+	// algorithm, blocking, workers, predicted imbalance, plan/convert
+	// time).
+	Plan core.PlanStats
+	// Executes counts completed executes served from this entry; Steals
+	// and Busy accumulate over them.
+	Executes int64
+	Steals   int64
+	Busy     time.Duration
+	// MeanImbalance / MaxImbalance aggregate the measured per-round load
+	// imbalance ratios. 0 when no parallel round has run.
+	MeanImbalance float64
+	MaxImbalance  float64
+}
+
+// Stats is a point-in-time snapshot of the service counters, the latency
+// histogram summary, and the per-entry aggregates in MRU→LRU order.
+type Stats struct {
+	// Cache counters. Hits counts requests that found an entry (including
+	// joining an in-progress single-flight build); Misses counts requests
+	// that inserted one; Builds counts successful plan constructions —
+	// single-flight keeps Builds ≤ Misses under races. BuildErrors counts
+	// failed constructions; Evictions counts LRU evictions.
+	Hits, Misses, Builds, BuildErrors, Evictions int64
+	// Backpressure counters: Rejections is load shed at the full queue,
+	// Cancels counts requests that died on context deadline/cancel while
+	// queued, waiting on a build, or mid-execute.
+	Rejections, Cancels int64
+	// Live gauges.
+	InFlight, QueueDepth int64
+	CachedPlans          int
+	// Latency summary over completed (successful) requests, admission
+	// queueing included.
+	Requests                                                    int64
+	LatencyMean, LatencyP50, LatencyP95, LatencyP99, LatencyMax time.Duration
+	// Entries holds the per-cache-entry aggregates, most recently used
+	// first.
+	Entries []EntryStats
+}
+
+// Stats snapshots the service. It is safe to call concurrently with
+// requests; counters are read individually, so the snapshot is coherent
+// per-field, not globally atomic.
+func (s *Service) Stats() Stats {
+	st := Stats{
+		Hits:        s.hits.Load(),
+		Misses:      s.misses.Load(),
+		Builds:      s.builds.Load(),
+		BuildErrors: s.buildErrors.Load(),
+		Evictions:   s.evictions.Load(),
+		Rejections:  s.rejections.Load(),
+		Cancels:     s.cancels.Load(),
+		InFlight:    s.inFlight.Load(),
+		QueueDepth:  s.queueDepth.Load(),
+		Requests:    s.hist.count.Load(),
+		LatencyP50:  s.hist.quantile(0.50),
+		LatencyP95:  s.hist.quantile(0.95),
+		LatencyP99:  s.hist.quantile(0.99),
+		LatencyMax:  time.Duration(s.hist.maxNS.Load()),
+	}
+	if st.Requests > 0 {
+		st.LatencyMean = time.Duration(s.hist.sumNS.Load() / st.Requests)
+	}
+	s.mu.Lock()
+	st.CachedPlans = s.lru.Len()
+	st.Entries = make([]EntryStats, 0, s.lru.Len())
+	for el := s.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		select {
+		case <-e.ready:
+		default:
+			continue // still building; no plan stats yet
+		}
+		if e.plan == nil {
+			continue
+		}
+		es := EntryStats{
+			M: e.key.fp.M, N: e.key.fp.N, NNZ: e.key.fp.NNZ,
+			D:    e.key.d,
+			Plan: e.plan.Stats(),
+		}
+		e.mu.Lock()
+		es.Executes = e.executes
+		es.Steals = e.steals
+		es.Busy = e.busy
+		es.MaxImbalance = e.imbMax
+		if e.imbN > 0 {
+			es.MeanImbalance = e.imbSum / float64(e.imbN)
+		}
+		e.mu.Unlock()
+		st.Entries = append(st.Entries, es)
+	}
+	s.mu.Unlock()
+	return st
+}

@@ -1,0 +1,56 @@
+package sparse
+
+import "math"
+
+// Fingerprint is a compact identity summary of a CSC matrix, the cache key
+// the plan-serving layer uses to recognise "the same matrix again" across
+// requests without pinning the matrix itself. The cleartext fields make
+// shape collisions impossible by construction; Hash chains every structural
+// array and the stored values, so a mutation anywhere in ColPtr, RowIdx or
+// Val produces a different fingerprint (up to the 2⁻⁶⁴ collision odds of
+// the mixer).
+//
+// Two matrices with equal fingerprints are treated as interchangeable plan
+// inputs. Values are included — not just structure — because a Plan pins the
+// numeric content of A (pre-scaled clones, the kernels' accumulations), so
+// keying on structure alone would serve one matrix's sketch for another.
+type Fingerprint struct {
+	M, N, NNZ int
+	Hash      uint64
+}
+
+// splitmix64-style mixing: absorb one 64-bit word into the running state.
+// The finaliser constants are Stafford's Mix13 variant — two multiplies and
+// three shifts per word, with full avalanche, which keeps fingerprinting a
+// small fraction of the O(d·nnz) sketch cost it guards.
+func fpMix(h, x uint64) uint64 {
+	z := h + x + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Fingerprint computes the matrix's structural fingerprint in one O(nnz)
+// pass and zero allocations. It is total: degenerate shapes (0×n, m×0,
+// matrices with empty columns) and even structurally invalid inputs (the
+// zero value &CSC{}, truncated ColPtr) hash without panicking — the arrays
+// are absorbed as they are, lengths first, so no slice is ever indexed
+// beyond its own bounds and concatenation ambiguities between the three
+// arrays cannot collide.
+func (a *CSC) Fingerprint() Fingerprint {
+	h := fpMix(0, uint64(int64(a.M)))
+	h = fpMix(h, uint64(int64(a.N)))
+	h = fpMix(h, uint64(len(a.ColPtr)))
+	for _, p := range a.ColPtr {
+		h = fpMix(h, uint64(int64(p)))
+	}
+	h = fpMix(h, uint64(len(a.RowIdx)))
+	for _, r := range a.RowIdx {
+		h = fpMix(h, uint64(int64(r)))
+	}
+	h = fpMix(h, uint64(len(a.Val)))
+	for _, v := range a.Val {
+		h = fpMix(h, math.Float64bits(v))
+	}
+	return Fingerprint{M: a.M, N: a.N, NNZ: len(a.Val), Hash: h}
+}

@@ -10,6 +10,80 @@ import (
 // either return an error or a structurally valid matrix, never panic.
 // Run with `go test -fuzz=FuzzReadMatrixMarket ./internal/sparse` for a
 // real fuzzing session; the seeds below run as regular unit tests.
+// FuzzFingerprint hardens the structural fingerprint the plan cache keys
+// on: it must never panic — including on degenerate 0×n / m×0 / empty-column
+// matrices and on structurally invalid inputs like the zero-value CSC — it
+// must be deterministic, and any single-element mutation of ColPtr, RowIdx
+// or Val must change it (a collision there would silently serve one
+// matrix's cached sketch plan for another). Run with
+// `go test -fuzz=FuzzFingerprint ./internal/sparse`; the seeds below run as
+// regular unit tests.
+func FuzzFingerprint(f *testing.F) {
+	f.Add(uint8(0), uint8(0), []byte{})          // 0×0 empty
+	f.Add(uint8(0), uint8(5), []byte{})          // 0×n: n columns, all empty
+	f.Add(uint8(7), uint8(0), []byte{})          // m×0
+	f.Add(uint8(4), uint8(4), []byte{1, 2, 3})   // sparse with empty columns
+	f.Add(uint8(9), uint8(3), []byte("abcdefg")) // denser
+	f.Add(uint8(255), uint8(255), []byte{0, 0, 0, 0, 9, 9})
+	f.Fuzz(func(t *testing.T, m, n uint8, data []byte) {
+		// Build a structurally valid matrix from the raw bytes: each byte
+		// pair seeds one (row, col, val) triple; COO→CSC sorts and dedups.
+		coo := NewCOO(int(m), int(n), len(data)/2)
+		for k := 0; k+1 < len(data); k += 2 {
+			if m == 0 || n == 0 {
+				break
+			}
+			coo.Append(int(data[k])%int(m), int(data[k+1])%int(n),
+				float64(data[k])-float64(data[k+1])/3)
+		}
+		a := coo.ToCSC()
+		if err := a.Validate(); err != nil {
+			t.Fatalf("generator produced invalid CSC: %v", err)
+		}
+
+		fp := a.Fingerprint()
+		if fp.M != a.M || fp.N != a.N || fp.NNZ != a.NNZ() {
+			t.Fatalf("fingerprint cleartext %v disagrees with matrix %dx%d/%d",
+				fp, a.M, a.N, a.NNZ())
+		}
+		if again := a.Fingerprint(); again != fp {
+			t.Fatalf("fingerprint not deterministic: %v vs %v", fp, again)
+		}
+
+		// The zero value and truncated structures must hash, not panic.
+		_ = (&CSC{}).Fingerprint()
+		_ = (&CSC{M: a.M, N: a.N}).Fingerprint()
+
+		// Single-element mutations must all be detected.
+		if a.N > 0 {
+			b := a.Clone()
+			b.ColPtr[len(b.ColPtr)-1]++ // now inconsistent, but hashable
+			if b.Fingerprint() == fp {
+				t.Fatal("ColPtr mutation not reflected in fingerprint")
+			}
+		}
+		if a.NNZ() > 0 {
+			b := a.Clone()
+			b.RowIdx[0]++
+			if b.Fingerprint() == fp {
+				t.Fatal("RowIdx mutation not reflected in fingerprint")
+			}
+			c := a.Clone()
+			c.Val[a.NNZ()-1] += 1.0
+			if c.Fingerprint() == fp {
+				t.Fatal("Val mutation not reflected in fingerprint")
+			}
+		}
+
+		// Shape must separate matrices with identical (empty) entry arrays:
+		// a 0×n matrix and a 0×(n+1) matrix both carry no entries.
+		grown := &CSC{M: a.M, N: a.N + 1, ColPtr: append(append([]int(nil), a.ColPtr...), a.NNZ())}
+		if g := grown.Fingerprint(); g == fp {
+			t.Fatal("appending an empty column did not change the fingerprint")
+		}
+	})
+}
+
 func FuzzReadMatrixMarket(f *testing.F) {
 	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 3.5\n")
 	f.Add("%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n2 1 5\n3 3 7\n")

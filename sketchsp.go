@@ -37,8 +37,32 @@ import (
 	"sketchsp/internal/core"
 	"sketchsp/internal/dense"
 	"sketchsp/internal/rng"
+	"sketchsp/internal/service"
 	"sketchsp/internal/solver"
 	"sketchsp/internal/sparse"
+)
+
+// Typed errors. Construction surfaces (Sketch, NewPlan, NewSketcher, the
+// Service request paths) report argument problems by wrapping these
+// sentinels — match with errors.Is. None of them panic on bad arguments.
+var (
+	// ErrNilMatrix: the sparse input matrix was nil.
+	ErrNilMatrix = core.ErrNilMatrix
+	// ErrInvalidSketchSize: the sketch size d was not positive.
+	ErrInvalidSketchSize = core.ErrInvalidSketchSize
+	// ErrInvalidMatrix: the CSC input was structurally broken (e.g. the
+	// zero value &CSC{}). Degenerate but valid shapes — 0×n, m×0, empty
+	// columns — are not errors.
+	ErrInvalidMatrix = core.ErrInvalidMatrix
+	// ErrBadOptions: an Options field was out of domain.
+	ErrBadOptions = core.ErrBadOptions
+	// ErrPlanClosed: Execute was called on a fully released Plan.
+	ErrPlanClosed = core.ErrPlanClosed
+	// ErrServiceClosed: a request was issued to a closed Service.
+	ErrServiceClosed = service.ErrClosed
+	// ErrServiceOverloaded: the Service admission queue was full
+	// (backpressure — retry later or shed the request).
+	ErrServiceOverloaded = service.ErrOverloaded
 )
 
 // Matrix types re-exported from the internal substrate. The aliases make
@@ -169,6 +193,33 @@ func Sketch(a *CSC, d int, opts SketchOptions) (*Matrix, SketchStats, error) {
 	st.Total = time.Since(start) + p.Stats().PlanTime
 	return ahat, st, nil
 }
+
+// Sketch-serving re-exports. The Service is the layer to use when sketch
+// requests arrive concurrently and matrices repeat: it caches Plans keyed
+// by a structural fingerprint of the matrix plus the sketch options,
+// builds misses under single-flight, evicts LRU with reference counting
+// (never mid-Execute), and applies admission control with context-aware
+// queueing. Cache hits execute allocation-free.
+type (
+	// Service is the concurrent sketch server (see internal/service).
+	Service = service.Service
+	// ServiceConfig sizes a Service (cache capacity, in-flight bound,
+	// queue bound, per-request deadline).
+	ServiceConfig = service.Config
+	// ServiceStats is a point-in-time snapshot of service counters,
+	// latency quantiles and per-cache-entry execute aggregates.
+	ServiceStats = service.Stats
+	// ServiceEntryStats is the per-cache-entry slice of a ServiceStats.
+	ServiceEntryStats = service.EntryStats
+	// SketchRequest is one request of a Service.SketchBatch call.
+	SketchRequest = service.Request
+	// SketchResponse is the index-aligned outcome of a batched request.
+	SketchResponse = service.Response
+)
+
+// NewService returns a ready concurrent sketch server. Close it when done;
+// in-flight requests finish, cached plans are released.
+func NewService(cfg ServiceConfig) *Service { return service.New(cfg) }
 
 // Least-squares solver re-exports.
 type (

@@ -1,11 +1,89 @@
 package sketchsp_test
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 
 	"sketchsp"
 )
+
+// TestFacadeTypedErrors pins the public error contract: Sketch and NewPlan
+// return typed errors — never panic — on d ≤ 0 and on nil or structurally
+// empty (zero-value) CSC inputs, matchable with errors.Is.
+func TestFacadeTypedErrors(t *testing.T) {
+	valid := sketchsp.RandomUniform(100, 20, 0.1, 1)
+	cases := []struct {
+		name string
+		a    *sketchsp.CSC
+		d    int
+		want error
+	}{
+		{"nil matrix", nil, 10, sketchsp.ErrNilMatrix},
+		{"zero d", valid, 0, sketchsp.ErrInvalidSketchSize},
+		{"negative d", valid, -7, sketchsp.ErrInvalidSketchSize},
+		{"empty zero-value CSC", &sketchsp.CSC{}, 10, sketchsp.ErrInvalidMatrix},
+		{"nil matrix and bad d", nil, -1, sketchsp.ErrNilMatrix},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ahat, _, err := sketchsp.Sketch(tc.a, tc.d, sketchsp.SketchOptions{})
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("Sketch error = %v, want errors.Is(%v)", err, tc.want)
+			}
+			if ahat != nil {
+				t.Fatal("Sketch returned a matrix alongside an error")
+			}
+			p, err := sketchsp.NewPlan(tc.a, tc.d, sketchsp.SketchOptions{})
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("NewPlan error = %v, want errors.Is(%v)", err, tc.want)
+			}
+			if p != nil {
+				t.Fatal("NewPlan returned a plan alongside an error")
+			}
+		})
+	}
+}
+
+// TestFacadeService smoke-tests the exported Service surface end to end:
+// cache behaviour is visible through ServiceStats and results match the
+// one-shot facade path bit for bit.
+func TestFacadeService(t *testing.T) {
+	svc := sketchsp.NewService(sketchsp.ServiceConfig{Capacity: 4})
+	defer svc.Close()
+	a := sketchsp.RandomUniform(1500, 80, 0.02, 42)
+	d := 120
+	opts := sketchsp.SketchOptions{Dist: sketchsp.Rademacher, Seed: 3, Workers: 2}
+
+	want, _, err := sketchsp.Sketch(a, d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		got, _, err := svc.Sketch(ctx, a, d, opts)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		for j := 0; j < want.Cols; j++ {
+			wc, gc := want.Col(j), got.Col(j)
+			for k := range wc {
+				if math.Float64bits(wc[k]) != math.Float64bits(gc[k]) {
+					t.Fatalf("request %d: bit mismatch at (%d,%d)", i, k, j)
+				}
+			}
+		}
+	}
+	st := svc.Stats()
+	if st.Builds != 1 || st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("stats builds/hits/misses = %d/%d/%d, want 1/2/1",
+			st.Builds, st.Hits, st.Misses)
+	}
+	if _, _, err := svc.Sketch(ctx, nil, d, opts); !errors.Is(err, sketchsp.ErrNilMatrix) {
+		t.Fatalf("service nil matrix error = %v", err)
+	}
+}
 
 func TestSketchPublicAPI(t *testing.T) {
 	a := sketchsp.RandomUniform(2000, 100, 0.02, 42)
