@@ -34,3 +34,4 @@ bench-json:
 	$(GO) run ./cmd/spmmbench -skew -scale 0.05 -json BENCH_PR2.json
 	$(GO) test -run - -bench BenchmarkServiceHit -benchtime 100x .
 	$(GO) run ./cmd/spmmbench -serve -scale 0.05 -json BENCH_PR3.json
+	$(GO) run ./cmd/spmmbench -serve-http -scale 0.05 -json BENCH_PR4.json

@@ -1,0 +1,93 @@
+// Command sketchd serves sketch requests over HTTP: a thin shell around
+// internal/server wiring flags to the service/server configs and turning
+// SIGTERM/SIGINT into a graceful drain — /healthz flips to 503, in-flight
+// sketches finish (bounded by -drain-timeout), then the plan cache is
+// released.
+//
+// Quick start:
+//
+//	sketchd -addr :7464 -cache 64 -max-inflight 8 -max-queue 64
+//
+// and from Go, sketchsp.NewClient("http://host:7464", sketchsp.ClientConfig{}).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sketchsp/internal/server"
+	"sketchsp/internal/service"
+)
+
+func main() {
+	var (
+		addr           = flag.String("addr", "127.0.0.1:7464", "listen address (host:port)")
+		cache          = flag.Int("cache", 32, "plan cache capacity (distinct matrix/option keys)")
+		maxInFlight    = flag.Int("max-inflight", 0, "concurrent executes admitted (0 = GOMAXPROCS)")
+		maxQueue       = flag.Int("max-queue", 0, "waiters admitted beyond in-flight before load shed (0 = 4x in-flight)")
+		requestTimeout = flag.Duration("request-timeout", 30*time.Second, "per-request deadline cap (0 = none; client header can only tighten)")
+		maxBody        = flag.Int64("max-body", 1<<30, "largest accepted request body in bytes")
+		maxSketch      = flag.Int64("max-sketch", 1<<30, "largest sketch (8*d*n bytes) a request may demand")
+		drainTimeout   = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
+	)
+	flag.Parse()
+	if args := flag.Args(); len(args) != 0 {
+		fmt.Fprintf(os.Stderr, "sketchd: unexpected arguments %q\n", args)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	svc := service.New(service.Config{
+		Capacity:       *cache,
+		MaxInFlight:    *maxInFlight,
+		MaxQueue:       *maxQueue,
+		RequestTimeout: *requestTimeout,
+	})
+	srv := server.New(svc, server.Config{
+		MaxBodyBytes:   *maxBody,
+		MaxSketchBytes: *maxSketch,
+		RequestTimeout: *requestTimeout,
+	})
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("sketchd: listen %s: %v", *addr, err)
+	}
+	log.Printf("sketchd: serving on http://%s (cache=%d inflight=%d queue=%d)",
+		l.Addr(), *cache, *maxInFlight, *maxQueue)
+
+	// Serve until a termination signal, then drain: stop accepting, let
+	// in-flight requests finish, and only then release the plan cache.
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigc:
+		log.Printf("sketchd: %v received, draining (timeout %v)", sig, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		err := srv.Shutdown(ctx)
+		cancel()
+		if err != nil {
+			log.Printf("sketchd: drain incomplete: %v", err)
+		}
+		if serveErr := <-errc; serveErr != nil && serveErr != http.ErrServerClosed {
+			log.Printf("sketchd: serve: %v", serveErr)
+		}
+	case err := <-errc:
+		if err != nil && err != http.ErrServerClosed {
+			log.Fatalf("sketchd: serve: %v", err)
+		}
+	}
+	svc.Close()
+	log.Printf("sketchd: stopped")
+}

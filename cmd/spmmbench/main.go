@@ -48,7 +48,7 @@ var (
 
 func main() {
 	flag.Parse()
-	if !*all && *table == 0 && *fig == 0 && !*skew && !*serve {
+	if !*all && *table == 0 && *fig == 0 && !*skew && !*serve && !*serveHTTP {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -75,6 +75,9 @@ func main() {
 	}
 	if *serve {
 		serveSuite()
+	}
+	if *serveHTTP {
+		serveHTTPSuite()
 	}
 }
 

@@ -1,0 +1,415 @@
+// Package server fronts the concurrent sketch service over HTTP: it is the
+// network face of the paper's traffic-shape win. A request body carries the
+// compact CSC payload plus a seed and distribution — never the dense random
+// matrix S — and the response carries only the small d×n sketch Â, so a
+// remote sketch moves O(nnz(A) + d·n) bytes while the server regenerates
+// the O(d·m) matrix S on the fly inside the cached plan's kernels.
+//
+// Endpoints:
+//
+//	POST /v1/sketch   wire.MsgSketchRequest or wire.MsgBatchRequest body;
+//	                  responds with the matching response frame. The HTTP
+//	                  status mirrors the wire status (200 OK, 400 invalid,
+//	                  429 overloaded, 503 draining/closed, 504 deadline),
+//	                  but clients should classify by the wire status — it
+//	                  survives proxies that rewrite HTTP codes.
+//	GET  /healthz     "ok" while serving, 503 once draining.
+//	GET  /stats       JSON snapshot: the service counters, the raw log₂
+//	                  latency histogram with p50/p90/p95/p99 (via
+//	                  service.Stats.LatencyQuantile — one home for the
+//	                  bucket math), and the server's own transport counters.
+//
+// Backpressure and lifecycle compose with the layers below: admission
+// control and shedding live in service.Service (ErrOverloaded becomes
+// StatusOverloaded, the only retryable status); per-request deadlines —
+// the tighter of Config.RequestTimeout and the client's
+// X-Sketchsp-Timeout-Ms header — ride the request context into
+// Plan.ExecuteContext, so a dead client stops burning worker time; and
+// Shutdown drains in-flight requests before the daemon releases the
+// service's cached plans.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sketchsp/internal/core"
+	"sketchsp/internal/service"
+	"sketchsp/internal/wire"
+)
+
+// Config sizes the HTTP layer. The zero value selects the defaults.
+type Config struct {
+	// MaxBodyBytes bounds a request body (enforced with
+	// http.MaxBytesReader before any decoding). 0 selects 1 GiB.
+	MaxBodyBytes int64
+	// MaxSketchBytes bounds the d×n response a single request may demand
+	// (8·d·n bytes); beyond it the request is rejected with
+	// StatusBadOptions instead of allocating. 0 selects 1 GiB.
+	MaxSketchBytes int64
+	// RequestTimeout, when positive, caps every request's deadline. A
+	// client-supplied X-Sketchsp-Timeout-Ms header can only tighten it.
+	RequestTimeout time.Duration
+}
+
+// Server is the HTTP serving layer over a service.Service. Create with
+// New, mount Handler (or use Serve/Shutdown for the daemon lifecycle).
+type Server struct {
+	svc *service.Service
+	cfg Config
+	mux *http.ServeMux
+
+	httpMu   sync.Mutex
+	httpSrv  *http.Server
+	draining atomic.Bool
+
+	// Transport counters, exposed under "server" in /stats.
+	requests    atomic.Int64 // sketch requests received (batch items count individually)
+	badRequests atomic.Int64 // bodies rejected before reaching the service
+	bytesIn     atomic.Int64 // request body bytes consumed
+	bytesOut    atomic.Int64 // response body bytes written
+
+	scratch sync.Pool // *reqScratch
+}
+
+// reqScratch is the pooled per-request workspace: the body buffer, the
+// decoded request (whose CSC slices are reused across requests), and the
+// response encode buffer. Single-request hot path only — batches allocate.
+type reqScratch struct {
+	body []byte
+	req  wire.SketchRequest
+	out  []byte
+}
+
+// New returns a Server fronting svc.
+func New(svc *service.Service, cfg Config) *Server {
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 30
+	}
+	if cfg.MaxSketchBytes <= 0 {
+		cfg.MaxSketchBytes = 1 << 30
+	}
+	s := &Server{svc: svc, cfg: cfg, mux: http.NewServeMux()}
+	s.scratch.New = func() interface{} { return new(reqScratch) }
+	s.mux.HandleFunc("/v1/sketch", s.handleSketch)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	return s
+}
+
+// Handler returns the HTTP handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts connections on l until Shutdown. It returns
+// http.ErrServerClosed after a clean shutdown, like http.Server.Serve.
+func (s *Server) Serve(l net.Listener) error {
+	srv := &http.Server{Handler: s.mux}
+	s.httpMu.Lock()
+	s.httpSrv = srv
+	s.httpMu.Unlock()
+	return srv.Serve(l)
+}
+
+// Shutdown drains gracefully: /healthz flips to 503 (so load balancers
+// stop routing here), listeners close, and in-flight requests get until
+// ctx's deadline to finish. The service itself is left to the caller —
+// the daemon closes it after the drain so executing plans stay alive.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.httpMu.Lock()
+	srv := s.httpSrv
+	s.httpMu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Shutdown(ctx)
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// requestContext applies the effective deadline: the tighter of the server
+// cap and the client's X-Sketchsp-Timeout-Ms header.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc, error) {
+	ctx := r.Context()
+	timeout := s.cfg.RequestTimeout
+	if h := r.Header.Get("X-Sketchsp-Timeout-Ms"); h != "" {
+		ms, err := strconv.ParseInt(h, 10, 64)
+		if err != nil || ms <= 0 {
+			return nil, nil, fmt.Errorf("%w: bad X-Sketchsp-Timeout-Ms %q", wire.ErrMalformed, h)
+		}
+		d := time.Duration(ms) * time.Millisecond
+		if timeout == 0 || d < timeout {
+			timeout = d
+		}
+	}
+	if timeout > 0 {
+		ctx, cancel := context.WithTimeout(ctx, timeout)
+		return ctx, cancel, nil
+	}
+	return ctx, func() {}, nil
+}
+
+// httpStatus maps a wire status onto the closest HTTP status code.
+func httpStatus(st wire.Status) int {
+	switch st {
+	case wire.StatusOK:
+		return http.StatusOK
+	case wire.StatusOverloaded:
+		return http.StatusTooManyRequests
+	case wire.StatusClosed:
+		return http.StatusServiceUnavailable
+	case wire.StatusDeadlineExceeded:
+		return http.StatusGatewayTimeout
+	case wire.StatusCanceled:
+		return 499 // client closed request (nginx convention)
+	case wire.StatusInternal:
+		return http.StatusInternalServerError
+	default: // invalid matrix / sketch size / options / malformed bytes
+		return http.StatusBadRequest
+	}
+}
+
+func (s *Server) handleSketch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	sc := s.scratch.Get().(*reqScratch)
+	defer s.scratch.Put(sc)
+
+	body, err := s.readBody(sc, w, r)
+	if err != nil {
+		s.badRequests.Add(1)
+		s.writeError(w, wire.MsgSketchResponse, wire.StatusOf(err), err.Error())
+		return
+	}
+	typ, payload, _, err := wire.SplitFrame(body, int(s.cfg.MaxBodyBytes))
+	if err != nil {
+		s.badRequests.Add(1)
+		s.writeError(w, wire.MsgSketchResponse, wire.StatusOf(err), err.Error())
+		return
+	}
+	ctx, cancel, err := s.requestContext(r)
+	if err != nil {
+		s.badRequests.Add(1)
+		s.writeError(w, wire.MsgSketchResponse, wire.StatusMalformed, err.Error())
+		return
+	}
+	defer cancel()
+
+	switch typ {
+	case wire.MsgSketchRequest:
+		s.serveSingle(ctx, w, sc, payload)
+	case wire.MsgBatchRequest:
+		s.serveBatch(ctx, w, payload)
+	default:
+		s.badRequests.Add(1)
+		s.writeError(w, wire.MsgSketchResponse, wire.StatusMalformed,
+			fmt.Sprintf("unexpected message type %v", typ))
+	}
+}
+
+// readBody consumes the request body into the pooled buffer under the
+// MaxBodyBytes bound.
+func (s *Server) readBody(sc *reqScratch, w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	lr := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	buf := sc.body[:0]
+	if n := r.ContentLength; n > 0 && n <= s.cfg.MaxBodyBytes && int64(cap(buf)) < n {
+		buf = make([]byte, 0, n)
+	}
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := lr.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			var tooLarge *http.MaxBytesError
+			if errors.As(err, &tooLarge) {
+				return nil, fmt.Errorf("%w: body exceeds %d bytes", wire.ErrTooLarge, s.cfg.MaxBodyBytes)
+			}
+			return nil, fmt.Errorf("%w: reading body: %v", wire.ErrMalformed, err)
+		}
+	}
+	sc.body = buf
+	s.bytesIn.Add(int64(len(buf)))
+	return buf, nil
+}
+
+// serveSingle handles one MsgSketchRequest payload on the pooled hot path.
+func (s *Server) serveSingle(ctx context.Context, w http.ResponseWriter, sc *reqScratch, payload []byte) {
+	s.requests.Add(1)
+	if err := wire.DecodeRequestInto(&sc.req, payload); err != nil {
+		s.badRequests.Add(1)
+		s.writeError(w, wire.MsgSketchResponse, wire.StatusMalformed, err.Error())
+		return
+	}
+	resp := s.sketchOne(ctx, &sc.req)
+	sc.out = wire.AppendFrame(sc.out[:0], wire.MsgSketchResponse, wire.AppendResponse(nil, &resp))
+	s.writeFrame(w, httpStatus(resp.Status), sc.out)
+}
+
+// serveBatch handles one MsgBatchRequest payload: the requests are mapped
+// onto service.SketchBatch, which groups them by plan key so a batch of
+// same-matrix sketches resolves the cache once and executes back-to-back
+// on the hot plan.
+func (s *Server) serveBatch(ctx context.Context, w http.ResponseWriter, payload []byte) {
+	reqs, err := wire.DecodeBatchRequest(payload)
+	if err != nil {
+		s.badRequests.Add(1)
+		s.writeError(w, wire.MsgBatchResponse, wire.StatusMalformed, err.Error())
+		return
+	}
+	s.requests.Add(int64(len(reqs)))
+	sreqs := make([]service.Request, len(reqs))
+	oversize := make([]bool, len(reqs))
+	for i := range reqs {
+		if err := s.checkSketchSize(reqs[i].D, reqs[i].A.N); err != nil {
+			oversize[i] = true
+			continue
+		}
+		sreqs[i] = service.Request{A: reqs[i].A, D: reqs[i].D, Opts: reqs[i].Opts}
+	}
+	sresps := s.svc.SketchBatch(ctx, sreqs)
+	out := make([]wire.SketchResponse, len(reqs))
+	for i := range out {
+		switch {
+		case oversize[i]:
+			out[i] = wire.SketchResponse{Status: wire.StatusBadOptions,
+				Detail: fmt.Sprintf("sketch %dx%d exceeds MaxSketchBytes %d", reqs[i].D, reqs[i].A.N, s.cfg.MaxSketchBytes)}
+		case sresps[i].Err != nil:
+			st := wire.StatusOf(sresps[i].Err)
+			out[i] = wire.SketchResponse{Status: st, Detail: sresps[i].Err.Error()}
+		default:
+			out[i] = wire.SketchResponse{Status: wire.StatusOK, Stats: sresps[i].Stats, Ahat: sresps[i].Ahat}
+		}
+	}
+	frame := wire.AppendFrame(nil, wire.MsgBatchResponse, wire.AppendBatchResponse(nil, out))
+	s.writeFrame(w, http.StatusOK, frame)
+}
+
+// sketchOne runs one request through the service and classifies the
+// outcome. The response's Ahat is freshly allocated per request — it is
+// being serialised right after, so pooling it would only add copying.
+func (s *Server) sketchOne(ctx context.Context, req *wire.SketchRequest) wire.SketchResponse {
+	if err := s.checkSketchSize(req.D, req.A.N); err != nil {
+		return wire.SketchResponse{Status: wire.StatusBadOptions, Detail: err.Error()}
+	}
+	ahat, st, err := s.svc.Sketch(ctx, req.A, req.D, req.Opts)
+	if err != nil {
+		// Prefer the context's verdict when the deadline raced the
+		// execute: the client asked for a bounded request and should see
+		// the deadline status, not an internal cancellation artifact.
+		if ctx.Err() != nil {
+			err = ctx.Err()
+		}
+		return wire.SketchResponse{Status: wire.StatusOf(err), Detail: err.Error()}
+	}
+	return wire.SketchResponse{Status: wire.StatusOK, Stats: st, Ahat: ahat}
+}
+
+// checkSketchSize bounds the response allocation 8·d·n.
+func (s *Server) checkSketchSize(d, n int) error {
+	if d > 0 && n > 0 && int64(d) > s.cfg.MaxSketchBytes/8/int64(n) {
+		return fmt.Errorf("%w: sketch %dx%d exceeds MaxSketchBytes %d",
+			core.ErrBadOptions, d, n, s.cfg.MaxSketchBytes)
+	}
+	return nil
+}
+
+// writeError emits a non-OK response frame of the given kind. Batch-shaped
+// failures that happen before per-item decoding (malformed bytes, bad
+// deadline header) come back as a single-element batch response so the
+// client's decoder matches what it sent.
+func (s *Server) writeError(w http.ResponseWriter, typ wire.MsgType, st wire.Status, detail string) {
+	resp := wire.SketchResponse{Status: st, Detail: detail}
+	var payload []byte
+	if typ == wire.MsgBatchResponse {
+		payload = wire.AppendBatchResponse(nil, []wire.SketchResponse{resp})
+	} else {
+		payload = wire.AppendResponse(nil, &resp)
+	}
+	s.writeFrame(w, httpStatus(st), wire.AppendFrame(nil, typ, payload))
+}
+
+func (s *Server) writeFrame(w http.ResponseWriter, httpCode int, frame []byte) {
+	w.Header().Set("Content-Type", "application/x-sketchsp-wire")
+	w.Header().Set("Content-Length", strconv.Itoa(len(frame)))
+	w.WriteHeader(httpCode)
+	n, _ := w.Write(frame)
+	s.bytesOut.Add(int64(n))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+// StatsSnapshot is the /stats JSON document: the service snapshot (with
+// its raw histogram), quantiles derived through the shared bucket math,
+// and the HTTP layer's own counters. Durations are reported in
+// microseconds for dashboard friendliness.
+type StatsSnapshot struct {
+	Service      service.Stats `json:"service"`
+	LatencyP50us int64         `json:"latency_p50_us"`
+	LatencyP90us int64         `json:"latency_p90_us"`
+	LatencyP95us int64         `json:"latency_p95_us"`
+	LatencyP99us int64         `json:"latency_p99_us"`
+	Server       ServerStats   `json:"server"`
+}
+
+// ServerStats are the transport-level counters of the HTTP layer.
+type ServerStats struct {
+	Requests    int64 `json:"requests"`
+	BadRequests int64 `json:"bad_requests"`
+	BytesIn     int64 `json:"bytes_in"`
+	BytesOut    int64 `json:"bytes_out"`
+	Draining    bool  `json:"draining"`
+}
+
+// Stats returns the combined snapshot (also served at /stats).
+func (s *Server) Stats() StatsSnapshot {
+	st := s.svc.Stats()
+	return StatsSnapshot{
+		Service:      st,
+		LatencyP50us: st.LatencyQuantile(0.50).Microseconds(),
+		LatencyP90us: st.LatencyQuantile(0.90).Microseconds(),
+		LatencyP95us: st.LatencyQuantile(0.95).Microseconds(),
+		LatencyP99us: st.LatencyQuantile(0.99).Microseconds(),
+		Server: ServerStats{
+			Requests:    s.requests.Load(),
+			BadRequests: s.badRequests.Load(),
+			BytesIn:     s.bytesIn.Load(),
+			BytesOut:    s.bytesOut.Load(),
+			Draining:    s.draining.Load(),
+		},
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	buf, err := json.MarshalIndent(s.Stats(), "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(buf, '\n'))
+}

@@ -8,10 +8,24 @@ import (
 	"sketchsp/internal/core"
 )
 
-// latencyBuckets is the histogram resolution: bucket i counts requests with
+// HistBuckets is the histogram resolution: bucket i counts requests with
 // latency in [1µs·2^i, 1µs·2^(i+1)), i.e. 1µs up to ~34s, with bucket 0
 // absorbing sub-microsecond requests and the last bucket everything slower.
-const latencyBuckets = 26
+// Exported so consumers of Stats.LatencyHist (the /stats endpoint, the
+// benches) can size against it.
+const HistBuckets = 26
+
+// BucketCeiling returns the inclusive upper edge of histogram bucket i —
+// the latency a quantile read from that bucket reports.
+func BucketCeiling(i int) time.Duration {
+	if i < 0 {
+		i = 0
+	}
+	if i >= HistBuckets {
+		i = HistBuckets - 1
+	}
+	return time.Duration(1000 << uint(i))
+}
 
 // latencyHist is a lock-free log₂ latency histogram. observe is on the
 // request hot path and must not allocate.
@@ -19,7 +33,7 @@ type latencyHist struct {
 	count   atomic.Int64
 	sumNS   atomic.Int64
 	maxNS   atomic.Int64
-	buckets [latencyBuckets]atomic.Int64
+	buckets [HistBuckets]atomic.Int64
 }
 
 func (h *latencyHist) observe(d time.Duration) {
@@ -36,32 +50,18 @@ func (h *latencyHist) observe(d time.Duration) {
 		}
 	}
 	i := bits.Len64(uint64(ns / 1000)) // 0 for <1µs, 1 for [1µs,2µs), ...
-	if i >= latencyBuckets {
-		i = latencyBuckets - 1
+	if i >= HistBuckets {
+		i = HistBuckets - 1
 	}
 	h.buckets[i].Add(1)
 }
 
-// quantile returns an upper bound of the q-quantile (0 < q ≤ 1) from the
-// bucket boundaries: the top edge of the first bucket at which the
-// cumulative count reaches q·total. Zero when empty.
-func (h *latencyHist) quantile(q float64) time.Duration {
-	total := h.count.Load()
-	if total == 0 {
-		return 0
+// snapshot copies the bucket counters into dst. The copy is per-bucket
+// atomic, not globally atomic — consistent with the rest of Stats.
+func (h *latencyHist) snapshot(dst *[HistBuckets]int64) {
+	for i := range dst {
+		dst[i] = h.buckets[i].Load()
 	}
-	want := int64(q * float64(total))
-	if want < 1 {
-		want = 1
-	}
-	var cum int64
-	for i := 0; i < latencyBuckets; i++ {
-		cum += h.buckets[i].Load()
-		if cum >= want {
-			return time.Duration(1000 << uint(i)) // 1µs·2^i
-		}
-	}
-	return time.Duration(h.maxNS.Load())
 }
 
 // EntryStats is the per-cache-entry slice of a Stats snapshot: which plan,
@@ -104,12 +104,50 @@ type Stats struct {
 	InFlight, QueueDepth int64
 	CachedPlans          int
 	// Latency summary over completed (successful) requests, admission
-	// queueing included.
-	Requests                                                    int64
-	LatencyMean, LatencyP50, LatencyP95, LatencyP99, LatencyMax time.Duration
+	// queueing included. The P-fields are derived from LatencyHist via
+	// LatencyQuantile at snapshot time; other quantiles can be read from
+	// the same snapshot without touching the live histogram.
+	Requests                                                                int64
+	LatencyMean, LatencyP50, LatencyP90, LatencyP95, LatencyP99, LatencyMax time.Duration
+	// LatencyHist is the raw log₂ bucket snapshot: bucket i counts
+	// requests with latency in [1µs·2^i, 1µs·2^(i+1)) (bucket 0 also
+	// absorbs sub-microsecond requests, the last bucket everything
+	// slower). The /stats endpoint serves it verbatim.
+	LatencyHist [HistBuckets]int64
 	// Entries holds the per-cache-entry aggregates, most recently used
 	// first.
 	Entries []EntryStats
+}
+
+// LatencyQuantile returns an upper bound of the q-quantile (0 < q ≤ 1)
+// from the snapshot's bucket boundaries: the top edge of the first bucket
+// at which the cumulative count reaches q·total. Quantiles beyond the last
+// occupied bucket report LatencyMax; an empty snapshot reports 0. This is
+// the single home of the bucket math — Stats(), the /stats endpoint and
+// the benches all read quantiles through it.
+func (st *Stats) LatencyQuantile(q float64) time.Duration {
+	var total int64
+	for _, c := range st.LatencyHist {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	want := int64(q * float64(total))
+	if want < 1 {
+		want = 1
+	}
+	if want > total {
+		want = total
+	}
+	var cum int64
+	for i, c := range st.LatencyHist {
+		cum += c
+		if cum >= want {
+			return BucketCeiling(i)
+		}
+	}
+	return st.LatencyMax
 }
 
 // Stats snapshots the service. It is safe to call concurrently with
@@ -127,11 +165,13 @@ func (s *Service) Stats() Stats {
 		InFlight:    s.inFlight.Load(),
 		QueueDepth:  s.queueDepth.Load(),
 		Requests:    s.hist.count.Load(),
-		LatencyP50:  s.hist.quantile(0.50),
-		LatencyP95:  s.hist.quantile(0.95),
-		LatencyP99:  s.hist.quantile(0.99),
 		LatencyMax:  time.Duration(s.hist.maxNS.Load()),
 	}
+	s.hist.snapshot(&st.LatencyHist)
+	st.LatencyP50 = st.LatencyQuantile(0.50)
+	st.LatencyP90 = st.LatencyQuantile(0.90)
+	st.LatencyP95 = st.LatencyQuantile(0.95)
+	st.LatencyP99 = st.LatencyQuantile(0.99)
 	if st.Requests > 0 {
 		st.LatencyMean = time.Duration(s.hist.sumNS.Load() / st.Requests)
 	}

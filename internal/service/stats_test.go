@@ -1,0 +1,100 @@
+package service
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLatencyQuantilesPinned records a known latency population into the
+// live histogram and pins the quantile helper's answers against the exact
+// bucket edges those latencies must land on. The histogram reports *upper
+// bounds* — the top edge of the bucket the quantile falls in — so every
+// expectation below is a power-of-two microsecond value.
+//
+// Bucket math refresher: latency v lands in bucket i = bits.Len64(v/1µs),
+// whose ceiling is 1µs·2^i. So 1.5µs → bucket 1 (edge 2µs), 3µs → bucket 2
+// (edge 4µs), 100µs → bucket 7 (edge 128µs), 5ms → bucket 13 (edge
+// 8.192ms), 30s → bucket 25 (edge ~33.55s).
+func TestLatencyQuantilesPinned(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+
+	record := func(d time.Duration, n int) {
+		for i := 0; i < n; i++ {
+			s.hist.observe(d)
+		}
+	}
+	record(1500*time.Nanosecond, 50) // bucket 1, cum 50
+	record(3*time.Microsecond, 30)   // bucket 2, cum 80
+	record(100*time.Microsecond, 15) // bucket 7, cum 95
+	record(5*time.Millisecond, 4)    // bucket 13, cum 99
+	record(30*time.Second, 1)        // bucket 25, cum 100
+
+	st := s.Stats()
+	if st.Requests != 100 {
+		t.Fatalf("Requests = %d, want 100", st.Requests)
+	}
+
+	edge := func(i int) time.Duration { return time.Duration(1000 << uint(i)) }
+	cases := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.01, edge(1)},  // the very first request is in bucket 1
+		{0.50, edge(1)},  // cum reaches 50 exactly at bucket 1
+		{0.51, edge(2)},  // one past the 2µs bucket
+		{0.80, edge(2)},  // cum reaches 80 at bucket 2
+		{0.90, edge(7)},  // 80 < 90 <= 95 → 128µs bucket
+		{0.95, edge(7)},  // cum reaches 95 at bucket 7
+		{0.99, edge(13)}, // 95 < 99 <= 99 → 8.192ms bucket
+		{1.00, edge(25)}, // the 30s outlier's bucket edge
+	}
+	for _, c := range cases {
+		if got := st.LatencyQuantile(c.q); got != c.want {
+			t.Errorf("LatencyQuantile(%.2f) = %v, want %v", c.q, got, c.want)
+		}
+	}
+
+	// The snapshot's P-fields are the same helper applied at Stats() time.
+	if st.LatencyP50 != edge(1) || st.LatencyP90 != edge(7) ||
+		st.LatencyP95 != edge(7) || st.LatencyP99 != edge(13) {
+		t.Errorf("snapshot fields p50=%v p90=%v p95=%v p99=%v",
+			st.LatencyP50, st.LatencyP90, st.LatencyP95, st.LatencyP99)
+	}
+	if st.LatencyMax != 30*time.Second {
+		t.Errorf("LatencyMax = %v, want 30s", st.LatencyMax)
+	}
+	wantMean := (50*1500*time.Nanosecond + 30*3*time.Microsecond +
+		15*100*time.Microsecond + 4*5*time.Millisecond + 30*time.Second) / 100
+	if st.LatencyMean != wantMean {
+		t.Errorf("LatencyMean = %v, want %v", st.LatencyMean, wantMean)
+	}
+
+	// Raw bucket snapshot: exactly the five populated buckets.
+	wantBuckets := map[int]int64{1: 50, 2: 30, 7: 15, 13: 4, 25: 1}
+	for i, c := range st.LatencyHist {
+		if c != wantBuckets[i] {
+			t.Errorf("LatencyHist[%d] = %d, want %d", i, c, wantBuckets[i])
+		}
+	}
+}
+
+func TestLatencyQuantileEmpty(t *testing.T) {
+	var st Stats
+	if got := st.LatencyQuantile(0.99); got != 0 {
+		t.Errorf("empty quantile = %v, want 0", got)
+	}
+}
+
+func TestBucketCeiling(t *testing.T) {
+	if BucketCeiling(0) != time.Microsecond {
+		t.Errorf("BucketCeiling(0) = %v", BucketCeiling(0))
+	}
+	if BucketCeiling(10) != 1024*time.Microsecond {
+		t.Errorf("BucketCeiling(10) = %v", BucketCeiling(10))
+	}
+	// Clamped at both ends.
+	if BucketCeiling(-5) != BucketCeiling(0) || BucketCeiling(99) != BucketCeiling(HistBuckets-1) {
+		t.Error("BucketCeiling does not clamp")
+	}
+}

@@ -49,6 +49,12 @@ func (a *CSC) Validate() error {
 		if a.ColPtr[j] > a.ColPtr[j+1] {
 			return fmt.Errorf("sparse: CSC ColPtr not monotone at col %d", j)
 		}
+		// Bounds must hold per column, not just at the endpoints: a ColPtr
+		// like [0, k, ..., 0] is locally monotone at col 0 yet indexes past
+		// the entry arrays before the decreasing step is ever reached.
+		if a.ColPtr[j] < 0 || a.ColPtr[j+1] > len(a.RowIdx) {
+			return fmt.Errorf("sparse: CSC ColPtr out of range at col %d", j)
+		}
 		prev := -1
 		for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
 			r := a.RowIdx[p]

@@ -1,0 +1,161 @@
+package wire
+
+import (
+	"math"
+
+	"sketchsp/internal/core"
+	"sketchsp/internal/dense"
+	"sketchsp/internal/sparse"
+)
+
+// SketchRequest is the decoded form of a MsgSketchRequest payload: one
+// sketch Â = S·A, where S is described by (D, Opts) and regenerated
+// server-side — the matrix S itself never crosses the wire.
+type SketchRequest struct {
+	D    int
+	Opts core.Options
+	A    *sparse.CSC
+}
+
+// SketchResponse is the decoded form of a MsgSketchResponse payload. A
+// non-OK Status carries only Detail; StatusOK carries Â and the execute
+// Stats (WorkerBusy, a plan-owned buffer, does not cross the wire).
+type SketchResponse struct {
+	Status Status
+	Detail string
+	Stats  core.Stats
+	Ahat   *dense.Matrix
+}
+
+// Err converts the response outcome into an error (nil for StatusOK),
+// unwrapping to the canonical sentinel of the status.
+func (r *SketchResponse) Err() error { return r.Status.Err(r.Detail) }
+
+// cscPayloadSize returns the encoded size of a's CSC payload.
+func cscPayloadSize(a *sparse.CSC) int {
+	return 24 + 8*(a.N+1) + 16*len(a.Val)
+}
+
+// AppendCSC appends a's CSC payload to dst. The matrix must be
+// structurally valid (DecodeCSC* re-validates on the way in).
+func AppendCSC(dst []byte, a *sparse.CSC) []byte {
+	dst = appendU64(dst, uint64(a.M))
+	dst = appendU64(dst, uint64(a.N))
+	dst = appendU64(dst, uint64(len(a.Val)))
+	for _, p := range a.ColPtr {
+		dst = appendU64(dst, uint64(p))
+	}
+	for _, r := range a.RowIdx {
+		dst = appendU64(dst, uint64(r))
+	}
+	for _, v := range a.Val {
+		dst = appendU64(dst, math.Float64bits(v))
+	}
+	return dst
+}
+
+// AppendDense appends m's dense payload to dst: dims then the column-major
+// values. Views with a loose stride encode identically to their tight copy.
+func AppendDense(dst []byte, m *dense.Matrix) []byte {
+	dst = appendU64(dst, uint64(m.Rows))
+	dst = appendU64(dst, uint64(m.Cols))
+	for j := 0; j < m.Cols; j++ {
+		for _, v := range m.Col(j) {
+			dst = appendU64(dst, math.Float64bits(v))
+		}
+	}
+	return dst
+}
+
+// requestFixedSize is the fixed-width prefix of a request payload before
+// the embedded CSC: d, seed, 7 option integers, rngCost, flag byte.
+const requestFixedSize = 8 + 8 + 7*8 + 8 + 1
+
+// AppendRequest appends the request payload for (d, opts, a) to dst.
+func AppendRequest(dst []byte, d int, opts core.Options, a *sparse.CSC) []byte {
+	dst = appendU64(dst, uint64(d))
+	dst = appendU64(dst, opts.Seed)
+	dst = appendU64(dst, uint64(int64(opts.Algorithm)))
+	dst = appendU64(dst, uint64(int64(opts.Dist)))
+	dst = appendU64(dst, uint64(int64(opts.Source)))
+	dst = appendU64(dst, uint64(int64(opts.BlockD)))
+	dst = appendU64(dst, uint64(int64(opts.BlockN)))
+	dst = appendU64(dst, uint64(int64(opts.Workers)))
+	dst = appendU64(dst, uint64(int64(opts.Sched)))
+	dst = appendU64(dst, math.Float64bits(opts.RNGCost))
+	var flags byte
+	if opts.Timed {
+		flags |= 1
+	}
+	if opts.TuneBlockN {
+		flags |= 2
+	}
+	dst = append(dst, flags)
+	return AppendCSC(dst, a)
+}
+
+// AppendResponse appends r's response payload to dst.
+func AppendResponse(dst []byte, r *SketchResponse) []byte {
+	dst = append(dst, byte(r.Status))
+	if r.Status != StatusOK {
+		detail := r.Detail
+		dst = appendU32(dst, uint32(len(detail)))
+		return append(dst, detail...)
+	}
+	dst = appendU64(dst, uint64(r.Stats.Samples))
+	dst = appendU64(dst, uint64(r.Stats.Flops))
+	dst = appendU64(dst, uint64(r.Stats.SampleTime.Nanoseconds()))
+	dst = appendU64(dst, uint64(r.Stats.ConvertTime.Nanoseconds()))
+	dst = appendU64(dst, uint64(r.Stats.Total.Nanoseconds()))
+	dst = appendU64(dst, uint64(r.Stats.Steals))
+	dst = appendU64(dst, math.Float64bits(r.Stats.Imbalance))
+	return AppendDense(dst, r.Ahat)
+}
+
+// AppendBatchRequest appends a batch-request payload: count, then each
+// request length-prefixed.
+func AppendBatchRequest(dst []byte, reqs []SketchRequest) []byte {
+	dst = appendU32(dst, uint32(len(reqs)))
+	for i := range reqs {
+		n := requestFixedSize + cscPayloadSize(reqs[i].A)
+		dst = appendU32(dst, uint32(n))
+		dst = AppendRequest(dst, reqs[i].D, reqs[i].Opts, reqs[i].A)
+	}
+	return dst
+}
+
+// AppendBatchResponse appends a batch-response payload: count, then each
+// response length-prefixed.
+func AppendBatchResponse(dst []byte, rs []SketchResponse) []byte {
+	dst = appendU32(dst, uint32(len(rs)))
+	for i := range rs {
+		mark := len(dst)
+		dst = appendU32(dst, 0) // length backpatched below
+		dst = AppendResponse(dst, &rs[i])
+		putU32(dst[mark:mark+4], uint32(len(dst)-mark-4))
+	}
+	return dst
+}
+
+// EncodeRequestFrame returns a complete single-request frame, ready for an
+// HTTP body.
+func EncodeRequestFrame(d int, opts core.Options, a *sparse.CSC) []byte {
+	payload := AppendRequest(make([]byte, 0, requestFixedSize+cscPayloadSize(a)), d, opts, a)
+	return AppendFrame(make([]byte, 0, HeaderSize+len(payload)), MsgSketchRequest, payload)
+}
+
+// EncodeBatchRequestFrame returns a complete batch-request frame.
+func EncodeBatchRequestFrame(reqs []SketchRequest) []byte {
+	payload := AppendBatchRequest(nil, reqs)
+	return AppendFrame(make([]byte, 0, HeaderSize+len(payload)), MsgBatchRequest, payload)
+}
+
+func appendU32(dst []byte, v uint32) []byte {
+	return append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func appendU64(dst []byte, v uint64) []byte {
+	return append(dst,
+		byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}

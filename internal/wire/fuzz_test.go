@@ -1,0 +1,93 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"sketchsp/internal/core"
+	"sketchsp/internal/dense"
+	"sketchsp/internal/rng"
+)
+
+// FuzzWireRoundtrip drives every decoder with arbitrary bytes. The two
+// properties under test:
+//
+//  1. Totality — no input panics; broken bytes come back as ErrMalformed /
+//     ErrTooLarge, never as a crash (the server faces untrusted bodies).
+//  2. Canonical roundtrip — any frame that *does* decode re-encodes to the
+//     exact same bytes, i.e. decode(encode(x)) == x bit-identically and
+//     the encoding has a single fixed point per value.
+//
+// The seed corpus covers every message type over the degenerate shapes the
+// PR 3 differential suite pinned: 0×n, m×0, 0×0, and empty-column matrices.
+func FuzzWireRoundtrip(f *testing.F) {
+	shapes := testCSCs()
+	for _, a := range shapes {
+		f.Add(AppendFrame(nil, MsgCSC, AppendCSC(nil, a)))
+		f.Add(AppendFrame(nil, MsgSketchRequest, AppendRequest(nil, 6, core.Options{
+			Dist: rng.Rademacher, Source: rng.SourcePhilox, Seed: 11,
+		}, a)))
+	}
+	f.Add(AppendFrame(nil, MsgDense, AppendDense(nil, dense.NewMatrix(0, 5))))
+	f.Add(AppendFrame(nil, MsgDense, AppendDense(nil, dense.NewMatrixFrom(2, 2, []float64{1, -2, 3.5, 0}))))
+	f.Add(AppendFrame(nil, MsgSketchResponse, AppendResponse(nil, &SketchResponse{
+		Status: StatusOK, Stats: core.Stats{Samples: 4, Flops: 8}, Ahat: dense.NewMatrix(2, 3),
+	})))
+	f.Add(AppendFrame(nil, MsgSketchResponse, AppendResponse(nil, &SketchResponse{
+		Status: StatusOverloaded, Detail: "queue full",
+	})))
+	f.Add(AppendFrame(nil, MsgBatchRequest, AppendBatchRequest(nil, []SketchRequest{
+		{D: 3, A: shapes["degenerate-0xn"]},
+		{D: 2, Opts: core.Options{Dist: rng.Gaussian}, A: shapes["emptycols"]},
+	})))
+	f.Add(AppendFrame(nil, MsgBatchResponse, AppendBatchResponse(nil, []SketchResponse{
+		{Status: StatusOK, Ahat: dense.NewMatrix(1, 1)},
+		{Status: StatusClosed},
+	})))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const limit = 1 << 22
+		typ, payload, _, err := SplitFrame(data, limit)
+		if err != nil {
+			return // rejection is the expected outcome for mutated bytes
+		}
+		switch typ {
+		case MsgCSC:
+			if a, err := DecodeCSC(payload); err == nil {
+				if !bytes.Equal(AppendCSC(nil, a), payload) {
+					t.Fatal("CSC re-encode differs from accepted payload")
+				}
+			}
+		case MsgDense:
+			if m, err := DecodeDense(payload); err == nil {
+				if !bytes.Equal(AppendDense(nil, m), payload) {
+					t.Fatal("dense re-encode differs from accepted payload")
+				}
+			}
+		case MsgSketchRequest:
+			if req, err := DecodeRequest(payload); err == nil {
+				if !bytes.Equal(AppendRequest(nil, req.D, req.Opts, req.A), payload) {
+					t.Fatal("request re-encode differs from accepted payload")
+				}
+			}
+		case MsgSketchResponse:
+			if resp, err := DecodeResponse(payload); err == nil {
+				if !bytes.Equal(AppendResponse(nil, resp), payload) {
+					t.Fatal("response re-encode differs from accepted payload")
+				}
+			}
+		case MsgBatchRequest:
+			if reqs, err := DecodeBatchRequest(payload); err == nil {
+				if !bytes.Equal(AppendBatchRequest(nil, reqs), payload) {
+					t.Fatal("batch request re-encode differs from accepted payload")
+				}
+			}
+		case MsgBatchResponse:
+			if rs, err := DecodeBatchResponse(payload); err == nil {
+				if !bytes.Equal(AppendBatchResponse(nil, rs), payload) {
+					t.Fatal("batch response re-encode differs from accepted payload")
+				}
+			}
+		}
+	})
+}

@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"time"
 
+	"sketchsp/internal/client"
 	"sketchsp/internal/core"
 	"sketchsp/internal/dense"
 	"sketchsp/internal/rng"
@@ -220,6 +221,27 @@ type (
 // NewService returns a ready concurrent sketch server. Close it when done;
 // in-flight requests finish, cached plans are released.
 func NewService(cfg ServiceConfig) *Service { return service.New(cfg) }
+
+// Network serving re-exports. cmd/sketchd serves a Service over HTTP with
+// the internal/wire binary codec; Client is the matching Go client. The
+// request carries the seed and distribution and the server regenerates S,
+// so traffic per sketch is O(nnz(A) + d·n), never O(d·m) — the paper's
+// memory-bus argument applied to the network.
+type (
+	// Client issues sketch requests to a sketchd server with connection
+	// reuse, per-attempt timeouts and capped jittered backoff. It retries
+	// only failures a retry can cure (transport errors, overload shed) and
+	// surfaces errors through the same sentinels as the in-process API:
+	// errors.Is(err, ErrServiceOverloaded) holds across the network.
+	Client = client.Client
+	// ClientConfig tunes the client's retry and timeout behaviour; the
+	// zero value selects sensible defaults.
+	ClientConfig = client.Config
+)
+
+// NewClient returns a client for the sketchd server at baseURL, e.g.
+// "http://127.0.0.1:7464".
+func NewClient(baseURL string, cfg ClientConfig) *Client { return client.New(baseURL, cfg) }
 
 // Least-squares solver re-exports.
 type (
