@@ -113,7 +113,10 @@ func (c *Client) Sketch(ctx context.Context, a *sparse.CSC, d int, opts core.Opt
 	if a == nil {
 		return nil, core.Stats{}, core.ErrNilMatrix
 	}
-	body := wire.EncodeRequestFrame(d, opts, a)
+	body, err := wire.EncodeRequestFrame(d, opts, a)
+	if err != nil {
+		return nil, core.Stats{}, err
+	}
 	payload, err := c.do(ctx, body)
 	if err != nil {
 		return nil, core.Stats{}, err
@@ -141,7 +144,10 @@ func (c *Client) SketchBatch(ctx context.Context, reqs []wire.SketchRequest) ([]
 			return nil, fmt.Errorf("%w: batch item %d", core.ErrNilMatrix, i)
 		}
 	}
-	body := wire.EncodeBatchRequestFrame(reqs)
+	body, err := wire.EncodeBatchRequestFrame(reqs)
+	if err != nil {
+		return nil, err
+	}
 	payload, err := c.do(ctx, body)
 	if err != nil {
 		return nil, err
@@ -151,6 +157,12 @@ func (c *Client) SketchBatch(ctx context.Context, reqs []wire.SketchRequest) ([]
 		return nil, err
 	}
 	if len(rs) != len(reqs) {
+		// A server that fails before per-item decoding (malformed bytes,
+		// response too large to frame) answers with a single-element error
+		// batch; surface that status instead of a count-mismatch artifact.
+		if len(rs) == 1 && rs[0].Status != wire.StatusOK {
+			return nil, rs[0].Err()
+		}
 		return nil, fmt.Errorf("%w: batch response count %d for %d requests", wire.ErrMalformed, len(rs), len(reqs))
 	}
 	return rs, nil
@@ -204,15 +216,29 @@ func (c *Client) attempt(ctx context.Context, body []byte) ([]byte, error) {
 		return nil, &transportError{err: err}
 	}
 	defer hres.Body.Close()
-	raw, err := io.ReadAll(io.LimitReader(hres.Body, int64(wire.HeaderSize+c.cfg.MaxResponseBytes)))
+	// Read one byte past the limit so an oversized response is
+	// distinguishable from an exactly-full one: a LimitReader at the limit
+	// would silently truncate the body and misreport the deterministic
+	// size overrun as a retryable "truncated payload" transport error.
+	limit := int64(wire.HeaderSize) + int64(c.cfg.MaxResponseBytes)
+	raw, err := io.ReadAll(io.LimitReader(hres.Body, limit+1))
 	if err != nil {
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
 		}
 		return nil, &transportError{err: err}
 	}
+	if int64(len(raw)) > limit {
+		return nil, fmt.Errorf("%w: response body exceeds MaxResponseBytes %d", wire.ErrTooLarge, c.cfg.MaxResponseBytes)
+	}
 	t, payload, _, err := wire.SplitFrame(raw, c.cfg.MaxResponseBytes)
 	if err != nil {
+		if errors.Is(err, wire.ErrTooLarge) {
+			// The declared payload length exceeds our limit: resending the
+			// same request gets the same oversized answer, so fail final
+			// instead of dressing it as a retryable transport problem.
+			return nil, err
+		}
 		// The server always answers in wire frames; anything else (a proxy
 		// error page, a truncated stream) is a transport-level problem.
 		return nil, &transportError{err: fmt.Errorf("http %d: %w", hres.StatusCode, err)}
@@ -231,31 +257,40 @@ func (c *Client) attempt(ctx context.Context, body []byte) ([]byte, error) {
 // statusPeek extracts a retry-relevant error from a response payload: for a
 // single response its status, for a batch the overloaded status iff every
 // item carries a retryable (or equally shed) failure. Non-retryable statuses
-// return nil here — the caller decodes and reports them per item.
+// return nil here — the caller decodes and reports them per item. Only
+// status bytes are peeked; matrices are never materialized (the caller's
+// decode stays the single full decode), and the one decode below is of an
+// error item, which carries only a detail string.
 func statusPeek(t wire.MsgType, payload []byte) error {
 	if t == wire.MsgSketchResponse {
+		st, err := wire.PeekStatus(payload)
+		if err != nil || !st.Retryable() {
+			return err
+		}
 		resp, err := wire.DecodeResponse(payload)
 		if err != nil {
 			return err
 		}
-		if resp.Status.Retryable() {
-			return resp.Err()
-		}
-		return nil
+		return resp.Err()
 	}
-	rs, err := wire.DecodeBatchResponse(payload)
-	if err != nil {
+	items, err := wire.SplitBatchPayload(payload)
+	if err != nil || len(items) == 0 {
 		return err
 	}
-	if len(rs) == 0 {
-		return nil
-	}
-	for i := range rs {
-		if !rs[i].Status.Retryable() {
+	for _, item := range items {
+		st, err := wire.PeekStatus(item)
+		if err != nil {
+			return err
+		}
+		if !st.Retryable() {
 			return nil
 		}
 	}
-	return rs[0].Err() // whole batch shed → retry the whole batch
+	var first wire.SketchResponse
+	if err := wire.DecodeResponseInto(&first, items[0]); err != nil {
+		return err
+	}
+	return first.Err() // whole batch shed → retry the whole batch
 }
 
 // transportError marks failures below the wire protocol (dial, reset,

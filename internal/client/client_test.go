@@ -16,6 +16,16 @@ import (
 	"sketchsp/internal/wire"
 )
 
+// mustFrame frames a canned test payload (test sizes cannot hit the
+// 32-bit frame limit, so the error is impossible).
+func mustFrame(typ wire.MsgType, payload []byte) []byte {
+	b, err := wire.AppendFrame(nil, typ, payload)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
 // testMatrix returns a small fixed CSC input for request bodies.
 func testMatrix(t *testing.T) *sparse.CSC {
 	t.Helper()
@@ -45,13 +55,13 @@ func okResponseFrame(t *testing.T) []byte {
 		Stats:  core.Stats{Samples: 6, Total: time.Millisecond},
 		Ahat:   ahat,
 	}
-	return wire.AppendFrame(nil, wire.MsgSketchResponse, wire.AppendResponse(nil, &resp))
+	return mustFrame(wire.MsgSketchResponse, wire.AppendResponse(nil, &resp))
 }
 
 // errResponseFrame builds a non-OK single-response frame.
 func errResponseFrame(st wire.Status, detail string) []byte {
 	resp := wire.SketchResponse{Status: st, Detail: detail}
-	return wire.AppendFrame(nil, wire.MsgSketchResponse, wire.AppendResponse(nil, &resp))
+	return mustFrame(wire.MsgSketchResponse, wire.AppendResponse(nil, &resp))
 }
 
 // stubServer runs an httptest server whose /v1/sketch handler pops the next
@@ -155,6 +165,47 @@ func TestSketchRetriesTransportError(t *testing.T) {
 	}
 }
 
+func TestSketchOversizedResponseNotRetried(t *testing.T) {
+	full := okResponseFrame(t) // 133 bytes, far over the tiny limit below
+
+	// An actual body beyond HeaderSize+MaxResponseBytes must surface
+	// ErrTooLarge from the single attempt — not a truncated-payload decode
+	// failure dressed as a retryable transport error.
+	t.Run("oversized-body", func(t *testing.T) {
+		srv, attempts := stubServer(t, []func(http.ResponseWriter, *http.Request){
+			replyFrame(full, http.StatusOK),
+		})
+		cfg := fastCfg()
+		cfg.MaxResponseBytes = 16
+		c := New(srv.URL, cfg)
+		_, _, err := c.Sketch(context.Background(), testMatrix(t), 2, core.Options{})
+		if !errors.Is(err, wire.ErrTooLarge) {
+			t.Fatalf("err = %v, want Is(wire.ErrTooLarge)", err)
+		}
+		if got := attempts.Load(); got != 1 {
+			t.Errorf("attempts = %d, want 1: an oversized response is deterministic", got)
+		}
+	})
+
+	// A short body whose header still declares an over-limit payload is
+	// equally deterministic and equally non-retryable.
+	t.Run("oversized-declared-length", func(t *testing.T) {
+		srv, attempts := stubServer(t, []func(http.ResponseWriter, *http.Request){
+			replyFrame(full[:wire.HeaderSize+4], http.StatusOK),
+		})
+		cfg := fastCfg()
+		cfg.MaxResponseBytes = 64
+		c := New(srv.URL, cfg)
+		_, _, err := c.Sketch(context.Background(), testMatrix(t), 2, core.Options{})
+		if !errors.Is(err, wire.ErrTooLarge) {
+			t.Fatalf("err = %v, want Is(wire.ErrTooLarge)", err)
+		}
+		if got := attempts.Load(); got != 1 {
+			t.Errorf("attempts = %d, want 1", got)
+		}
+	})
+}
+
 func TestSketchExhaustsRetriesOnPersistentOverload(t *testing.T) {
 	over := errResponseFrame(wire.StatusOverloaded, "still full")
 	srv, attempts := stubServer(t, []func(http.ResponseWriter, *http.Request){
@@ -202,7 +253,7 @@ func TestSketchBatchRetriesWholeShedBatch(t *testing.T) {
 		{Status: wire.StatusOverloaded, Detail: "shed"},
 		{Status: wire.StatusOverloaded, Detail: "shed"},
 	}
-	shedFrame := wire.AppendFrame(nil, wire.MsgBatchResponse, wire.AppendBatchResponse(nil, shed))
+	shedFrame := mustFrame(wire.MsgBatchResponse, wire.AppendBatchResponse(nil, shed))
 
 	ahat := dense.NewMatrix(1, 1)
 	ahat.Col(0)[0] = 42
@@ -210,7 +261,7 @@ func TestSketchBatchRetriesWholeShedBatch(t *testing.T) {
 		{Status: wire.StatusOK, Ahat: ahat},
 		{Status: wire.StatusInvalidMatrix, Detail: "item 1 bad"},
 	}
-	okFrame := wire.AppendFrame(nil, wire.MsgBatchResponse, wire.AppendBatchResponse(nil, ok))
+	okFrame := mustFrame(wire.MsgBatchResponse, wire.AppendBatchResponse(nil, ok))
 
 	srv, attempts := stubServer(t, []func(http.ResponseWriter, *http.Request){
 		replyFrame(shedFrame, http.StatusTooManyRequests),
@@ -243,7 +294,7 @@ func TestSketchBatchMixedFailureNotRetried(t *testing.T) {
 		{Status: wire.StatusOverloaded, Detail: "shed"},
 		{Status: wire.StatusInvalidMatrix, Detail: "bad"},
 	}
-	frame := wire.AppendFrame(nil, wire.MsgBatchResponse, wire.AppendBatchResponse(nil, mixed))
+	frame := mustFrame(wire.MsgBatchResponse, wire.AppendBatchResponse(nil, mixed))
 	srv, attempts := stubServer(t, []func(http.ResponseWriter, *http.Request){
 		replyFrame(frame, http.StatusOK),
 	})

@@ -175,6 +175,58 @@ func TestE2EBatch(t *testing.T) {
 	}
 }
 
+// TestE2EConcurrentAlternatingMatrices hammers one server from several
+// goroutines alternating between two same-shaped but different-valued
+// matrices. The server decodes requests into pooled scratch whose backing
+// arrays are reused across requests, so a cached plan must own a private
+// copy of its matrix: an aliasing plan races against later decodes (caught
+// under -race) and serves the sketch of whatever matrix was decoded last
+// into the shared arrays (caught by the bit-identity check).
+func TestE2EConcurrentAlternatingMatrices(t *testing.T) {
+	base, _, _ := startServer(t, service.Config{}, Config{})
+
+	const d = 16
+	opts := core.Options{Dist: rng.Rademacher, Seed: 9, Workers: 2}
+	mats := []*sparse.CSC{
+		sparse.RandomUniform(400, 60, 0.05, 21),
+		sparse.RandomUniform(400, 60, 0.05, 22),
+	}
+	want := make([]*dense.Matrix, len(mats))
+	for i, a := range mats {
+		p, err := core.NewPlan(a, d, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = dense.NewMatrix(d, a.N)
+		if _, err := p.Execute(want[i]); err != nil {
+			t.Fatal(err)
+		}
+		p.Close()
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := client.New(base, client.Config{})
+			for it := 0; it < 12; it++ {
+				i := (g + it) % len(mats)
+				got, _, err := c.Sketch(context.Background(), mats[i], d, opts)
+				if err != nil {
+					t.Errorf("goroutine %d iter %d: %v", g, it, err)
+					return
+				}
+				if err := bitIdentical(want[i], got); err != nil {
+					t.Errorf("goroutine %d iter %d: cached plan served the wrong matrix: %v", g, it, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
 // waitFor polls cond for up to 5s — used to line up the overload window.
 func waitFor(t *testing.T, what string, cond func() bool) {
 	t.Helper()

@@ -259,7 +259,12 @@ func (s *Server) serveSingle(ctx context.Context, w http.ResponseWriter, sc *req
 		return
 	}
 	resp := s.sketchOne(ctx, &sc.req)
-	sc.out = wire.AppendFrame(sc.out[:0], wire.MsgSketchResponse, wire.AppendResponse(nil, &resp))
+	out, err := wire.AppendFrame(sc.out[:0], wire.MsgSketchResponse, wire.AppendResponse(nil, &resp))
+	if err != nil {
+		s.writeError(w, wire.MsgSketchResponse, wire.StatusInternal, "response too large to frame: "+err.Error())
+		return
+	}
+	sc.out = out
 	s.writeFrame(w, httpStatus(resp.Status), sc.out)
 }
 
@@ -298,7 +303,14 @@ func (s *Server) serveBatch(ctx context.Context, w http.ResponseWriter, payload 
 			out[i] = wire.SketchResponse{Status: wire.StatusOK, Stats: sresps[i].Stats, Ahat: sresps[i].Ahat}
 		}
 	}
-	frame := wire.AppendFrame(nil, wire.MsgBatchResponse, wire.AppendBatchResponse(nil, out))
+	// A batch of near-MaxSketchBytes sketches can legitimately exceed the
+	// 32-bit frame length; answer with a framable error instead of a
+	// length-wrapped frame that would desync the client's decoder.
+	frame, err := wire.AppendFrame(nil, wire.MsgBatchResponse, wire.AppendBatchResponse(nil, out))
+	if err != nil {
+		s.writeError(w, wire.MsgBatchResponse, wire.StatusInternal, "batch response too large to frame: "+err.Error())
+		return
+	}
 	s.writeFrame(w, http.StatusOK, frame)
 }
 
@@ -343,7 +355,10 @@ func (s *Server) writeError(w http.ResponseWriter, typ wire.MsgType, st wire.Sta
 	} else {
 		payload = wire.AppendResponse(nil, &resp)
 	}
-	s.writeFrame(w, httpStatus(st), wire.AppendFrame(nil, typ, payload))
+	// An error payload is a status byte plus a short detail string — it
+	// cannot reach the frame limit, so the framing error is impossible.
+	frame, _ := wire.AppendFrame(nil, typ, payload)
+	s.writeFrame(w, httpStatus(st), frame)
 }
 
 func (s *Server) writeFrame(w http.ResponseWriter, httpCode int, frame []byte) {

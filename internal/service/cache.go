@@ -135,7 +135,15 @@ func (s *Service) plan(ctx context.Context, k planKey, a *sparse.CSC) (*core.Pla
 // retry instead of caching the error forever.
 func (s *Service) build(e *entry, a *sparse.CSC) {
 	defer close(e.ready)
-	p, err := core.NewPlan(a, e.key.d, e.key.opts)
+	// The cache keeps the plan alive long after this request returns, but
+	// core.NewPlan aliases the matrix it is given (it clones only for
+	// ScaledInt). Callers are free to reuse or mutate a's backing arrays
+	// once their request completes — the HTTP server decodes requests into
+	// pooled scratch — so the cached plan must own a private deep copy;
+	// otherwise later cache hits would execute against whatever bytes the
+	// caller wrote there next. Cloning here keeps the hit path untouched:
+	// the copy happens once per plan, on the build (miss) path only.
+	p, err := core.NewPlan(a.Clone(), e.key.d, e.key.opts)
 	if err != nil {
 		e.err = err
 		s.buildErrors.Add(1)

@@ -138,6 +138,10 @@ func (s *Service) Sketch(ctx context.Context, a *sparse.CSC, d int, opts core.Op
 // The result is bit-identical to a fresh one-shot Sketch with the same
 // (a, d, opts) — cached plans cannot change the sketch values — which the
 // differential suite asserts across the configuration space.
+//
+// The service does not retain a beyond the call: a cached plan is built
+// from its own deep copy of the matrix, so callers may reuse or mutate a's
+// backing arrays as soon as SketchInto returns.
 func (s *Service) SketchInto(ctx context.Context, ahat *dense.Matrix, a *sparse.CSC, d int, opts core.Options) (core.Stats, error) {
 	start := time.Now()
 	if a == nil {

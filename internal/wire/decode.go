@@ -255,6 +255,28 @@ func DecodeResponseInto(dst *SketchResponse, payload []byte) error {
 	return DecodeDenseInto(dst.Ahat, payload[1+statsSize:])
 }
 
+// PeekStatus reads a response payload's status byte without decoding the
+// rest. The client's retry loop classifies responses with it so a
+// successful response is not fully decoded twice (the dense Â dominates
+// decode cost; the status is one byte).
+func PeekStatus(payload []byte) (Status, error) {
+	if len(payload) < 1 {
+		return 0, fmt.Errorf("%w: empty response payload", ErrMalformed)
+	}
+	st := Status(payload[0])
+	if st > StatusInternal {
+		return 0, fmt.Errorf("%w: unknown status %d", ErrMalformed, payload[0])
+	}
+	return st, nil
+}
+
+// SplitBatchPayload parses a batch payload into its per-item payload views
+// without decoding the items. The views alias payload.
+func SplitBatchPayload(payload []byte) ([][]byte, error) {
+	_, items, err := splitBatch(payload)
+	return items, err
+}
+
 // DecodeBatchRequest decodes a batch-request payload.
 func DecodeBatchRequest(payload []byte) ([]SketchRequest, error) {
 	n, items, err := splitBatch(payload)

@@ -138,14 +138,18 @@ func AppendBatchResponse(dst []byte, rs []SketchResponse) []byte {
 }
 
 // EncodeRequestFrame returns a complete single-request frame, ready for an
-// HTTP body.
-func EncodeRequestFrame(d int, opts core.Options, a *sparse.CSC) []byte {
+// HTTP body. A matrix too large for the 32-bit frame length fails with
+// ErrTooLarge.
+func EncodeRequestFrame(d int, opts core.Options, a *sparse.CSC) ([]byte, error) {
 	payload := AppendRequest(make([]byte, 0, requestFixedSize+cscPayloadSize(a)), d, opts, a)
 	return AppendFrame(make([]byte, 0, HeaderSize+len(payload)), MsgSketchRequest, payload)
 }
 
-// EncodeBatchRequestFrame returns a complete batch-request frame.
-func EncodeBatchRequestFrame(reqs []SketchRequest) []byte {
+// EncodeBatchRequestFrame returns a complete batch-request frame. A batch
+// whose total payload exceeds the 32-bit frame length fails with
+// ErrTooLarge (per-item u32 lengths are covered by the same check: an
+// oversized item makes the whole payload oversized).
+func EncodeBatchRequestFrame(reqs []SketchRequest) ([]byte, error) {
 	payload := AppendBatchRequest(nil, reqs)
 	return AppendFrame(make([]byte, 0, HeaderSize+len(payload)), MsgBatchRequest, payload)
 }

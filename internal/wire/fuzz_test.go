@@ -23,24 +23,24 @@ import (
 func FuzzWireRoundtrip(f *testing.F) {
 	shapes := testCSCs()
 	for _, a := range shapes {
-		f.Add(AppendFrame(nil, MsgCSC, AppendCSC(nil, a)))
-		f.Add(AppendFrame(nil, MsgSketchRequest, AppendRequest(nil, 6, core.Options{
+		f.Add(mustFrame(MsgCSC, AppendCSC(nil, a)))
+		f.Add(mustFrame(MsgSketchRequest, AppendRequest(nil, 6, core.Options{
 			Dist: rng.Rademacher, Source: rng.SourcePhilox, Seed: 11,
 		}, a)))
 	}
-	f.Add(AppendFrame(nil, MsgDense, AppendDense(nil, dense.NewMatrix(0, 5))))
-	f.Add(AppendFrame(nil, MsgDense, AppendDense(nil, dense.NewMatrixFrom(2, 2, []float64{1, -2, 3.5, 0}))))
-	f.Add(AppendFrame(nil, MsgSketchResponse, AppendResponse(nil, &SketchResponse{
+	f.Add(mustFrame(MsgDense, AppendDense(nil, dense.NewMatrix(0, 5))))
+	f.Add(mustFrame(MsgDense, AppendDense(nil, dense.NewMatrixFrom(2, 2, []float64{1, -2, 3.5, 0}))))
+	f.Add(mustFrame(MsgSketchResponse, AppendResponse(nil, &SketchResponse{
 		Status: StatusOK, Stats: core.Stats{Samples: 4, Flops: 8}, Ahat: dense.NewMatrix(2, 3),
 	})))
-	f.Add(AppendFrame(nil, MsgSketchResponse, AppendResponse(nil, &SketchResponse{
+	f.Add(mustFrame(MsgSketchResponse, AppendResponse(nil, &SketchResponse{
 		Status: StatusOverloaded, Detail: "queue full",
 	})))
-	f.Add(AppendFrame(nil, MsgBatchRequest, AppendBatchRequest(nil, []SketchRequest{
+	f.Add(mustFrame(MsgBatchRequest, AppendBatchRequest(nil, []SketchRequest{
 		{D: 3, A: shapes["degenerate-0xn"]},
 		{D: 2, Opts: core.Options{Dist: rng.Gaussian}, A: shapes["emptycols"]},
 	})))
-	f.Add(AppendFrame(nil, MsgBatchResponse, AppendBatchResponse(nil, []SketchResponse{
+	f.Add(mustFrame(MsgBatchResponse, AppendBatchResponse(nil, []SketchResponse{
 		{Status: StatusOK, Ahat: dense.NewMatrix(1, 1)},
 		{Status: StatusClosed},
 	})))

@@ -82,6 +82,13 @@ const HeaderSize = 12
 // that a corrupt length field cannot demand an absurd allocation.
 const DefaultMaxPayload = 1 << 30
 
+// MaxFramePayload is the hard encode-side payload ceiling: the header's
+// length field is 32 bits, so a larger payload cannot be framed at all.
+// Encoders reject it with ErrTooLarge instead of silently wrapping the
+// length and desyncing the stream (a batch of several near-1-GiB items can
+// legitimately reach this).
+const MaxFramePayload = 1<<32 - 1
+
 // MsgType tags what a frame's payload contains.
 type MsgType uint8
 
@@ -328,15 +335,20 @@ func getU64(src []byte) uint64 {
 }
 
 // AppendFrame appends a complete frame (header + payload) to dst and
-// returns the extended slice.
-func AppendFrame(dst []byte, t MsgType, payload []byte) []byte {
+// returns the extended slice. A payload beyond MaxFramePayload cannot be
+// expressed in the 32-bit length field and fails with ErrTooLarge, leaving
+// dst unextended.
+func AppendFrame(dst []byte, t MsgType, payload []byte) ([]byte, error) {
+	if uint64(len(payload)) > MaxFramePayload {
+		return dst, fmt.Errorf("%w: payload %d bytes exceeds the %d-byte frame limit", ErrTooLarge, len(payload), uint64(MaxFramePayload))
+	}
 	var hdr [HeaderSize]byte
 	hdr[0], hdr[1], hdr[2] = 'S', 'K', 'W'
 	hdr[3] = Version
 	hdr[4] = byte(t)
 	putU32(hdr[8:12], uint32(len(payload)))
 	dst = append(dst, hdr[:]...)
-	return append(dst, payload...)
+	return append(dst, payload...), nil
 }
 
 // SplitFrame parses one frame from buf without copying: the returned
@@ -369,8 +381,12 @@ func SplitFrame(buf []byte, maxPayload int) (t MsgType, payload, rest []byte, er
 	return MsgType(buf[4]), buf[HeaderSize:end], buf[end:], nil
 }
 
-// WriteMessage writes one frame to w.
+// WriteMessage writes one frame to w. Like AppendFrame, a payload beyond
+// MaxFramePayload fails with ErrTooLarge before anything is written.
 func WriteMessage(w io.Writer, t MsgType, payload []byte) error {
+	if uint64(len(payload)) > MaxFramePayload {
+		return fmt.Errorf("%w: payload %d bytes exceeds the %d-byte frame limit", ErrTooLarge, len(payload), uint64(MaxFramePayload))
+	}
 	var hdr [HeaderSize]byte
 	hdr[0], hdr[1], hdr[2] = 'S', 'K', 'W'
 	hdr[3] = Version

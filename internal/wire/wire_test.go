@@ -39,6 +39,16 @@ func testCSCs() map[string]*sparse.CSC {
 	}
 }
 
+// mustFrame frames a test payload, panicking on the (impossible for test
+// sizes) frame-limit error so call sites stay expressions.
+func mustFrame(t MsgType, payload []byte) []byte {
+	b, err := AppendFrame(nil, t, payload)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
 func TestCSCRoundtrip(t *testing.T) {
 	for name, a := range testCSCs() {
 		payload := AppendCSC(nil, a)
@@ -227,7 +237,7 @@ func TestFrameIO(t *testing.T) {
 }
 
 func TestFrameErrors(t *testing.T) {
-	good := AppendFrame(nil, MsgCSC, AppendCSC(nil, testCSCs()["single-entry"]))
+	good := mustFrame(MsgCSC, AppendCSC(nil, testCSCs()["single-entry"]))
 	cases := map[string][]byte{
 		"short":       good[:HeaderSize-1],
 		"bad-magic":   append([]byte("XYZ"), good[3:]...),
@@ -245,6 +255,65 @@ func TestFrameErrors(t *testing.T) {
 	}
 	if _, _, _, err := SplitFrame(good, 4); !errors.Is(err, ErrTooLarge) {
 		t.Errorf("tight limit: err = %v, want ErrTooLarge", err)
+	}
+}
+
+// TestEncodeRejectsOversizedPayload pins the 32-bit frame ceiling: a
+// payload longer than the header's u32 length field can express must be
+// rejected with ErrTooLarge, never silently wrapped into a frame whose
+// declared length desyncs the stream. The oversized slice is never
+// written, so the 4 GiB allocation stays virtual.
+func TestEncodeRejectsOversizedPayload(t *testing.T) {
+	if math.MaxInt == math.MaxInt32 {
+		t.Skip("cannot build an oversized payload on a 32-bit platform")
+	}
+	huge := make([]byte, int64(MaxFramePayload)+1)
+	if _, err := AppendFrame(nil, MsgCSC, huge); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("AppendFrame: err = %v, want ErrTooLarge", err)
+	}
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, MsgCSC, huge); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("WriteMessage: err = %v, want ErrTooLarge", err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("WriteMessage wrote %d bytes before failing", buf.Len())
+	}
+}
+
+// TestPeekStatusAndSplitBatchPayload pins the cheap classification path the
+// client's retry loop uses: status bytes are readable without decoding any
+// matrix, for single and per-batch-item payloads alike.
+func TestPeekStatusAndSplitBatchPayload(t *testing.T) {
+	ok := AppendResponse(nil, &SketchResponse{Status: StatusOK, Ahat: dense.NewMatrix(1, 2)})
+	if st, err := PeekStatus(ok); err != nil || st != StatusOK {
+		t.Errorf("PeekStatus(ok) = %v, %v", st, err)
+	}
+	shed := AppendResponse(nil, &SketchResponse{Status: StatusOverloaded, Detail: "later"})
+	if st, err := PeekStatus(shed); err != nil || st != StatusOverloaded {
+		t.Errorf("PeekStatus(shed) = %v, %v", st, err)
+	}
+	if _, err := PeekStatus(nil); !errors.Is(err, ErrMalformed) {
+		t.Errorf("PeekStatus(empty): err = %v, want ErrMalformed", err)
+	}
+	if _, err := PeekStatus([]byte{255}); !errors.Is(err, ErrMalformed) {
+		t.Errorf("PeekStatus(unknown status): err = %v, want ErrMalformed", err)
+	}
+
+	bp := AppendBatchResponse(nil, []SketchResponse{
+		{Status: StatusOverloaded, Detail: "shed"},
+		{Status: StatusOK, Ahat: dense.NewMatrix(1, 1)},
+	})
+	items, err := SplitBatchPayload(bp)
+	if err != nil || len(items) != 2 {
+		t.Fatalf("SplitBatchPayload: %d items, err = %v", len(items), err)
+	}
+	for i, want := range []Status{StatusOverloaded, StatusOK} {
+		if st, err := PeekStatus(items[i]); err != nil || st != want {
+			t.Errorf("item %d status = %v, %v; want %v", i, st, err, want)
+		}
+	}
+	if _, err := SplitBatchPayload(bp[:3]); !errors.Is(err, ErrMalformed) {
+		t.Errorf("truncated batch: err = %v, want ErrMalformed", err)
 	}
 }
 
