@@ -11,8 +11,10 @@ ci: vet test race
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomises test (and subtest-parent) execution order every
+# run, so inter-test state leaks can't hide behind a lucky fixed order.
 test: build
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 vet:
 	$(GO) vet ./...
@@ -20,18 +22,24 @@ vet:
 # The planner/executor worker pool and the solvers that reuse plans are the
 # concurrency-sensitive surface; race-check them on every PR. The service
 # suite (plan cache, single-flight, eviction/cancellation hammers) runs
-# twice so a lucky interleaving on the first pass doesn't mask a race.
+# twice so a lucky interleaving on the first pass doesn't mask a race. The
+# obs registry's scrape-while-incrementing suite and the server's /metrics
+# e2e reconcile ride the same gate: metric counters sit on every hot path.
 race:
 	$(GO) test -race ./internal/core/... ./internal/solver/...
 	$(GO) test -race -count=2 ./internal/service/...
+	$(GO) test -race ./internal/obs/... ./internal/server/...
 
 bench:
 	$(GO) test -bench . -benchtime 1x ./...
 
 # Scheduler A/B on skewed sparsity; records (benchmark name, ns/op, GFlops,
-# measured imbalance ratio) per scheduler into BENCH_PR2.json.
+# measured imbalance ratio) per scheduler into BENCH_PR2.json. The PR5
+# record repeats the HTTP replay with -scrape, folding the /metrics series
+# (cache traffic, shed, stage latency sums) into the JSON.
 bench-json:
 	$(GO) run ./cmd/spmmbench -skew -scale 0.05 -json BENCH_PR2.json
 	$(GO) test -run - -bench BenchmarkServiceHit -benchtime 100x .
 	$(GO) run ./cmd/spmmbench -serve -scale 0.05 -json BENCH_PR3.json
 	$(GO) run ./cmd/spmmbench -serve-http -scale 0.05 -json BENCH_PR4.json
+	$(GO) run ./cmd/spmmbench -serve-http -scrape -scale 0.05 -json BENCH_PR5.json

@@ -2,7 +2,9 @@
 // internal/server wiring flags to the service/server configs and turning
 // SIGTERM/SIGINT into a graceful drain — /healthz flips to 503, in-flight
 // sketches finish (bounded by -drain-timeout), then the plan cache is
-// released.
+// released. GET /metrics serves the Prometheus text exposition of every
+// layer's counters and stage histograms; -pprof additionally mounts
+// net/http/pprof under /debug/pprof/.
 //
 // Quick start:
 //
@@ -37,6 +39,7 @@ func main() {
 		maxBody        = flag.Int64("max-body", 1<<30, "largest accepted request body in bytes")
 		maxSketch      = flag.Int64("max-sketch", 1<<30, "largest sketch (8*d*n bytes) a request may demand")
 		drainTimeout   = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
+		pprofOn        = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the serving port")
 	)
 	flag.Parse()
 	if args := flag.Args(); len(args) != 0 {
@@ -55,14 +58,15 @@ func main() {
 		MaxBodyBytes:   *maxBody,
 		MaxSketchBytes: *maxSketch,
 		RequestTimeout: *requestTimeout,
+		Pprof:          *pprofOn,
 	})
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("sketchd: listen %s: %v", *addr, err)
 	}
-	log.Printf("sketchd: serving on http://%s (cache=%d inflight=%d queue=%d)",
-		l.Addr(), *cache, *maxInFlight, *maxQueue)
+	log.Printf("sketchd: serving on http://%s (cache=%d inflight=%d queue=%d pprof=%v)",
+		l.Addr(), *cache, *maxInFlight, *maxQueue, *pprofOn)
 
 	// Serve until a termination signal, then drain: stop accepting, let
 	// in-flight requests finish, and only then release the plan cache.

@@ -11,11 +11,13 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"sketchsp/internal/client"
+	"sketchsp/internal/obs"
 	"sketchsp/internal/server"
 	"sketchsp/internal/service"
 )
@@ -30,6 +32,12 @@ import (
 // because S never crosses the network.
 
 var serveHTTP = flag.Bool("serve-http", false, "replay the -serve workload over a loopback HTTP server (wire codec end to end)")
+
+// -scrape folds the server's /metrics exposition into the JSON record, so a
+// bench run documents the full counter state (shed, cache traffic, stage
+// latencies) alongside the latency summary — and doubles as an end-to-end
+// check that the exposition parses.
+var scrape = flag.Bool("scrape", false, "with -serve-http: scrape /metrics after the replay and fold the series into the JSON record")
 
 // serveHTTPRecord is the JSON schema of a -serve-http run (BENCH_PR4.json).
 type serveHTTPRecord struct {
@@ -52,6 +60,32 @@ type serveHTTPRecord struct {
 	WireOverheadUS int64   `json:"wire_overhead_mean_us"`
 	BytesInPerReq  int64   `json:"bytes_in_per_request"`
 	BytesOutPerReq int64   `json:"bytes_out_per_request"`
+	// Metrics holds the scraped /metrics series (-scrape only): every
+	// sketchsp_* sample except the histogram buckets, keyed exactly as
+	// exposed (counters, gauges, histogram _sum/_count).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// scrapeMetrics pulls /metrics and keeps the non-bucket sketchsp_* series.
+func scrapeMetrics(base string) map[string]float64 {
+	res, err := http.Get(base + "/metrics")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spmmbench: scrape:", err)
+		return nil
+	}
+	defer res.Body.Close()
+	mm, err := obs.ParseText(res.Body)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spmmbench: scrape parse:", err)
+		return nil
+	}
+	out := make(map[string]float64)
+	for k, v := range mm {
+		if strings.HasPrefix(k, "sketchsp_") && !strings.Contains(k, "_bucket{") {
+			out[k] = v
+		}
+	}
+	return out
 }
 
 // quantileExact returns the q-quantile of sorted durations.
@@ -179,6 +213,13 @@ func serveHTTPSuite() {
 	fmt.Printf("  traffic          %d B/request in, %d B/request out (S never crosses the wire)\n",
 		bytesInPerReq, bytesOutPerReq)
 
+	var scraped map[string]float64
+	if *scrape {
+		scraped = scrapeMetrics(base)
+		fmt.Printf("  metrics          %d series scraped from /metrics (shed %v, plan executes %v)\n",
+			len(scraped), scraped["sketchsp_service_shed_total"], scraped["sketchsp_plan_executes_total"])
+	}
+
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	if err := srv.Shutdown(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "spmmbench: shutdown:", err)
@@ -207,6 +248,7 @@ func serveHTTPSuite() {
 			WireOverheadUS: (e2eMean - st.LatencyMean).Microseconds(),
 			BytesInPerReq:  bytesInPerReq,
 			BytesOutPerReq: bytesOutPerReq,
+			Metrics:        scraped,
 		}
 		buf, err := json.MarshalIndent(rec, "", "  ")
 		if err != nil {

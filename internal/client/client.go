@@ -28,6 +28,7 @@ import (
 
 	"sketchsp/internal/core"
 	"sketchsp/internal/dense"
+	"sketchsp/internal/obs"
 	"sketchsp/internal/sparse"
 	"sketchsp/internal/wire"
 )
@@ -56,6 +57,10 @@ type Config struct {
 	// HTTPClient overrides the underlying client (default: a shared
 	// keep-alive transport). Tests inject httptest clients here.
 	HTTPClient *http.Client
+	// Metrics, when non-nil, registers the sketchsp_client_* families
+	// (requests, retries, per-cause attempt failures, whole-call latency) on
+	// the given registry. nil — the default — records nothing.
+	Metrics *obs.Registry
 }
 
 const (
@@ -71,6 +76,7 @@ type Client struct {
 	base string
 	cfg  Config
 	http *http.Client
+	met  *clientMetrics // nil when Config.Metrics is nil
 
 	mu  sync.Mutex
 	rnd *rand.Rand
@@ -98,10 +104,15 @@ func New(baseURL string, cfg Config) *Client {
 	if hc == nil {
 		hc = &http.Client{Transport: http.DefaultTransport}
 	}
+	var met *clientMetrics
+	if cfg.Metrics != nil {
+		met = newClientMetrics(cfg.Metrics)
+	}
 	return &Client{
 		base: strings.TrimRight(baseURL, "/"),
 		cfg:  cfg,
 		http: hc,
+		met:  met,
 		rnd:  rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
 }
@@ -173,12 +184,16 @@ func (c *Client) SketchBatch(ctx context.Context, reqs []wire.SketchRequest) ([]
 // response payload is returned undecoded so single and batch callers share
 // the retry loop.
 func (c *Client) do(ctx context.Context, body []byte) ([]byte, error) {
+	c.met.request()
+	sp := c.met.span()
+	defer sp.End()
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		payload, err := c.attempt(ctx, body)
 		if err == nil {
 			return payload, nil
 		}
+		c.met.attemptFailed(err)
 		lastErr = err
 		if attempt >= c.cfg.MaxRetries || !retryable(err) || ctx.Err() != nil {
 			return nil, lastErr
@@ -186,6 +201,7 @@ func (c *Client) do(ctx context.Context, body []byte) ([]byte, error) {
 		if err := c.sleep(ctx, c.backoff(attempt)); err != nil {
 			return nil, lastErr
 		}
+		c.met.retry()
 	}
 }
 

@@ -1,0 +1,74 @@
+package client
+
+import (
+	"errors"
+
+	"sketchsp/internal/obs"
+	"sketchsp/internal/wire"
+)
+
+// clientMetrics is the client's optional metric set. Unlike the server
+// layers, a client does not own a serving stack, so nothing is registered
+// unless Config.Metrics hands it a registry — the caller decides whether
+// client-side series belong next to the server families or on a registry of
+// their own. A nil *clientMetrics is fully inert: every record method is
+// nil-guarded, so the hot path carries one predictable branch, not a
+// registry dependency.
+type clientMetrics struct {
+	requests        *obs.Counter
+	retries         *obs.Counter
+	transportErrors *obs.Counter
+	overloaded      *obs.Counter
+	latency         *obs.Histogram // whole call: all attempts + backoff sleeps
+}
+
+func newClientMetrics(r *obs.Registry) *clientMetrics {
+	return &clientMetrics{
+		requests: r.Counter("sketchsp_client_requests_total",
+			"Sketch calls issued (retries do not count again)."),
+		retries: r.Counter("sketchsp_client_retries_total",
+			"Attempts reissued after a retryable failure."),
+		transportErrors: r.Counter("sketchsp_client_transport_errors_total",
+			"Attempts that failed below the wire protocol (dial, reset, truncated body)."),
+		overloaded: r.Counter("sketchsp_client_overloaded_total",
+			"Attempts shed by the server with StatusOverloaded."),
+		latency: r.Histogram("sketchsp_client_request_seconds",
+			"Whole-call latency including retries and backoff sleeps."),
+	}
+}
+
+func (m *clientMetrics) request() {
+	if m != nil {
+		m.requests.Inc()
+	}
+}
+
+func (m *clientMetrics) retry() {
+	if m != nil {
+		m.retries.Inc()
+	}
+}
+
+// attemptFailed classifies one failed attempt into the per-cause counters.
+func (m *clientMetrics) attemptFailed(err error) {
+	if m == nil {
+		return
+	}
+	var te *transportError
+	if errors.As(err, &te) {
+		m.transportErrors.Inc()
+		return
+	}
+	var se *wire.StatusError
+	if errors.As(err, &se) && se.Code == wire.StatusOverloaded {
+		m.overloaded.Inc()
+	}
+}
+
+// span starts the whole-call latency span; inert when metrics are off.
+func (m *clientMetrics) span() obs.Span {
+	if m == nil {
+		return obs.StartSpan(nil)
+	}
+	return obs.StartSpan(m.latency)
+}

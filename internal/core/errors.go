@@ -32,12 +32,15 @@ var (
 	ErrPlanClosed = errors.New("core: plan is closed")
 )
 
-// quickValidate performs the O(1) structural checks NewPlan relies on. The
+// quickValidate performs the cheap structural checks NewPlan relies on. The
 // full O(nnz) CSC.Validate is the constructor's job; here we only reject
 // inputs whose compressed arrays are inconsistent enough to make the
-// planner index out of bounds — the zero-value &CSC{} with its nil ColPtr,
-// a ColPtr that does not cover all N columns, or mismatched nnz arrays. It
-// never walks the entries.
+// planner or the kernels index out of bounds — the zero-value &CSC{} with
+// its nil ColPtr, a ColPtr that does not cover all N columns, mismatched
+// nnz arrays, or a non-monotone ColPtr whose column ranges index past the
+// entry arrays (endpoints alone pass e.g. [0, 5, 2] with nnz=2, yet column
+// 0 would read RowIdx[0:5] of a length-2 array). The scan is O(N) over
+// ColPtr; it never walks the entries.
 func quickValidate(a *sparse.CSC) error {
 	switch {
 	case a.M < 0 || a.N < 0:
@@ -50,6 +53,11 @@ func quickValidate(a *sparse.CSC) error {
 		return fmt.Errorf("%w: len(RowIdx)=%d != len(Val)=%d", ErrInvalidMatrix, len(a.RowIdx), len(a.Val))
 	case a.ColPtr[a.N] != len(a.Val):
 		return fmt.Errorf("%w: ColPtr[N]=%d != nnz=%d", ErrInvalidMatrix, a.ColPtr[a.N], len(a.Val))
+	}
+	for j := 0; j < a.N; j++ {
+		if a.ColPtr[j] > a.ColPtr[j+1] || a.ColPtr[j] < 0 || a.ColPtr[j+1] > len(a.RowIdx) {
+			return fmt.Errorf("%w: ColPtr out of range at col %d", ErrInvalidMatrix, j)
+		}
 	}
 	return nil
 }

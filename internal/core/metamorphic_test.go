@@ -1,0 +1,221 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sketchsp/internal/rng"
+	"sketchsp/internal/sparse"
+)
+
+// Metamorphic identities of the sketch Â = S·A. Unlike the golden pins
+// (golden_test.go), these need no stored expectations: they assert relations
+// that must hold between sketches of *related* inputs, so they keep working
+// when the RNG stream legitimately changes — and they cover the full
+// algorithm × scheduler × workers grid where golden vectors would explode.
+//
+// Exactness discipline. The kernels re-anchor the generator per (block row,
+// global sparse row), so an entry S[i,j] is a pure function of (seed, d,
+// BlockD, i, j) — it cannot depend on which columns of A are present, on
+// BlockN, or on who executed the task. That makes column-slab consistency
+// and zero-column invariance BIT-exact for every distribution. Linearity
+// S·(A₁+A₂) = S·A₁ + S·A₂ additionally reorders floating-point additions,
+// so it is bit-exact only when the arithmetic is: Rademacher (±1) and
+// ScaledInt (int32 entries, power-of-two pre-scale) against small-integer
+// A values keep every product and partial sum exactly representable;
+// uniform and gaussian get a ulp-distance tolerance instead.
+
+// metaGrid is the configuration grid every identity is checked on.
+var (
+	metaAlgs    = []Algorithm{Alg3, Alg4, AlgAuto}
+	metaScheds  = []Scheduler{SchedWeighted, SchedNoSteal, SchedUniform}
+	metaWorkers = []int{1, 2, 8}
+)
+
+// patternedPair builds two matrices on one shared sparsity pattern with
+// small-integer values, plus their exact sum. Shared pattern keeps the sum's
+// pattern identical too, so all three sketches accumulate the same rows in
+// the same order; values in {-4..4} keep ScaledInt/Rademacher arithmetic
+// exact (products stay far below 2^53).
+func patternedPair(m, n, perCol int, seed int64) (a1, a2, sum *sparse.CSC) {
+	rnd := rand.New(rand.NewSource(seed))
+	c1 := sparse.NewCOO(m, n, n*perCol)
+	c2 := sparse.NewCOO(m, n, n*perCol)
+	cs := sparse.NewCOO(m, n, n*perCol)
+	for j := 0; j < n; j++ {
+		for _, i := range rnd.Perm(m)[:perCol] {
+			v1 := float64(rnd.Intn(9) - 4)
+			v2 := float64(rnd.Intn(9) - 4)
+			c1.Append(i, j, v1)
+			c2.Append(i, j, v2)
+			cs.Append(i, j, v1+v2)
+		}
+	}
+	return c1.ToCSC(), c2.ToCSC(), cs.ToCSC()
+}
+
+// ulpDist is the number of representable float64 values between a and b:
+// the bit patterns reinterpreted on the two's-complement number line, where
+// adjacent floats (of either sign) differ by exactly 1. Equal values — and
+// +0 vs -0 — report 0.
+func ulpDist(a, b float64) uint64 {
+	ia := int64(math.Float64bits(a))
+	ib := int64(math.Float64bits(b))
+	if ia < 0 {
+		ia = math.MinInt64 - ia
+	}
+	if ib < 0 {
+		ib = math.MinInt64 - ib
+	}
+	if ia < ib {
+		return uint64(ib - ia)
+	}
+	return uint64(ia - ib)
+}
+
+// TestMetamorphicLinearity: sketching is linear in A. With a shared
+// sparsity pattern the three sketches are sums of the same S entries, so
+// exact distributions must agree to the bit; uniform/gaussian reorder the
+// rounding and get a tight ulp budget plus an absolute floor for entries
+// cancellation drives toward zero.
+func TestMetamorphicLinearity(t *testing.T) {
+	a1, a2, asum := patternedPair(240, 36, 6, 7)
+	const d = 33
+	for _, dist := range []rng.Distribution{rng.ScaledInt, rng.Rademacher, rng.Uniform11, rng.Gaussian} {
+		exact := dist == rng.ScaledInt || dist == rng.Rademacher
+		for _, alg := range metaAlgs {
+			for _, sched := range metaScheds {
+				for _, workers := range metaWorkers {
+					opts := Options{
+						Algorithm: alg, Sched: sched, Workers: workers,
+						Dist: dist, Seed: 4242, BlockD: 11, BlockN: 7,
+					}
+					sk := mustSketcher(t, d, opts)
+					h1, _ := sk.Sketch(a1)
+					h2, _ := sk.Sketch(a2)
+					hs, _ := sk.Sketch(asum)
+					for k := range hs.Data {
+						got, want := hs.Data[k], h1.Data[k]+h2.Data[k]
+						if got == want {
+							continue
+						}
+						if exact {
+							t.Fatalf("%v/%v/sched=%v/w=%d: S(A1+A2)[%d]=%g != SA1+SA2=%g (must be bit-exact)",
+								dist, alg, sched, workers, k, got, want)
+						}
+						if ulpDist(got, want) > 2 && math.Abs(got-want) > 1e-12 {
+							t.Fatalf("%v/%v/sched=%v/w=%d: S(A1+A2)[%d]=%g vs SA1+SA2=%g: %d ulps apart",
+								dist, alg, sched, workers, k, got, want, ulpDist(got, want))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMetamorphicColumnSlab: sketching a column slab of A equals the same
+// columns of the full sketch, to the bit, because S[i,j] depends only on
+// the global row index j — never on which columns ride along or how BlockN
+// tiles them. BlockD is held fixed across the pair: the xoshiro checkpoint
+// stream documents bd-dependence (only Philox is blocking-independent).
+func TestMetamorphicColumnSlab(t *testing.T) {
+	a := sparse.RandomUniform(260, 40, 0.08, 21)
+	const d = 33
+	slabs := [][2]int{{0, 40}, {0, 13}, {13, 29}, {29, 40}, {5, 6}, {17, 17}}
+	for _, dist := range []rng.Distribution{rng.Uniform11, rng.Rademacher, rng.Gaussian, rng.ScaledInt} {
+		for _, alg := range metaAlgs {
+			for _, sched := range metaScheds {
+				for _, workers := range metaWorkers {
+					opts := Options{
+						Algorithm: alg, Sched: sched, Workers: workers,
+						Dist: dist, Seed: 99, BlockD: 11, BlockN: 7,
+					}
+					sk := mustSketcher(t, d, opts)
+					full, _ := sk.Sketch(a)
+					for _, s := range slabs {
+						j0, j1 := s[0], s[1]
+						part, _ := sk.Sketch(a.ColSlice(j0, j1))
+						for i := 0; i < d; i++ {
+							for j := j0; j < j1; j++ {
+								if got, want := part.At(i, j-j0), full.At(i, j); got != want {
+									t.Fatalf("%v/%v/sched=%v/w=%d: slab [%d:%d) Â[%d,%d]=%g != full %g",
+										dist, alg, sched, workers, j0, j1, i, j, got, want)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// withZeroColumns embeds a's columns into a wider matrix, inserting an
+// all-zero column after every stride-th column, and returns the wide matrix
+// plus origCol[j'] = the source column of wide column j' (-1 for inserted
+// zeros).
+func withZeroColumns(a *sparse.CSC, stride int) (*sparse.CSC, []int) {
+	c := sparse.NewCOO(a.M, a.N+a.N/stride, a.NNZ())
+	var origCol []int
+	wide := 0
+	for j := 0; j < a.N; j++ {
+		rows, vals := a.ColView(j)
+		for k, i := range rows {
+			c.Append(i, wide, vals[k])
+		}
+		origCol = append(origCol, j)
+		wide++
+		if (j+1)%stride == 0 {
+			origCol = append(origCol, -1) // zero column: no entries appended
+			wide++
+		}
+	}
+	for wide < c.N {
+		origCol = append(origCol, -1)
+		wide++
+	}
+	return c.ToCSC(), origCol
+}
+
+// TestMetamorphicZeroColumnInvariance: interleaving empty columns must not
+// perturb the surviving columns' sketches by a single bit — the kernels
+// walk columns independently — and the empty columns must sketch to exact
+// zeros (the output is zeroed, never accumulated into).
+func TestMetamorphicZeroColumnInvariance(t *testing.T) {
+	a := sparse.RandomUniform(200, 30, 0.1, 63)
+	wide, origCol := withZeroColumns(a, 4)
+	const d = 33
+	for _, dist := range []rng.Distribution{rng.Uniform11, rng.Rademacher, rng.Gaussian, rng.ScaledInt} {
+		for _, alg := range metaAlgs {
+			for _, sched := range metaScheds {
+				for _, workers := range metaWorkers {
+					opts := Options{
+						Algorithm: alg, Sched: sched, Workers: workers,
+						Dist: dist, Seed: 7000, BlockD: 11, BlockN: 5,
+					}
+					sk := mustSketcher(t, d, opts)
+					base, _ := sk.Sketch(a)
+					padded, _ := sk.Sketch(wide)
+					for jw, js := range origCol {
+						for i := 0; i < d; i++ {
+							got := padded.At(i, jw)
+							if js < 0 {
+								if got != 0 {
+									t.Fatalf("%v/%v/sched=%v/w=%d: zero column %d has Â[%d]=%g",
+										dist, alg, sched, workers, jw, i, got)
+								}
+								continue
+							}
+							if want := base.At(i, js); got != want {
+								t.Fatalf("%v/%v/sched=%v/w=%d: column %d (orig %d) Â[%d]=%g != %g",
+									dist, alg, sched, workers, jw, js, i, got, want)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}

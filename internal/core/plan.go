@@ -129,6 +129,7 @@ type Plan struct {
 	// against ctx.Done(), which is what makes ExecuteContext's queueing
 	// cancellable.
 	gate     chan struct{}
+	met      *PlanMetrics // optional execute observability (SetMetrics)
 	refs     atomic.Int64 // live references; shutdown when it hits 0
 	closeReq atomic.Bool  // Close already released the initial reference
 	round    sync.WaitGroup
@@ -408,6 +409,7 @@ func (p *Plan) ExecuteContext(ctx context.Context, ahat *dense.Matrix) (Stats, e
 		st.Imbalance = float64(maxBusy) * float64(p.workers) / float64(sumBusy)
 	}
 	st.Total = time.Since(start)
+	p.recordMetrics(&st)
 	return st, nil
 }
 

@@ -1,0 +1,252 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCounterHistZeroAlloc is the hard gate behind every metric site on the
+// serving hot path: recording — counter inc, gauge move, histogram observe,
+// a full span open/close — must allocate nothing, or threading obs through
+// Plan.Execute and the service hit path would break the 0 allocs/op steady
+// state PR 1 bought.
+func TestCounterHistZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("t_ops_total", "ops")
+	g := r.Gauge("t_depth", "depth")
+	h := r.Histogram("t_stage_seconds", "stage latency")
+	allocs := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		c.Add(3)
+		g.Inc()
+		g.Add(-1)
+		g.Set(7)
+		h.Observe(3 * time.Microsecond)
+		sp := StartSpan(h)
+		sp.End()
+		StartSpan(nil).End()
+	})
+	if allocs != 0 {
+		t.Fatalf("hot-path recording allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// BenchmarkObsInc is the CI-visible twin of the alloc test: counter and
+// histogram recording at steady state, -benchmem must report 0 allocs/op.
+func BenchmarkObsInc(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("b_ops_total", "ops")
+	h := r.Histogram("b_stage_seconds", "stage latency")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		h.Observe(time.Duration(i) * time.Nanosecond)
+	}
+}
+
+// TestScrapeWhileIncrementing hammers every metric kind from many
+// goroutines while scraping concurrently — the race detector run in CI is
+// the real assertion; the final-count checks below catch torn arithmetic.
+func TestScrapeWhileIncrementing(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("r_ops_total", "ops")
+	g := r.Gauge("r_depth", "depth")
+	h := r.Histogram("r_lat_seconds", "latency")
+	r.GaugeFunc("r_live", "live value", func() int64 { return c.Value() % 7 })
+
+	const workers, perWorker = 8, 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // scraper
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var sb strings.Builder
+			if err := r.WriteText(&sb); err != nil {
+				t.Errorf("WriteText: %v", err)
+				return
+			}
+			if _, err := ParseText(strings.NewReader(sb.String())); err != nil {
+				t.Errorf("ParseText: %v", err)
+				return
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(time.Duration(w*1000+i) * time.Nanosecond)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	// Let the writers finish, then stop the scraper.
+	deadline := time.After(30 * time.Second)
+	for c.Value() < workers*perWorker {
+		select {
+		case <-deadline:
+			t.Fatalf("writers stalled at %d/%d", c.Value(), workers*perWorker)
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	close(stop)
+	<-done
+
+	if got := c.Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := g.Value(); got != workers*perWorker {
+		t.Errorf("gauge = %d, want %d", got, workers*perWorker)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	var b [HistBuckets]int64
+	h.Snapshot(&b)
+	var cum int64
+	for _, n := range b {
+		cum += n
+	}
+	if cum != workers*perWorker {
+		t.Errorf("bucket total = %d, want %d", cum, workers*perWorker)
+	}
+}
+
+// TestExpositionGolden pins the exact exposition text for a small registry:
+// family grouping, HELP/TYPE lines, label rendering, cumulative histogram
+// buckets with seconds-valued le edges, and +Inf folding of the overflow
+// bucket. Any format drift breaks real Prometheus scrapers, so it must be
+// loud here.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	ok := r.LabeledCounter("app_responses_total", `code="200"`, "Responses by status code.")
+	bad := r.LabeledCounter("app_responses_total", `code="400"`, "Responses by status code.")
+	depth := r.Gauge("app_queue_depth", "Requests waiting for a slot.")
+	lat := r.Histogram("app_request_seconds", "Request latency.")
+
+	ok.Add(3)
+	bad.Inc()
+	depth.Set(2)
+	lat.Observe(1500 * time.Nanosecond) // bucket 1 (edge 2µs)
+	lat.Observe(1500 * time.Nanosecond)
+	lat.Observe(3 * time.Millisecond) // bucket 12 (edge 4.096ms)
+	lat.Observe(2 * time.Minute)      // overflow bucket → +Inf only
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+
+	wantLines := []string{
+		"# HELP app_responses_total Responses by status code.",
+		"# TYPE app_responses_total counter",
+		`app_responses_total{code="200"} 3`,
+		`app_responses_total{code="400"} 1`,
+		"# TYPE app_queue_depth gauge",
+		"app_queue_depth 2",
+		"# TYPE app_request_seconds histogram",
+		`app_request_seconds_bucket{le="1e-06"} 0`,
+		`app_request_seconds_bucket{le="2e-06"} 2`,
+		`app_request_seconds_bucket{le="0.004096"} 3`,
+		`app_request_seconds_bucket{le="+Inf"} 4`,
+		"app_request_seconds_sum 120.003003",
+		"app_request_seconds_count 4",
+	}
+	for _, w := range wantLines {
+		if !strings.Contains(got, w+"\n") {
+			t.Errorf("exposition missing line %q\n--- got ---\n%s", w, got)
+		}
+	}
+	// Families appear exactly once, in registration order.
+	if strings.Count(got, "# TYPE app_responses_total counter") != 1 {
+		t.Error("duplicate TYPE block for labeled counter family")
+	}
+	if strings.Index(got, "app_responses_total") > strings.Index(got, "app_queue_depth") {
+		t.Error("families not in registration order")
+	}
+
+	// The parser reads back exactly what the writer emitted.
+	m, err := ParseText(strings.NewReader(got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := map[string]float64{
+		`app_responses_total{code="200"}`:        3,
+		`app_responses_total{code="400"}`:        1,
+		"app_queue_depth":                        2,
+		`app_request_seconds_bucket{le="+Inf"}`:  4,
+		"app_request_seconds_count":              4,
+		`app_request_seconds_bucket{le="2e-06"}`: 2,
+	}
+	for k, want := range checks {
+		if m[k] != want {
+			t.Errorf("ParseText[%s] = %v, want %v", k, m[k], want)
+		}
+	}
+}
+
+// TestRegistryReRegistration: same (name, labels, kind) returns the same
+// handle; a kind clash panics.
+func TestRegistryReRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("dup_total", "x")
+	b := r.Counter("dup_total", "x")
+	if a != b {
+		t.Error("re-registering the same counter returned a new handle")
+	}
+	l1 := r.LabeledCounter("lab_total", `k="1"`, "x")
+	l2 := r.LabeledCounter("lab_total", `k="2"`, "x")
+	if l1 == l2 {
+		t.Error("distinct label sets share a handle")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("kind clash did not panic")
+		}
+	}()
+	r.Gauge("dup_total", "x")
+}
+
+// TestBucketGeometry pins the shared bucket math against the documented
+// edges (the same values the service quantile tests rely on).
+func TestBucketGeometry(t *testing.T) {
+	if BucketCeiling(0) != time.Microsecond || BucketCeiling(10) != 1024*time.Microsecond {
+		t.Errorf("BucketCeiling drifted: %v %v", BucketCeiling(0), BucketCeiling(10))
+	}
+	if BucketCeiling(-3) != BucketCeiling(0) || BucketCeiling(99) != BucketCeiling(HistBuckets-1) {
+		t.Error("BucketCeiling does not clamp")
+	}
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0}, {999 * time.Nanosecond, 0}, {time.Microsecond, 1},
+		{1500 * time.Nanosecond, 1}, {3 * time.Microsecond, 2},
+		{100 * time.Microsecond, 7}, {5 * time.Millisecond, 13},
+		{30 * time.Second, 25}, {5 * time.Minute, HistBuckets - 1},
+		{-time.Second, 0},
+	}
+	for _, c := range cases {
+		if got := BucketIndex(c.d); got != c.want {
+			t.Errorf("BucketIndex(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}

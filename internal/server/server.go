@@ -18,6 +18,13 @@
 //	                  latency histogram with p50/p90/p95/p99 (via
 //	                  service.Stats.LatencyQuantile — one home for the
 //	                  bucket math), and the server's own transport counters.
+//	GET  /metrics     Prometheus text exposition (obs.Registry.WriteText) of
+//	                  the same atomics /stats reads: the service families,
+//	                  the plan execute families, and the sketchsp_http_*
+//	                  transport families (per-status response counters and
+//	                  decode/execute/encode stage histograms).
+//	GET  /debug/pprof/*  net/http/pprof, mounted only when Config.Pprof is
+//	                  set (the daemon's -pprof flag).
 //
 // Backpressure and lifecycle compose with the layers below: admission
 // control and shedding live in service.Service (ErrOverloaded becomes
@@ -37,12 +44,14 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"sketchsp/internal/core"
+	"sketchsp/internal/obs"
 	"sketchsp/internal/service"
 	"sketchsp/internal/wire"
 )
@@ -59,6 +68,15 @@ type Config struct {
 	// RequestTimeout, when positive, caps every request's deadline. A
 	// client-supplied X-Sketchsp-Timeout-Ms header can only tighten it.
 	RequestTimeout time.Duration
+	// Metrics is the registry /metrics serves and the transport families
+	// register on. nil selects the service's own registry, which is the
+	// right default: one registry per serving stack, so the scrape carries
+	// the HTTP, service and plan families together.
+	Metrics *obs.Registry
+	// Pprof mounts net/http/pprof under /debug/pprof/ when set. Off by
+	// default: profiling endpoints on a serving port are an operator
+	// decision (the daemon's -pprof flag).
+	Pprof bool
 }
 
 // Server is the HTTP serving layer over a service.Service. Create with
@@ -72,11 +90,10 @@ type Server struct {
 	httpSrv  *http.Server
 	draining atomic.Bool
 
-	// Transport counters, exposed under "server" in /stats.
-	requests    atomic.Int64 // sketch requests received (batch items count individually)
-	badRequests atomic.Int64 // bodies rejected before reaching the service
-	bytesIn     atomic.Int64 // request body bytes consumed
-	bytesOut    atomic.Int64 // response body bytes written
+	// Transport counters and stage histograms (metrics.go), exposed under
+	// "server" in /stats and as sketchsp_http_* in /metrics — one set of
+	// atomics behind both views.
+	met *httpMetrics
 
 	scratch sync.Pool // *reqScratch
 }
@@ -98,11 +115,25 @@ func New(svc *service.Service, cfg Config) *Server {
 	if cfg.MaxSketchBytes <= 0 {
 		cfg.MaxSketchBytes = 1 << 30
 	}
-	s := &Server{svc: svc, cfg: cfg, mux: http.NewServeMux()}
+	if cfg.Metrics == nil {
+		cfg.Metrics = svc.Registry()
+	}
+	s := &Server{svc: svc, cfg: cfg, mux: http.NewServeMux(),
+		met: newHTTPMetrics(cfg.Metrics)}
 	s.scratch.New = func() interface{} { return new(reqScratch) }
 	s.mux.HandleFunc("/v1/sketch", s.handleSketch)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.Handle("/metrics", cfg.Metrics.Handler())
+	if cfg.Pprof {
+		// Explicit wiring: the package's init only registers on
+		// http.DefaultServeMux, which this server never serves.
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
@@ -182,27 +213,35 @@ func httpStatus(st wire.Status) int {
 func (s *Server) handleSketch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
+		s.met.countCode(http.StatusMethodNotAllowed)
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
 	sc := s.scratch.Get().(*reqScratch)
 	defer s.scratch.Put(sc)
 
+	// The decode span covers the whole request-parsing stage — body read,
+	// frame split, payload decode — and is handed down so the per-payload
+	// decoders can close it; error paths close it here.
+	dsp := obs.StartSpan(s.met.decode)
 	body, err := s.readBody(sc, w, r)
 	if err != nil {
-		s.badRequests.Add(1)
+		dsp.End()
+		s.met.badRequests.Inc()
 		s.writeError(w, wire.MsgSketchResponse, wire.StatusOf(err), err.Error())
 		return
 	}
 	typ, payload, _, err := wire.SplitFrame(body, int(s.cfg.MaxBodyBytes))
 	if err != nil {
-		s.badRequests.Add(1)
+		dsp.End()
+		s.met.badRequests.Inc()
 		s.writeError(w, wire.MsgSketchResponse, wire.StatusOf(err), err.Error())
 		return
 	}
 	ctx, cancel, err := s.requestContext(r)
 	if err != nil {
-		s.badRequests.Add(1)
+		dsp.End()
+		s.met.badRequests.Inc()
 		s.writeError(w, wire.MsgSketchResponse, wire.StatusMalformed, err.Error())
 		return
 	}
@@ -210,11 +249,12 @@ func (s *Server) handleSketch(w http.ResponseWriter, r *http.Request) {
 
 	switch typ {
 	case wire.MsgSketchRequest:
-		s.serveSingle(ctx, w, sc, payload)
+		s.serveSingle(ctx, w, sc, payload, dsp)
 	case wire.MsgBatchRequest:
-		s.serveBatch(ctx, w, payload)
+		s.serveBatch(ctx, w, payload, dsp)
 	default:
-		s.badRequests.Add(1)
+		dsp.End()
+		s.met.badRequests.Inc()
 		s.writeError(w, wire.MsgSketchResponse, wire.StatusMalformed,
 			fmt.Sprintf("unexpected message type %v", typ))
 	}
@@ -246,40 +286,48 @@ func (s *Server) readBody(sc *reqScratch, w http.ResponseWriter, r *http.Request
 		}
 	}
 	sc.body = buf
-	s.bytesIn.Add(int64(len(buf)))
+	s.met.bytesIn.Add(int64(len(buf)))
 	return buf, nil
 }
 
 // serveSingle handles one MsgSketchRequest payload on the pooled hot path.
-func (s *Server) serveSingle(ctx context.Context, w http.ResponseWriter, sc *reqScratch, payload []byte) {
-	s.requests.Add(1)
-	if err := wire.DecodeRequestInto(&sc.req, payload); err != nil {
-		s.badRequests.Add(1)
+func (s *Server) serveSingle(ctx context.Context, w http.ResponseWriter, sc *reqScratch, payload []byte, dsp obs.Span) {
+	s.met.requests.Inc()
+	err := wire.DecodeRequestInto(&sc.req, payload)
+	dsp.End()
+	if err != nil {
+		s.met.badRequests.Inc()
 		s.writeError(w, wire.MsgSketchResponse, wire.StatusMalformed, err.Error())
 		return
 	}
+	xsp := obs.StartSpan(s.met.execute)
 	resp := s.sketchOne(ctx, &sc.req)
+	xsp.End()
+	esp := obs.StartSpan(s.met.encode)
 	out, err := wire.AppendFrame(sc.out[:0], wire.MsgSketchResponse, wire.AppendResponse(nil, &resp))
 	if err != nil {
+		esp.End()
 		s.writeError(w, wire.MsgSketchResponse, wire.StatusInternal, "response too large to frame: "+err.Error())
 		return
 	}
 	sc.out = out
 	s.writeFrame(w, httpStatus(resp.Status), sc.out)
+	esp.End()
 }
 
 // serveBatch handles one MsgBatchRequest payload: the requests are mapped
 // onto service.SketchBatch, which groups them by plan key so a batch of
 // same-matrix sketches resolves the cache once and executes back-to-back
 // on the hot plan.
-func (s *Server) serveBatch(ctx context.Context, w http.ResponseWriter, payload []byte) {
+func (s *Server) serveBatch(ctx context.Context, w http.ResponseWriter, payload []byte, dsp obs.Span) {
 	reqs, err := wire.DecodeBatchRequest(payload)
+	dsp.End()
 	if err != nil {
-		s.badRequests.Add(1)
+		s.met.badRequests.Inc()
 		s.writeError(w, wire.MsgBatchResponse, wire.StatusMalformed, err.Error())
 		return
 	}
-	s.requests.Add(int64(len(reqs)))
+	s.met.requests.Add(int64(len(reqs)))
 	sreqs := make([]service.Request, len(reqs))
 	oversize := make([]bool, len(reqs))
 	for i := range reqs {
@@ -289,7 +337,9 @@ func (s *Server) serveBatch(ctx context.Context, w http.ResponseWriter, payload 
 		}
 		sreqs[i] = service.Request{A: reqs[i].A, D: reqs[i].D, Opts: reqs[i].Opts}
 	}
+	xsp := obs.StartSpan(s.met.execute)
 	sresps := s.svc.SketchBatch(ctx, sreqs)
+	xsp.End()
 	out := make([]wire.SketchResponse, len(reqs))
 	for i := range out {
 		switch {
@@ -306,12 +356,15 @@ func (s *Server) serveBatch(ctx context.Context, w http.ResponseWriter, payload 
 	// A batch of near-MaxSketchBytes sketches can legitimately exceed the
 	// 32-bit frame length; answer with a framable error instead of a
 	// length-wrapped frame that would desync the client's decoder.
+	esp := obs.StartSpan(s.met.encode)
 	frame, err := wire.AppendFrame(nil, wire.MsgBatchResponse, wire.AppendBatchResponse(nil, out))
 	if err != nil {
+		esp.End()
 		s.writeError(w, wire.MsgBatchResponse, wire.StatusInternal, "batch response too large to frame: "+err.Error())
 		return
 	}
 	s.writeFrame(w, http.StatusOK, frame)
+	esp.End()
 }
 
 // sketchOne runs one request through the service and classifies the
@@ -365,8 +418,9 @@ func (s *Server) writeFrame(w http.ResponseWriter, httpCode int, frame []byte) {
 	w.Header().Set("Content-Type", "application/x-sketchsp-wire")
 	w.Header().Set("Content-Length", strconv.Itoa(len(frame)))
 	w.WriteHeader(httpCode)
+	s.met.countCode(httpCode)
 	n, _ := w.Write(frame)
-	s.bytesOut.Add(int64(n))
+	s.met.bytesOut.Add(int64(n))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -410,10 +464,10 @@ func (s *Server) Stats() StatsSnapshot {
 		LatencyP95us: st.LatencyQuantile(0.95).Microseconds(),
 		LatencyP99us: st.LatencyQuantile(0.99).Microseconds(),
 		Server: ServerStats{
-			Requests:    s.requests.Load(),
-			BadRequests: s.badRequests.Load(),
-			BytesIn:     s.bytesIn.Load(),
-			BytesOut:    s.bytesOut.Load(),
+			Requests:    s.met.requests.Value(),
+			BadRequests: s.met.badRequests.Value(),
+			BytesIn:     s.met.bytesIn.Value(),
+			BytesOut:    s.met.bytesOut.Value(),
 			Draining:    s.draining.Load(),
 		},
 	}

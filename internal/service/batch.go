@@ -99,13 +99,13 @@ func (s *Service) SketchBatch(ctx context.Context, reqs []Request) []Response {
 				st, err := p.ExecuteContext(gctx, ahat)
 				if err != nil {
 					if gctx.Err() != nil {
-						s.cancels.Add(1)
+						s.met.cancels.Inc()
 					}
 					out[i].Err = err
 					continue
 				}
 				e.record(st)
-				s.hist.observe(time.Since(start))
+				s.met.latency.Observe(time.Since(start))
 				out[i] = Response{Ahat: ahat, Stats: st}
 			}
 		}(k, g.idxs)

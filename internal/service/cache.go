@@ -87,10 +87,10 @@ func (s *Service) plan(ctx context.Context, k planKey, a *sparse.CSC) (*core.Pla
 		var evicted []*entry
 		if ok {
 			s.lru.MoveToFront(e.elem)
-			s.hits.Add(1)
+			s.met.hits.Inc()
 			s.mu.Unlock()
 		} else {
-			s.misses.Add(1)
+			s.met.misses.Inc()
 			e = &entry{key: k, ready: make(chan struct{})}
 			e.elem = s.lru.PushFront(e)
 			s.entries[k] = e
@@ -107,7 +107,7 @@ func (s *Service) plan(ctx context.Context, k planKey, a *sparse.CSC) (*core.Pla
 		select {
 		case <-e.ready:
 		case <-ctx.Done():
-			s.cancels.Add(1)
+			s.met.cancels.Inc()
 			return nil, nil, ctx.Err()
 		}
 		if e.err != nil {
@@ -146,7 +146,7 @@ func (s *Service) build(e *entry, a *sparse.CSC) {
 	p, err := core.NewPlan(a.Clone(), e.key.d, e.key.opts)
 	if err != nil {
 		e.err = err
-		s.buildErrors.Add(1)
+		s.met.buildErrors.Inc()
 		s.mu.Lock()
 		if cur, ok := s.entries[e.key]; ok && cur == e {
 			delete(s.entries, e.key)
@@ -155,7 +155,11 @@ func (s *Service) build(e *entry, a *sparse.CSC) {
 		s.mu.Unlock()
 		return
 	}
-	s.builds.Add(1)
+	s.met.builds.Inc()
+	// Attach the shared execute-stage metrics before the entry is published
+	// (close(ready) gives the happens-before edge): every execute on any
+	// cached plan lands in the same sketchsp_plan_* series.
+	p.SetMetrics(s.met.plan)
 	e.plan = p
 }
 
@@ -172,7 +176,7 @@ func (s *Service) evictLocked() []*entry {
 		e := back.Value.(*entry)
 		s.lru.Remove(back)
 		delete(s.entries, e.key)
-		s.evictions.Add(1)
+		s.met.evictions.Inc()
 		out = append(out, e)
 	}
 	return out

@@ -1,0 +1,91 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"sketchsp/internal/core"
+	"sketchsp/internal/obs"
+	"sketchsp/internal/sparse"
+)
+
+// TestStatsMetricsReconcile drives hits, misses, builds, a build error and
+// LRU evictions through one service, then reads the same state through both
+// observability surfaces — Stats() and the registry's text exposition — and
+// requires them to agree exactly. There is no tolerance: both views read
+// the same atomics, so any drift is a wiring bug (a counter incremented on
+// one surface only), which is precisely the class of bug the shared
+// registry was built to make impossible.
+func TestStatsMetricsReconcile(t *testing.T) {
+	reg := obs.NewRegistry()
+	svc := New(Config{Capacity: 2, MaxInFlight: 2, Metrics: reg})
+	defer svc.Close()
+	if svc.Registry() != reg {
+		t.Fatal("service did not adopt the injected registry")
+	}
+
+	ctx := context.Background()
+	ms := []*sparse.CSC{
+		sparse.RandomUniform(200, 40, 0.05, 1),
+		sparse.RandomUniform(150, 30, 0.08, 2),
+		sparse.RandomUniform(100, 20, 0.1, 3), // third key: evicts at capacity 2
+	}
+	for round := 0; round < 2; round++ { // second round re-misses evicted keys
+		for _, a := range ms {
+			for rep := 0; rep < 2; rep++ { // back-to-back repeat: miss then hit
+				if _, _, err := svc.Sketch(ctx, a, 16, core.Options{Seed: 5, Workers: 2}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	bad := &sparse.CSC{M: 3, N: 2, ColPtr: []int{0}} // truncated: build must fail
+	if _, _, err := svc.Sketch(ctx, bad, 8, core.Options{}); !errors.Is(err, core.ErrInvalidMatrix) {
+		t.Fatalf("bad matrix err = %v", err)
+	}
+
+	st := svc.Stats()
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	mm, err := obs.ParseText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expect := map[string]int64{
+		"sketchsp_service_cache_hits_total":        st.Hits,
+		"sketchsp_service_cache_misses_total":      st.Misses,
+		"sketchsp_service_plan_builds_total":       st.Builds,
+		"sketchsp_service_plan_build_errors_total": st.BuildErrors,
+		"sketchsp_service_cache_evictions_total":   st.Evictions,
+		"sketchsp_service_shed_total":              st.Rejections,
+		"sketchsp_service_canceled_total":          st.Cancels,
+		"sketchsp_service_in_flight":               st.InFlight,
+		"sketchsp_service_queue_depth":             st.QueueDepth,
+		"sketchsp_service_cached_plans":            int64(st.CachedPlans),
+		"sketchsp_service_request_seconds_count":   st.Requests,
+	}
+	for key, want := range expect {
+		got, ok := mm[key]
+		if !ok {
+			t.Errorf("exposition missing %q", key)
+			continue
+		}
+		if got != float64(want) {
+			t.Errorf("%s = %v, Stats says %d", key, got, want)
+		}
+	}
+	// And the traffic actually exercised every counter the test names:
+	// three keys through a capacity-2 cache, each requested twice in a row,
+	// over two rounds; the bad matrix is the 7th miss (it inserts — and
+	// thereby evicts — before its build fails).
+	if st.Misses != 7 || st.Builds != 6 || st.Hits != 6 || st.Evictions != 5 || st.BuildErrors != 1 {
+		t.Errorf("traffic shape drifted: %+v", st)
+	}
+	if st.Requests != 12 {
+		t.Errorf("Requests = %d, want 12 successes", st.Requests)
+	}
+}

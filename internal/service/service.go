@@ -35,11 +35,11 @@ import (
 	"errors"
 	"runtime"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"sketchsp/internal/core"
 	"sketchsp/internal/dense"
+	"sketchsp/internal/obs"
 	"sketchsp/internal/sparse"
 )
 
@@ -70,6 +70,13 @@ type Config struct {
 	// RequestTimeout, when positive, imposes a per-request deadline on top
 	// of the caller's context.
 	RequestTimeout time.Duration
+	// Metrics is the observability registry the service registers its
+	// counters and histograms on (sketchsp_service_* and the shared
+	// sketchsp_plan_* families). nil creates a private registry,
+	// retrievable with Registry(). Share one registry across the layers of
+	// one serving stack (service + HTTP server), not across services — the
+	// families would merge.
+	Metrics *obs.Registry
 }
 
 // Service is the concurrent sketch server. Create with New, issue requests
@@ -79,17 +86,11 @@ type Service struct {
 	cfg Config
 	sem chan struct{} // admission slots
 
-	// counters (atomics; snapshotted by Stats)
-	hits        atomic.Int64
-	misses      atomic.Int64
-	builds      atomic.Int64
-	buildErrors atomic.Int64
-	evictions   atomic.Int64
-	rejections  atomic.Int64
-	cancels     atomic.Int64
-	inFlight    atomic.Int64
-	queueDepth  atomic.Int64
-	hist        latencyHist
+	// Counters, gauges and the latency histogram live in the obs registry
+	// (metrics.go): Stats() and /metrics read the very same atomics, so the
+	// two views cannot drift apart.
+	reg *obs.Registry
+	met *svcMetrics
 
 	mu      sync.Mutex
 	entries map[planKey]*entry
@@ -105,13 +106,32 @@ func New(cfg Config) *Service {
 	if cfg.MaxInFlight <= 0 {
 		cfg.MaxInFlight = runtime.GOMAXPROCS(0)
 	}
-	return &Service{
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	s := &Service{
 		cfg:     cfg,
 		sem:     make(chan struct{}, cfg.MaxInFlight),
+		reg:     cfg.Metrics,
+		met:     newSvcMetrics(cfg.Metrics),
 		entries: make(map[planKey]*entry),
 		lru:     list.New(),
 	}
+	// Scrape-time gauge: the plan count already lives behind s.mu, so a
+	// GaugeFunc beats a manually mirrored counter that could drift.
+	s.reg.GaugeFunc("sketchsp_service_cached_plans",
+		"Plans currently resident in the LRU cache.", func() int64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return int64(s.lru.Len())
+		})
+	return s
 }
+
+// Registry returns the obs registry holding the service's metrics — the
+// HTTP layer mounts its /metrics endpoint on it and registers its own
+// transport families alongside.
+func (s *Service) Registry() *obs.Registry { return s.reg }
 
 // Sketch computes Â = S·A through the plan cache and returns it in a fresh
 // d×n matrix. See SketchInto for the semantics.
@@ -168,12 +188,12 @@ func (s *Service) SketchInto(ctx context.Context, ahat *dense.Matrix, a *sparse.
 	st, err := p.ExecuteContext(ctx, ahat)
 	if err != nil {
 		if ctx.Err() != nil {
-			s.cancels.Add(1)
+			s.met.cancels.Inc()
 		}
 		return core.Stats{}, err
 	}
 	e.record(st)
-	s.hist.observe(time.Since(start))
+	s.met.latency.Observe(time.Since(start))
 	return st, nil
 }
 
@@ -188,29 +208,35 @@ func (s *Service) admit(ctx context.Context) error {
 	}
 	select {
 	case s.sem <- struct{}{}: // free slot: no queueing
-		s.inFlight.Add(1)
+		s.met.inFlight.Inc()
 		return nil
 	default:
 	}
-	if max := s.cfg.MaxQueue; max > 0 && s.queueDepth.Load() >= int64(max) {
-		s.rejections.Add(1)
+	if max := s.cfg.MaxQueue; max > 0 && s.met.queueDepth.Value() >= int64(max) {
+		s.met.rejections.Inc()
 		return ErrOverloaded
 	}
-	s.queueDepth.Add(1)
-	defer s.queueDepth.Add(-1)
+	s.met.queueDepth.Inc()
+	defer s.met.queueDepth.Dec()
+	// Only the contended path carries a queue-wait span: the histogram then
+	// answers "how long do queued requests wait", not "how often is the
+	// queue empty".
+	sp := obs.StartSpan(s.met.queueWait)
 	select {
 	case s.sem <- struct{}{}:
-		s.inFlight.Add(1)
+		sp.End()
+		s.met.inFlight.Inc()
 		return nil
 	case <-ctx.Done():
-		s.cancels.Add(1)
+		sp.End()
+		s.met.cancels.Inc()
 		return ctx.Err()
 	}
 }
 
 // exit returns the admission slot.
 func (s *Service) exit() {
-	s.inFlight.Add(-1)
+	s.met.inFlight.Dec()
 	<-s.sem
 }
 

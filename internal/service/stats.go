@@ -1,68 +1,23 @@
 package service
 
 import (
-	"math/bits"
-	"sync/atomic"
 	"time"
 
 	"sketchsp/internal/core"
+	"sketchsp/internal/obs"
 )
 
-// HistBuckets is the histogram resolution: bucket i counts requests with
-// latency in [1µs·2^i, 1µs·2^(i+1)), i.e. 1µs up to ~34s, with bucket 0
-// absorbing sub-microsecond requests and the last bucket everything slower.
-// Exported so consumers of Stats.LatencyHist (the /stats endpoint, the
-// benches) can size against it.
-const HistBuckets = 26
+// HistBuckets is the histogram resolution, shared with (and defined by) the
+// obs layer: bucket i counts requests with latency in
+// [1µs·2^i, 1µs·2^(i+1)), i.e. 1µs up to ~34s, with bucket 0 absorbing
+// sub-microsecond requests and the last bucket everything slower. Exported
+// so consumers of Stats.LatencyHist (the /stats endpoint, the benches) can
+// size against it.
+const HistBuckets = obs.HistBuckets
 
 // BucketCeiling returns the inclusive upper edge of histogram bucket i —
 // the latency a quantile read from that bucket reports.
-func BucketCeiling(i int) time.Duration {
-	if i < 0 {
-		i = 0
-	}
-	if i >= HistBuckets {
-		i = HistBuckets - 1
-	}
-	return time.Duration(1000 << uint(i))
-}
-
-// latencyHist is a lock-free log₂ latency histogram. observe is on the
-// request hot path and must not allocate.
-type latencyHist struct {
-	count   atomic.Int64
-	sumNS   atomic.Int64
-	maxNS   atomic.Int64
-	buckets [HistBuckets]atomic.Int64
-}
-
-func (h *latencyHist) observe(d time.Duration) {
-	ns := d.Nanoseconds()
-	if ns < 0 {
-		ns = 0
-	}
-	h.count.Add(1)
-	h.sumNS.Add(ns)
-	for {
-		cur := h.maxNS.Load()
-		if ns <= cur || h.maxNS.CompareAndSwap(cur, ns) {
-			break
-		}
-	}
-	i := bits.Len64(uint64(ns / 1000)) // 0 for <1µs, 1 for [1µs,2µs), ...
-	if i >= HistBuckets {
-		i = HistBuckets - 1
-	}
-	h.buckets[i].Add(1)
-}
-
-// snapshot copies the bucket counters into dst. The copy is per-bucket
-// atomic, not globally atomic — consistent with the rest of Stats.
-func (h *latencyHist) snapshot(dst *[HistBuckets]int64) {
-	for i := range dst {
-		dst[i] = h.buckets[i].Load()
-	}
-}
+func BucketCeiling(i int) time.Duration { return obs.BucketCeiling(i) }
 
 // EntryStats is the per-cache-entry slice of a Stats snapshot: which plan,
 // how hot, and how well its executes balanced. Mean/MaxImbalance aggregate
@@ -154,26 +109,27 @@ func (st *Stats) LatencyQuantile(q float64) time.Duration {
 // requests; counters are read individually, so the snapshot is coherent
 // per-field, not globally atomic.
 func (s *Service) Stats() Stats {
+	m := s.met
 	st := Stats{
-		Hits:        s.hits.Load(),
-		Misses:      s.misses.Load(),
-		Builds:      s.builds.Load(),
-		BuildErrors: s.buildErrors.Load(),
-		Evictions:   s.evictions.Load(),
-		Rejections:  s.rejections.Load(),
-		Cancels:     s.cancels.Load(),
-		InFlight:    s.inFlight.Load(),
-		QueueDepth:  s.queueDepth.Load(),
-		Requests:    s.hist.count.Load(),
-		LatencyMax:  time.Duration(s.hist.maxNS.Load()),
+		Hits:        m.hits.Value(),
+		Misses:      m.misses.Value(),
+		Builds:      m.builds.Value(),
+		BuildErrors: m.buildErrors.Value(),
+		Evictions:   m.evictions.Value(),
+		Rejections:  m.rejections.Value(),
+		Cancels:     m.cancels.Value(),
+		InFlight:    m.inFlight.Value(),
+		QueueDepth:  m.queueDepth.Value(),
+		Requests:    m.latency.Count(),
+		LatencyMax:  time.Duration(m.latency.MaxNS()),
 	}
-	s.hist.snapshot(&st.LatencyHist)
+	m.latency.Snapshot(&st.LatencyHist)
 	st.LatencyP50 = st.LatencyQuantile(0.50)
 	st.LatencyP90 = st.LatencyQuantile(0.90)
 	st.LatencyP95 = st.LatencyQuantile(0.95)
 	st.LatencyP99 = st.LatencyQuantile(0.99)
 	if st.Requests > 0 {
-		st.LatencyMean = time.Duration(s.hist.sumNS.Load() / st.Requests)
+		st.LatencyMean = time.Duration(m.latency.SumNS() / st.Requests)
 	}
 	s.mu.Lock()
 	st.CachedPlans = s.lru.Len()

@@ -21,7 +21,7 @@ func TestLatencyQuantilesPinned(t *testing.T) {
 
 	record := func(d time.Duration, n int) {
 		for i := 0; i < n; i++ {
-			s.hist.observe(d)
+			s.met.latency.Observe(d)
 		}
 	}
 	record(1500*time.Nanosecond, 50) // bucket 1, cum 50

@@ -37,6 +37,7 @@ import (
 	"sketchsp/internal/client"
 	"sketchsp/internal/core"
 	"sketchsp/internal/dense"
+	"sketchsp/internal/obs"
 	"sketchsp/internal/rng"
 	"sketchsp/internal/service"
 	"sketchsp/internal/solver"
@@ -242,6 +243,18 @@ type (
 // NewClient returns a client for the sketchd server at baseURL, e.g.
 // "http://127.0.0.1:7464".
 func NewClient(baseURL string, cfg ClientConfig) *Client { return client.New(baseURL, cfg) }
+
+// MetricsRegistry is the dependency-free metrics registry behind every
+// layer's counters and histograms (see internal/obs). A Service creates a
+// private one unless ServiceConfig.Metrics hands it a shared registry;
+// MetricsRegistry.Handler serves the Prometheus text exposition — the same
+// endpoint sketchd mounts at /metrics.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry returns an empty registry, for callers that want one
+// registry spanning several layers (a Service plus a client, say) or their
+// own application metrics beside the sketchsp_* families.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 
 // Least-squares solver re-exports.
 type (
