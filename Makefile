@@ -29,6 +29,7 @@ race:
 	$(GO) test -race ./internal/core/... ./internal/solver/...
 	$(GO) test -race -count=2 ./internal/service/...
 	$(GO) test -race ./internal/obs/... ./internal/server/...
+	$(GO) test -race ./internal/shard/...
 
 bench:
 	$(GO) test -bench . -benchtime 1x ./...
@@ -36,10 +37,13 @@ bench:
 # Scheduler A/B on skewed sparsity; records (benchmark name, ns/op, GFlops,
 # measured imbalance ratio) per scheduler into BENCH_PR2.json. The PR5
 # record repeats the HTTP replay with -scrape, folding the /metrics series
-# (cache traffic, shed, stage latency sums) into the JSON.
+# (cache traffic, shed, stage latency sums) into the JSON. The PR6 record
+# replays the same mix through a shard coordinator over 1/2/4 loopback
+# sketchd worker processes and writes the scaling curve.
 bench-json:
 	$(GO) run ./cmd/spmmbench -skew -scale 0.05 -json BENCH_PR2.json
 	$(GO) test -run - -bench BenchmarkServiceHit -benchtime 100x .
 	$(GO) run ./cmd/spmmbench -serve -scale 0.05 -json BENCH_PR3.json
 	$(GO) run ./cmd/spmmbench -serve-http -scale 0.05 -json BENCH_PR4.json
 	$(GO) run ./cmd/spmmbench -serve-http -scrape -scale 0.05 -json BENCH_PR5.json
+	$(GO) run ./cmd/spmmbench -serve-shard -json BENCH_PR6.json

@@ -6,11 +6,23 @@
 // layer's counters and stage histograms; -pprof additionally mounts
 // net/http/pprof under /debug/pprof/.
 //
-// Quick start:
+// Quick start (single worker):
 //
 //	sketchd -addr :7464 -cache 64 -max-inflight 8 -max-queue 64
 //
 // and from Go, sketchsp.NewClient("http://host:7464", sketchsp.ClientConfig{}).
+//
+// Coordinator mode (-peers): instead of executing locally, the daemon
+// splits every request into nnz-balanced column shards, routes each shard
+// to a worker by consistent hashing on the shard's matrix fingerprint
+// (so re-submitted matrices hit the same workers' plan caches), and
+// merges the bit-exact partial sketches:
+//
+//	sketchd -addr :7464 -peers http://w1:7464,http://w2:7464,http://w3:7464
+//
+// The coordinator speaks the same protocol as a worker — clients need no
+// changes — and /metrics serves the sketchsp_shard_* families instead of
+// the local service ones.
 package main
 
 import (
@@ -22,16 +34,19 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"sketchsp/internal/server"
 	"sketchsp/internal/service"
+	"sketchsp/internal/shard"
 )
 
 func main() {
 	var (
 		addr           = flag.String("addr", "127.0.0.1:7464", "listen address (host:port)")
+		addrFile       = flag.String("addr-file", "", "write the bound address to this file once listening (for :0 in scripts/tests)")
 		cache          = flag.Int("cache", 32, "plan cache capacity (distinct matrix/option keys)")
 		maxInFlight    = flag.Int("max-inflight", 0, "concurrent executes admitted (0 = GOMAXPROCS)")
 		maxQueue       = flag.Int("max-queue", 0, "waiters admitted beyond in-flight before load shed (0 = 4x in-flight)")
@@ -40,6 +55,10 @@ func main() {
 		maxSketch      = flag.Int64("max-sketch", 1<<30, "largest sketch (8*d*n bytes) a request may demand")
 		drainTimeout   = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
 		pprofOn        = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the serving port")
+
+		peers        = flag.String("peers", "", "comma-separated worker base URLs; non-empty switches to coordinator mode")
+		shards       = flag.Int("shards", 0, "column shards per request in coordinator mode (0 = one per peer)")
+		peerCooldown = flag.Duration("peer-cooldown", 5*time.Second, "how long a failed peer is avoided by shard routing")
 	)
 	flag.Parse()
 	if args := flag.Args(); len(args) != 0 {
@@ -48,28 +67,69 @@ func main() {
 		os.Exit(2)
 	}
 
-	svc := service.New(service.Config{
-		Capacity:       *cache,
-		MaxInFlight:    *maxInFlight,
-		MaxQueue:       *maxQueue,
-		RequestTimeout: *requestTimeout,
-	})
-	srv := server.New(svc, server.Config{
+	// The two modes share every transport knob; they differ only in the
+	// Backend behind the handler and in what cleanup runs after the drain.
+	var (
+		srv     *server.Server
+		cleanup func()
+		mode    string
+	)
+	cfg := server.Config{
 		MaxBodyBytes:   *maxBody,
 		MaxSketchBytes: *maxSketch,
 		RequestTimeout: *requestTimeout,
 		Pprof:          *pprofOn,
-	})
+	}
+	if *peers != "" {
+		var peerList []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+		coord, err := shard.New(shard.Config{
+			Peers:        peerList,
+			Shards:       *shards,
+			PeerCooldown: *peerCooldown,
+		})
+		if err != nil {
+			log.Fatalf("sketchd: coordinator: %v", err)
+		}
+		cfg.Metrics = coord.Registry()
+		srv = server.NewBackend(coord, cfg)
+		cleanup = coord.Close
+		mode = fmt.Sprintf("coordinator over %d peers, %d shards/request", len(coord.Peers()), *shards)
+	} else {
+		svc := service.New(service.Config{
+			Capacity:       *cache,
+			MaxInFlight:    *maxInFlight,
+			MaxQueue:       *maxQueue,
+			RequestTimeout: *requestTimeout,
+		})
+		srv = server.New(svc, cfg)
+		cleanup = svc.Close
+		mode = fmt.Sprintf("worker (cache=%d inflight=%d queue=%d)", *cache, *maxInFlight, *maxQueue)
+	}
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("sketchd: listen %s: %v", *addr, err)
 	}
-	log.Printf("sketchd: serving on http://%s (cache=%d inflight=%d queue=%d pprof=%v)",
-		l.Addr(), *cache, *maxInFlight, *maxQueue, *pprofOn)
+	if *addrFile != "" {
+		// Atomic publish: scripts polling -addr-file never read a partial
+		// address.
+		tmp := *addrFile + ".tmp"
+		if err := os.WriteFile(tmp, []byte(l.Addr().String()+"\n"), 0o644); err != nil {
+			log.Fatalf("sketchd: addr-file: %v", err)
+		}
+		if err := os.Rename(tmp, *addrFile); err != nil {
+			log.Fatalf("sketchd: addr-file: %v", err)
+		}
+	}
+	log.Printf("sketchd: serving on http://%s as %s (pprof=%v)", l.Addr(), mode, *pprofOn)
 
 	// Serve until a termination signal, then drain: stop accepting, let
-	// in-flight requests finish, and only then release the plan cache.
+	// in-flight requests finish, and only then release the backend.
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(l) }()
 
@@ -92,6 +152,6 @@ func main() {
 			log.Fatalf("sketchd: serve: %v", err)
 		}
 	}
-	svc.Close()
+	cleanup()
 	log.Printf("sketchd: stopped")
 }

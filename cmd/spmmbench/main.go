@@ -48,7 +48,7 @@ var (
 
 func main() {
 	flag.Parse()
-	if !*all && *table == 0 && *fig == 0 && !*skew && !*serve && !*serveHTTP {
+	if !*all && *table == 0 && *fig == 0 && !*skew && !*serve && !*serveHTTP && !*serveShard {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -78,6 +78,9 @@ func main() {
 	}
 	if *serveHTTP {
 		serveHTTPSuite()
+	}
+	if *serveShard {
+		serveShardSuite()
 	}
 }
 

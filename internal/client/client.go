@@ -179,6 +179,33 @@ func (c *Client) SketchBatch(ctx context.Context, reqs []wire.SketchRequest) ([]
 	return rs, nil
 }
 
+// SketchShard computes the partial sketch of one column shard on the
+// server: S·A[:, j0:j1] shipped as a MsgShardRequest, answered with the
+// shard's columns of the full sketch. It shares Sketch's retry loop and
+// error taxonomy — the coordinator's fan-out is built on it, with its own
+// peer-failover layer on top of this client's per-peer retries.
+func (c *Client) SketchShard(ctx context.Context, req *wire.ShardRequest) (*wire.ShardResponse, error) {
+	if req == nil || req.A == nil {
+		return nil, core.ErrNilMatrix
+	}
+	body, err := wire.EncodeShardRequestFrame(req)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := c.do(ctx, body)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := wire.DecodeShardResponse(payload)
+	if err != nil {
+		return nil, err
+	}
+	if err := resp.Err(); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
 // do POSTs the frame in body to /v1/sketch until it gets a decodable
 // response payload, a non-retryable failure, or runs out of retries. The
 // response payload is returned undecoded so single and batch callers share
@@ -259,7 +286,7 @@ func (c *Client) attempt(ctx context.Context, body []byte) ([]byte, error) {
 		// error page, a truncated stream) is a transport-level problem.
 		return nil, &transportError{err: fmt.Errorf("http %d: %w", hres.StatusCode, err)}
 	}
-	if t != wire.MsgSketchResponse && t != wire.MsgBatchResponse {
+	if t != wire.MsgSketchResponse && t != wire.MsgBatchResponse && t != wire.MsgShardResponse {
 		return nil, fmt.Errorf("%w: unexpected response frame type %v", wire.ErrMalformed, t)
 	}
 	// Surface retryable wire statuses before handing the payload back, so
@@ -278,11 +305,13 @@ func (c *Client) attempt(ctx context.Context, body []byte) ([]byte, error) {
 // decode stays the single full decode), and the one decode below is of an
 // error item, which carries only a detail string.
 func statusPeek(t wire.MsgType, payload []byte) error {
-	if t == wire.MsgSketchResponse {
+	if t == wire.MsgSketchResponse || t == wire.MsgShardResponse {
 		st, err := wire.PeekStatus(payload)
 		if err != nil || !st.Retryable() {
 			return err
 		}
+		// A retryable status carries no matrix — both response layouts share
+		// the status+detail error form, so one decoder covers them.
 		resp, err := wire.DecodeResponse(payload)
 		if err != nil {
 			return err

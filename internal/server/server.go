@@ -79,12 +79,15 @@ type Config struct {
 	Pprof bool
 }
 
-// Server is the HTTP serving layer over a service.Service. Create with
-// New, mount Handler (or use Serve/Shutdown for the daemon lifecycle).
+// Server is the HTTP serving layer over a service.Backend. Create with New
+// (local plan-cache service) or NewBackend (any Backend — the shard
+// coordinator's path), mount Handler (or use Serve/Shutdown for the daemon
+// lifecycle).
 type Server struct {
-	svc *service.Service
-	cfg Config
-	mux *http.ServeMux
+	svc     *service.Service // non-nil only in New mode; /stats reads it
+	backend service.Backend
+	cfg     Config
+	mux     *http.ServeMux
 
 	httpMu   sync.Mutex
 	httpSrv  *http.Server
@@ -102,23 +105,42 @@ type Server struct {
 // decoded request (whose CSC slices are reused across requests), and the
 // response encode buffer. Single-request hot path only — batches allocate.
 type reqScratch struct {
-	body []byte
-	req  wire.SketchRequest
-	out  []byte
+	body  []byte
+	req   wire.SketchRequest
+	shreq wire.ShardRequest
+	out   []byte
 }
 
-// New returns a Server fronting svc.
+// New returns a Server fronting the local plan-cache service svc.
 func New(svc *service.Service, cfg Config) *Server {
+	if cfg.Metrics == nil {
+		cfg.Metrics = svc.Registry()
+	}
+	s := newServer(svc, cfg)
+	s.svc = svc
+	return s
+}
+
+// NewBackend returns a Server fronting an arbitrary Backend — this is how a
+// shard coordinator becomes a sketchd: the handler, codec, deadline and
+// drain layers are identical, only the execution strategy behind
+// Backend.Sketch differs. The /stats service block is zero in this mode
+// (the backend's own metrics live in cfg.Metrics, served at /metrics).
+func NewBackend(b service.Backend, cfg Config) *Server {
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	return newServer(b, cfg)
+}
+
+func newServer(b service.Backend, cfg Config) *Server {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 1 << 30
 	}
 	if cfg.MaxSketchBytes <= 0 {
 		cfg.MaxSketchBytes = 1 << 30
 	}
-	if cfg.Metrics == nil {
-		cfg.Metrics = svc.Registry()
-	}
-	s := &Server{svc: svc, cfg: cfg, mux: http.NewServeMux(),
+	s := &Server{backend: b, cfg: cfg, mux: http.NewServeMux(),
 		met: newHTTPMetrics(cfg.Metrics)}
 	s.scratch.New = func() interface{} { return new(reqScratch) }
 	s.mux.HandleFunc("/v1/sketch", s.handleSketch)
@@ -252,6 +274,8 @@ func (s *Server) handleSketch(w http.ResponseWriter, r *http.Request) {
 		s.serveSingle(ctx, w, sc, payload, dsp)
 	case wire.MsgBatchRequest:
 		s.serveBatch(ctx, w, payload, dsp)
+	case wire.MsgShardRequest:
+		s.serveShard(ctx, w, sc, payload, dsp)
 	default:
 		dsp.End()
 		s.met.badRequests.Inc()
@@ -315,6 +339,48 @@ func (s *Server) serveSingle(ctx context.Context, w http.ResponseWriter, sc *req
 	esp.End()
 }
 
+// serveShard handles one MsgShardRequest payload: the shard's CSC runs
+// through the same backend as a single request — a worker needs no special
+// mode, any sketchd answers shard requests — and the response echoes the
+// shard's placement J0 so the coordinator's merge is robust to reordering.
+func (s *Server) serveShard(ctx context.Context, w http.ResponseWriter, sc *reqScratch, payload []byte, dsp obs.Span) {
+	s.met.requests.Inc()
+	err := wire.DecodeShardRequestInto(&sc.shreq, payload)
+	dsp.End()
+	if err != nil {
+		s.met.badRequests.Inc()
+		s.writeError(w, wire.MsgShardResponse, wire.StatusMalformed, err.Error())
+		return
+	}
+	req := &sc.shreq
+	if err := s.checkSketchSize(req.D, req.A.N); err != nil {
+		s.writeError(w, wire.MsgShardResponse, wire.StatusBadOptions, err.Error())
+		return
+	}
+	xsp := obs.StartSpan(s.met.execute)
+	partial, st, err := s.backend.Sketch(ctx, req.A, req.D, req.Opts)
+	xsp.End()
+	var resp wire.ShardResponse
+	if err != nil {
+		if ctx.Err() != nil {
+			err = ctx.Err()
+		}
+		resp = wire.ShardResponse{Status: wire.StatusOf(err), Detail: err.Error()}
+	} else {
+		resp = wire.ShardResponse{Status: wire.StatusOK, J0: req.J0, Stats: st, Partial: partial}
+	}
+	esp := obs.StartSpan(s.met.encode)
+	out, err := wire.AppendFrame(sc.out[:0], wire.MsgShardResponse, wire.AppendShardResponse(nil, &resp))
+	if err != nil {
+		esp.End()
+		s.writeError(w, wire.MsgShardResponse, wire.StatusInternal, "response too large to frame: "+err.Error())
+		return
+	}
+	sc.out = out
+	s.writeFrame(w, httpStatus(resp.Status), sc.out)
+	esp.End()
+}
+
 // serveBatch handles one MsgBatchRequest payload: the requests are mapped
 // onto service.SketchBatch, which groups them by plan key so a batch of
 // same-matrix sketches resolves the cache once and executes back-to-back
@@ -338,7 +404,7 @@ func (s *Server) serveBatch(ctx context.Context, w http.ResponseWriter, payload 
 		sreqs[i] = service.Request{A: reqs[i].A, D: reqs[i].D, Opts: reqs[i].Opts}
 	}
 	xsp := obs.StartSpan(s.met.execute)
-	sresps := s.svc.SketchBatch(ctx, sreqs)
+	sresps := s.backend.SketchBatch(ctx, sreqs)
 	xsp.End()
 	out := make([]wire.SketchResponse, len(reqs))
 	for i := range out {
@@ -374,7 +440,7 @@ func (s *Server) sketchOne(ctx context.Context, req *wire.SketchRequest) wire.Sk
 	if err := s.checkSketchSize(req.D, req.A.N); err != nil {
 		return wire.SketchResponse{Status: wire.StatusBadOptions, Detail: err.Error()}
 	}
-	ahat, st, err := s.svc.Sketch(ctx, req.A, req.D, req.Opts)
+	ahat, st, err := s.backend.Sketch(ctx, req.A, req.D, req.Opts)
 	if err != nil {
 		// Prefer the context's verdict when the deadline raced the
 		// execute: the client asked for a bounded request and should see
@@ -399,7 +465,8 @@ func (s *Server) checkSketchSize(d, n int) error {
 // writeError emits a non-OK response frame of the given kind. Batch-shaped
 // failures that happen before per-item decoding (malformed bytes, bad
 // deadline header) come back as a single-element batch response so the
-// client's decoder matches what it sent.
+// client's decoder matches what it sent. The shard error form is
+// byte-identical to the single form, so MsgShardResponse needs no branch.
 func (s *Server) writeError(w http.ResponseWriter, typ wire.MsgType, st wire.Status, detail string) {
 	resp := wire.SketchResponse{Status: st, Detail: detail}
 	var payload []byte
@@ -454,9 +521,14 @@ type ServerStats struct {
 	Draining    bool  `json:"draining"`
 }
 
-// Stats returns the combined snapshot (also served at /stats).
+// Stats returns the combined snapshot (also served at /stats). In NewBackend
+// mode there is no local service; the service block stays zero (safe: the
+// zero snapshot's LatencyQuantile is 0) and only the transport counters move.
 func (s *Server) Stats() StatsSnapshot {
-	st := s.svc.Stats()
+	var st service.Stats
+	if s.svc != nil {
+		st = s.svc.Stats()
+	}
 	return StatsSnapshot{
 		Service:      st,
 		LatencyP50us: st.LatencyQuantile(0.50).Microseconds(),

@@ -1,0 +1,36 @@
+package service
+
+import (
+	"context"
+
+	"sketchsp/internal/core"
+	"sketchsp/internal/dense"
+	"sketchsp/internal/sparse"
+)
+
+// Backend is the shard-agnostic serving surface: everything a request
+// router needs from "something that can sketch". The local plan-cache
+// Service implements it by executing in process; the shard Coordinator
+// implements it by splitting the matrix into column shards, fanning them
+// out to worker backends over the network, and merging the exact partial
+// sketches — the two are interchangeable behind the HTTP server, which is
+// what turns a single sketchd into a coordinator without touching the
+// handler or codec layers.
+//
+// Contract (shared by both implementations, pinned by their suites):
+//
+//   - Sketch returns Â bit-identical to a direct core.NewPlan + Execute for
+//     the same (a, d, opts) — caching, sharding and merging may change the
+//     cost, never the bits.
+//   - Errors unwrap to the canonical sentinels (core.ErrNilMatrix,
+//     ErrOverloaded, ErrClosed, ...) so callers classify uniformly.
+//   - The backend does not retain a beyond the call.
+//   - Close is idempotent; requests after Close fail with ErrClosed.
+type Backend interface {
+	Sketch(ctx context.Context, a *sparse.CSC, d int, opts core.Options) (*dense.Matrix, core.Stats, error)
+	SketchBatch(ctx context.Context, reqs []Request) []Response
+	Close()
+}
+
+// The local service is the reference Backend.
+var _ Backend = (*Service)(nil)

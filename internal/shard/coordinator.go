@@ -1,0 +1,371 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"sketchsp/internal/client"
+	"sketchsp/internal/core"
+	"sketchsp/internal/dense"
+	"sketchsp/internal/obs"
+	"sketchsp/internal/service"
+	"sketchsp/internal/sparse"
+	"sketchsp/internal/wire"
+)
+
+// ErrNoPeers rejects a coordinator configured with an empty peer set.
+var ErrNoPeers = errors.New("shard: no peers configured")
+
+// Config tunes the coordinator. The zero value of every field selects a
+// default; only Peers is mandatory.
+type Config struct {
+	// Peers are the worker base URLs (e.g. "http://10.0.0.7:7464"). The
+	// list is canonicalised (sorted, deduped) so routing is independent
+	// of flag order.
+	Peers []string
+	// Replicas is the vnode count per peer on the hash ring (0 selects
+	// DefaultReplicas).
+	Replicas int
+	// Shards is the number of column shards per request (0 selects one
+	// per peer). It is clamped to the column count; fixing it across
+	// deployments of different sizes keeps shard fingerprints — and so
+	// worker plan-cache keys — stable as the cluster grows.
+	Shards int
+	// MaxPeersPerShard bounds the failover walk: a shard is attempted on
+	// at most this many distinct peers before the request fails (0 means
+	// every peer). 1 disables failover entirely.
+	MaxPeersPerShard int
+	// PeerCooldown is how long a peer that failed a shard RPC is avoided
+	// by routing (down peers are still used when every candidate for a
+	// shard is down). 0 selects 5s.
+	PeerCooldown time.Duration
+	// Client configures the per-peer wire clients (retry/backoff/timeout
+	// — the client's own retries handle transient overload; the
+	// coordinator's failover layer handles peer death on top).
+	Client client.Config
+	// Metrics receives the sketchsp_shard_* families. nil creates a
+	// private registry, retrievable with Registry().
+	Metrics *obs.Registry
+}
+
+// peer is one worker endpoint with its routing health and metric handles.
+type peer struct {
+	name      string
+	cli       *client.Client
+	downUntil atomic.Int64 // unix nanos; routing avoids the peer before this
+	met       peerMetrics
+}
+
+// Coordinator fans sketch requests out over column shards to a fixed set
+// of worker peers and merges the exact partial sketches. It implements
+// service.Backend, so server.NewBackend turns it into a sketchd process:
+// same handler, codec, deadline and drain behaviour as a worker, with
+// shard fan-out as the execution strategy.
+type Coordinator struct {
+	cfg    Config
+	ring   *Ring
+	peers  []*peer // indexed like ring.Peers()
+	reg    *obs.Registry
+	met    *metrics
+	closed atomic.Bool
+}
+
+var _ service.Backend = (*Coordinator)(nil)
+
+// New builds a coordinator over cfg.Peers. The peer set is fixed for the
+// coordinator's lifetime.
+func New(cfg Config) (*Coordinator, error) {
+	if cfg.PeerCooldown <= 0 {
+		cfg.PeerCooldown = 5 * time.Second
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	peers := make([]string, 0, len(cfg.Peers))
+	for _, p := range cfg.Peers {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
+	ring := NewRing(peers, cfg.Replicas)
+	names := ring.Peers()
+	if len(names) == 0 {
+		return nil, ErrNoPeers
+	}
+	c := &Coordinator{
+		cfg:   cfg,
+		ring:  ring,
+		peers: make([]*peer, len(names)),
+		reg:   cfg.Metrics,
+		met:   newMetrics(cfg.Metrics),
+	}
+	for i, name := range names {
+		c.peers[i] = &peer{
+			name: name,
+			cli:  client.New(name, cfg.Client),
+			met:  newPeerMetrics(cfg.Metrics, name),
+		}
+	}
+	registerPeersDown(cfg.Metrics, c.peers)
+	return c, nil
+}
+
+// Registry returns the metrics registry the shard families live on.
+func (c *Coordinator) Registry() *obs.Registry { return c.reg }
+
+// Peers returns the canonical peer list.
+func (c *Coordinator) Peers() []string { return c.ring.Peers() }
+
+// Close makes subsequent requests fail with service.ErrClosed. Idempotent;
+// in-flight fan-outs complete.
+func (c *Coordinator) Close() { c.closed.Store(true) }
+
+// ShardError reports which shard and peer a fan-out failure came from. It
+// unwraps to the underlying cause, so errors.Is against the canonical
+// sentinels (core.ErrInvalidMatrix, service.ErrOverloaded, ...) behaves
+// exactly as on the single-process path.
+type ShardError struct {
+	J0, J1 int    // column range of the failing shard
+	Peer   string // last peer attempted
+	Err    error
+}
+
+func (e *ShardError) Error() string {
+	return fmt.Sprintf("shard [%d:%d) on %s: %v", e.J0, e.J1, e.Peer, e.Err)
+}
+func (e *ShardError) Unwrap() error { return e.Err }
+
+// Sketch computes Â = S·A by fanning column shards out to the workers and
+// merging the exact partials. Bit-identity with the single-process path
+// holds because S's entries depend only on (seed, d, blocking, global row),
+// never on which columns share a request — pinned end to end by the
+// coordinator tests.
+func (c *Coordinator) Sketch(ctx context.Context, a *sparse.CSC, d int, opts core.Options) (*dense.Matrix, core.Stats, error) {
+	start := time.Now()
+	c.met.requests.Inc()
+	ahat, stats, err := c.sketch(ctx, a, d, opts)
+	if err != nil {
+		c.met.failures.Inc()
+		return nil, core.Stats{}, err
+	}
+	stats.Total = time.Since(start)
+	return ahat, stats, nil
+}
+
+func (c *Coordinator) sketch(ctx context.Context, a *sparse.CSC, d int, opts core.Options) (*dense.Matrix, core.Stats, error) {
+	if c.closed.Load() {
+		return nil, core.Stats{}, service.ErrClosed
+	}
+	if a == nil {
+		return nil, core.Stats{}, core.ErrNilMatrix
+	}
+	if d <= 0 {
+		return nil, core.Stats{}, fmt.Errorf("%w: d=%d", core.ErrInvalidSketchSize, d)
+	}
+	if err := a.Validate(); err != nil {
+		return nil, core.Stats{}, fmt.Errorf("%w: %v", core.ErrInvalidMatrix, err)
+	}
+
+	k := c.cfg.Shards
+	if k <= 0 {
+		k = len(c.peers)
+	}
+	fsp := obs.StartSpan(c.met.fanout)
+	shards := Split(a, k)
+	type result struct {
+		idx  int
+		resp *wire.ShardResponse
+		err  error
+	}
+	// Fan-out: one goroutine per shard. The shared context is canceled on
+	// the first hard failure so surviving RPCs stop burning worker time.
+	fctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make(chan result, len(shards))
+	for i := range shards {
+		go func(i int) {
+			resp, err := c.sketchShard(fctx, &shards[i], a.N, d, opts)
+			results <- result{i, resp, err}
+		}(i)
+	}
+	var (
+		firstErr error
+		stats    core.Stats
+		acc      = NewAccumulator(d, a.N)
+	)
+	for range shards {
+		r := <-results
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = r.err
+				cancel()
+			}
+			continue
+		}
+		if firstErr != nil {
+			continue // draining after failure
+		}
+		sh := &shards[r.idx]
+		msp := obs.StartSpan(c.met.merge)
+		err := c.place(acc, sh, r.resp)
+		msp.End()
+		if err != nil {
+			firstErr = err
+			cancel()
+			continue
+		}
+		stats.Samples += r.resp.Stats.Samples
+		stats.Flops += r.resp.Stats.Flops
+		stats.SampleTime += r.resp.Stats.SampleTime
+		stats.ConvertTime += r.resp.Stats.ConvertTime
+		stats.Steals += r.resp.Stats.Steals
+		if r.resp.Stats.Imbalance > stats.Imbalance {
+			stats.Imbalance = r.resp.Stats.Imbalance
+		}
+	}
+	fsp.End()
+	if firstErr != nil {
+		// Prefer the caller's verdict when their deadline or cancellation
+		// raced the fan-out — the shard that lost the race reports a
+		// cancellation artifact, not the cause.
+		if ctx.Err() != nil {
+			return nil, core.Stats{}, ctx.Err()
+		}
+		return nil, core.Stats{}, firstErr
+	}
+	ahat, err := acc.Complete()
+	if err != nil {
+		return nil, core.Stats{}, err
+	}
+	return ahat, stats, nil
+}
+
+// place validates one worker's partial against its shard and merges it.
+func (c *Coordinator) place(acc *Accumulator, sh *Shard, resp *wire.ShardResponse) error {
+	width := sh.J1 - sh.J0
+	if resp.J0 != sh.J0 {
+		return fmt.Errorf("shard: response echoes j0=%d for shard [%d:%d)", resp.J0, sh.J0, sh.J1)
+	}
+	if resp.Partial == nil || resp.Partial.Cols != width {
+		cols := -1
+		if resp.Partial != nil {
+			cols = resp.Partial.Cols
+		}
+		return fmt.Errorf("shard: partial has %d columns for shard [%d:%d)", cols, sh.J0, sh.J1)
+	}
+	return acc.Add(sh.J0, resp.Partial)
+}
+
+// sketchShard runs one shard to completion: route by the shard's matrix
+// fingerprint, try peers in ring order with failover, and classify
+// failures — input errors fail fast (resending an invalid matrix to a
+// different peer cannot help), everything else marks the peer down for
+// PeerCooldown and moves to the next candidate. Peers in cooldown are
+// skipped on the first pass and only tried when every candidate is down.
+func (c *Coordinator) sketchShard(ctx context.Context, sh *Shard, nTotal, d int, opts core.Options) (*wire.ShardResponse, error) {
+	req := &wire.ShardRequest{
+		J0:     sh.J0,
+		NTotal: nTotal,
+		SketchRequest: wire.SketchRequest{
+			D:    d,
+			Opts: opts,
+			A:    sh.A,
+		},
+	}
+	order := c.ring.Order(sh.A.Fingerprint().Hash)
+	if m := c.cfg.MaxPeersPerShard; m > 0 && m < len(order) {
+		order = order[:m]
+	}
+	wireBytes := int64(wire.ShardRequestWireSize(req))
+	var lastErr error
+	lastPeer := c.peers[order[0]].name
+	attempted := make([]bool, len(order))
+	for pass := 0; pass < 2; pass++ {
+		for oi, pi := range order {
+			if attempted[oi] {
+				continue
+			}
+			p := c.peers[pi]
+			if pass == 0 && p.downUntil.Load() > time.Now().UnixNano() {
+				continue // healthy-first pass skips peers in cooldown
+			}
+			attempted[oi] = true
+			if lastErr != nil {
+				c.met.failovers.Inc()
+			}
+			lastPeer = p.name
+			c.met.subrequests.Inc()
+			p.met.requests.Inc()
+			p.met.bytes.Add(wireBytes)
+			resp, err := p.cli.SketchShard(ctx, req)
+			if err == nil {
+				return resp, nil
+			}
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			if failFast(err) {
+				return nil, &ShardError{J0: sh.J0, J1: sh.J1, Peer: p.name, Err: err}
+			}
+			p.downUntil.Store(time.Now().Add(c.cfg.PeerCooldown).UnixNano())
+			lastErr = err
+		}
+	}
+	return nil, &ShardError{J0: sh.J0, J1: sh.J1, Peer: lastPeer, Err: lastErr}
+}
+
+// failFast reports whether err is an input-class failure that no failover
+// can cure: the request itself is wrong (invalid matrix, bad options,
+// malformed or oversized frames), so every peer would reject it the same
+// way. Peer-health failures — transport errors, exhausted overload
+// retries, a draining or crashed worker, internal errors — return false
+// and trigger failover instead.
+func failFast(err error) bool {
+	var se *wire.StatusError
+	if errors.As(err, &se) {
+		switch se.Code {
+		case wire.StatusInvalidMatrix, wire.StatusInvalidSketchSize,
+			wire.StatusBadOptions, wire.StatusNilMatrix,
+			wire.StatusPlanClosed, wire.StatusMalformed:
+			return true
+		}
+		return false
+	}
+	// Local encode failures and oversized responses are deterministic. A
+	// bare ErrMalformed (a corrupt response that still framed) is NOT here:
+	// that is the peer's fault, and a backup peer may answer cleanly.
+	return errors.Is(err, wire.ErrTooLarge) || errors.Is(err, core.ErrNilMatrix)
+}
+
+// SketchBatch serves the items concurrently, each through the sharded
+// Sketch path. Per-item outcomes land in the index-aligned responses;
+// batch-level grouping happens downstream on each worker (the shard RPCs
+// of different items hit the workers' plan caches independently).
+func (c *Coordinator) SketchBatch(ctx context.Context, reqs []service.Request) []service.Response {
+	resps := make([]service.Response, len(reqs))
+	// Modest parallelism across items: the per-item fan-out already uses
+	// every peer, so running more items than peers mostly adds queueing.
+	sem := make(chan struct{}, len(c.peers))
+	done := make(chan int, len(reqs))
+	for i := range reqs {
+		go func(i int) {
+			sem <- struct{}{}
+			defer func() { <-sem; done <- i }()
+			r := &reqs[i]
+			ahat, st, err := c.Sketch(ctx, r.A, r.D, r.Opts)
+			if err != nil {
+				resps[i] = service.Response{Err: err}
+				return
+			}
+			resps[i] = service.Response{Ahat: ahat, Stats: st}
+		}(i)
+	}
+	for range reqs {
+		<-done
+	}
+	return resps
+}

@@ -1,0 +1,140 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"sketchsp/internal/client"
+	"sketchsp/internal/core"
+	"sketchsp/internal/rng"
+	"sketchsp/internal/sparse"
+)
+
+// buildSketchd compiles the daemon once per test binary into a temp dir.
+func buildSketchd(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "sketchd")
+	cmd := exec.Command("go", "build", "-o", bin, "sketchsp/cmd/sketchd")
+	cmd.Dir = moduleRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build sketchd: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	return filepath.Dir(strings.TrimSpace(string(out)))
+}
+
+// startSketchd launches one daemon process with the given extra flags,
+// waits for its -addr-file, and returns its base URL. The process gets a
+// SIGTERM (graceful drain) at cleanup.
+func startSketchd(t *testing.T, bin string, extra ...string) string {
+	t.Helper()
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	args := append([]string{"-addr", "127.0.0.1:0", "-addr-file", addrFile}, extra...)
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start sketchd: %v", err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Signal(syscall.SIGTERM)
+		done := make(chan struct{})
+		go func() { cmd.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			cmd.Process.Kill()
+			<-done
+		}
+	})
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if b, err := os.ReadFile(addrFile); err == nil {
+			return "http://" + strings.TrimSpace(string(b))
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sketchd never published %s", addrFile)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestE2EThreeWorkerCluster is the acceptance run: three sketchd worker
+// *processes* on loopback, an in-test coordinator fanning out over them,
+// and bit-identity of the merged Â against the single-process plan across
+// two distributions and a skewed matrix — all under whatever -race mode
+// the test binary runs in.
+func TestE2EThreeWorkerCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process e2e skipped in -short")
+	}
+	bin := buildSketchd(t)
+	urls := []string{
+		startSketchd(t, bin, "-cache", "16"),
+		startSketchd(t, bin, "-cache", "16"),
+		startSketchd(t, bin, "-cache", "16"),
+	}
+	c, err := New(Config{Peers: urls, Shards: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	matrices := map[string]*sparse.CSC{
+		"uniform":  sparse.RandomUniform(500, 80, 0.04, 71),
+		"powerlaw": sparse.PowerLaw(500, 80, 3000, 1.5, 72),
+	}
+	optsSet := map[string]core.Options{
+		"gaussian":   {Dist: rng.Gaussian, Seed: 1001, BlockD: 16, Workers: 1},
+		"rademacher": {Dist: rng.Rademacher, Seed: 1002, Workers: 1},
+	}
+	const d = 32
+	for mname, a := range matrices {
+		for oname, opts := range optsSet {
+			got, _, err := c.Sketch(context.Background(), a, d, opts)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", mname, oname, err)
+			}
+			assertBitIdentical(t, got, directSketch(t, a, d, opts))
+		}
+	}
+
+	// Coordinator daemon: a 4th sketchd in -peers mode must serve the
+	// identical bits through the ordinary client API.
+	coordURL := startSketchd(t, bin, "-peers", strings.Join(urls, ","), "-shards", "5")
+	cli := client.New(coordURL, client.Config{})
+	a := matrices["powerlaw"]
+	opts := optsSet["gaussian"]
+	got, st, err := cli.Sketch(context.Background(), a, d, opts)
+	if err != nil {
+		t.Fatalf("client through coordinator daemon: %v", err)
+	}
+	assertBitIdentical(t, got, directSketch(t, a, d, opts))
+	if st.Flops <= 0 {
+		t.Fatalf("coordinator daemon returned empty stats: %+v", st)
+	}
+}
+
+// TestE2ECoordinatorRejectsNoPeers pins the daemon's flag validation
+// indirectly through the library (the daemon exits non-zero before
+// binding when -peers parses to nothing).
+func TestE2ECoordinatorRejectsNoPeers(t *testing.T) {
+	if _, err := New(Config{Peers: []string{" ", ""}}); !errors.Is(err, ErrNoPeers) {
+		t.Fatalf("blank peers: %v", err)
+	}
+}

@@ -1,0 +1,70 @@
+package shard
+
+import (
+	"strconv"
+	"time"
+
+	"sketchsp/internal/obs"
+)
+
+// metrics is the coordinator's sketchsp_shard_* family set. Per-peer
+// series are fixed-cardinality handles created at construction (the peer
+// set is immutable for a coordinator's lifetime), so the fan-out hot path
+// touches only pre-resolved atomics.
+type metrics struct {
+	requests    *obs.Counter   // coordinated sketch requests
+	subrequests *obs.Counter   // shard RPCs issued (includes failover retries)
+	failovers   *obs.Counter   // shard attempts rerouted to a backup peer
+	failures    *obs.Counter   // coordinated requests that failed
+	fanout      *obs.Histogram // fan-out stage: split + route + all shard RPCs
+	merge       *obs.Histogram // merge stage: partial placement + completeness check
+}
+
+func newMetrics(r *obs.Registry) *metrics {
+	return &metrics{
+		requests: r.Counter("sketchsp_shard_requests_total",
+			"Sketch requests coordinated across workers."),
+		subrequests: r.Counter("sketchsp_shard_subrequests_total",
+			"Shard RPCs issued to workers, including failover retries."),
+		failovers: r.Counter("sketchsp_shard_failovers_total",
+			"Shard attempts rerouted to a backup peer after a peer failure."),
+		failures: r.Counter("sketchsp_shard_failures_total",
+			"Coordinated sketch requests that returned an error."),
+		fanout: r.Histogram("sketchsp_shard_fanout_seconds",
+			"Fan-out stage: split, route, and all shard RPCs of one request."),
+		merge: r.Histogram("sketchsp_shard_merge_seconds",
+			"Merge stage: partial sketch placement and completeness check."),
+	}
+}
+
+// peerMetrics are one worker's series, labeled peer="<addr>".
+type peerMetrics struct {
+	requests *obs.Counter // shard RPCs sent to this peer
+	bytes    *obs.Counter // request bytes shipped to this peer
+}
+
+func newPeerMetrics(r *obs.Registry, peer string) peerMetrics {
+	labels := `peer=` + strconv.Quote(peer)
+	return peerMetrics{
+		requests: r.LabeledCounter("sketchsp_shard_peer_requests_total", labels,
+			"Shard RPCs issued, by destination peer."),
+		bytes: r.LabeledCounter("sketchsp_shard_peer_bytes_total", labels,
+			"Shard request bytes shipped, by destination peer."),
+	}
+}
+
+// registerPeersDown exposes the live cooldown state as a scrape-time
+// gauge: peers currently marked down (their cooldown has not expired).
+func registerPeersDown(r *obs.Registry, peers []*peer) {
+	r.GaugeFunc("sketchsp_shard_peers_down",
+		"Peers currently in failure cooldown.", func() int64 {
+			now := time.Now().UnixNano()
+			var n int64
+			for _, p := range peers {
+				if p.downUntil.Load() > now {
+					n++
+				}
+			}
+			return n
+		})
+}

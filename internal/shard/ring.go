@@ -1,0 +1,147 @@
+// Package shard is the routing/merge layer of the distributed serving
+// stack: a Coordinator splits each sketch request into column shards,
+// routes every shard to a worker by consistent hashing on the shard's
+// matrix fingerprint, and merges the partial sketches back into the full
+// Â. The merge is exact — S[i,j] depends only on the global row index j,
+// so the columns a worker computes are bit-identical to the same columns
+// of a single-process run — which makes the whole layer a pure
+// performance/capacity construct with no accuracy trade-off to tune.
+package shard
+
+import "sort"
+
+// Ring is a consistent-hash ring over a fixed peer set. Each peer owns
+// Replicas pseudo-random points ("vnodes") on the 64-bit circle; a key is
+// routed to the peer owning the first point at or after it. Two properties
+// matter to the serving layer:
+//
+//   - Stability: the mapping key→peer depends only on the peer *set*, not
+//     on the order peers were listed in — the constructor canonicalises
+//     (sorts, dedups) the peer list, and vnode positions are pure hashes
+//     of the peer name. A coordinator restarted with a reshuffled -peers
+//     flag keeps routing every fingerprint to the same worker, so the
+//     workers' plan caches stay hot.
+//   - Spread: with enough vnodes per peer (DefaultReplicas), key load
+//     divides near-uniformly, and removing one peer reassigns only that
+//     peer's arcs instead of reshuffling the world.
+type Ring struct {
+	peers  []string // canonical: sorted, deduped
+	hashes []uint64 // sorted vnode positions
+	owner  []int    // owner[i] = index into peers owning hashes[i]
+}
+
+// DefaultReplicas is the vnode count per peer when Config.Replicas is 0.
+// 64 points per peer keeps the max/mean arc ratio within a few percent
+// for small clusters while the ring stays tiny (64·P entries).
+const DefaultReplicas = 64
+
+// NewRing builds a ring over peers with the given vnode count per peer
+// (0 selects DefaultReplicas). The peer list is copied, sorted and
+// deduplicated; an empty list yields an empty ring (Lookup/Order panic on
+// it — the Coordinator constructor rejects empty peer sets first).
+func NewRing(peers []string, replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	canon := append([]string(nil), peers...)
+	sort.Strings(canon)
+	w := 0
+	for i, p := range canon {
+		if i == 0 || p != canon[i-1] {
+			canon[w] = p
+			w++
+		}
+	}
+	canon = canon[:w]
+	r := &Ring{
+		peers:  canon,
+		hashes: make([]uint64, 0, len(canon)*replicas),
+		owner:  make([]int, 0, len(canon)*replicas),
+	}
+	type vnode struct {
+		h     uint64
+		owner int
+	}
+	vs := make([]vnode, 0, len(canon)*replicas)
+	for i, p := range canon {
+		for v := 0; v < replicas; v++ {
+			vs = append(vs, vnode{vnodeHash(p, v), i})
+		}
+	}
+	sort.Slice(vs, func(a, b int) bool { return vs[a].h < vs[b].h })
+	for _, v := range vs {
+		r.hashes = append(r.hashes, v.h)
+		r.owner = append(r.owner, v.owner)
+	}
+	return r
+}
+
+// Peers returns the canonical (sorted, deduped) peer list. Callers must
+// not mutate it; peer indices returned by Lookup/Order index into it.
+func (r *Ring) Peers() []string { return r.peers }
+
+// Lookup returns the index (into Peers) of the peer owning key.
+func (r *Ring) Lookup(key uint64) int {
+	return r.owner[r.search(key)]
+}
+
+// Order returns every peer index in the ring-walk order starting at key's
+// owner: the first entry is Lookup(key), each subsequent entry is the next
+// *distinct* peer encountered walking clockwise. The coordinator's
+// failover tries peers in this order, so shard→backup assignments are as
+// stable as the primary assignment.
+func (r *Ring) Order(key uint64) []int {
+	out := make([]int, 0, len(r.peers))
+	seen := make([]bool, len(r.peers))
+	for i, n := r.search(key), 0; n < len(r.hashes); n++ {
+		p := r.owner[i]
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+			if len(out) == len(r.peers) {
+				break
+			}
+		}
+		i++
+		if i == len(r.hashes) {
+			i = 0
+		}
+	}
+	return out
+}
+
+// search finds the first vnode at or after key, wrapping at the top of
+// the circle.
+func (r *Ring) search(key uint64) int {
+	if len(r.hashes) == 0 {
+		panic("shard: lookup on empty ring")
+	}
+	i := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= key })
+	if i == len(r.hashes) {
+		i = 0
+	}
+	return i
+}
+
+// vnodeHash positions replica v of peer p on the circle: FNV-1a absorbs
+// the name and replica index, a splitmix-style finaliser (the same Mix13
+// variant sparse.Fingerprint uses) scatters the structured FNV output so
+// consecutive replica indices land far apart.
+func vnodeHash(p string, v int) uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(p); i++ {
+		h ^= uint64(p[i])
+		h *= prime64
+	}
+	h ^= uint64(v)
+	h *= prime64
+	return mix64(h)
+}
+
+func mix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

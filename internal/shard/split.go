@@ -1,0 +1,34 @@
+package shard
+
+import "sketchsp/internal/sparse"
+
+// Shard is one column slab A[:, J0:J1) of the full input, carried as a
+// zero-copy CSC view (sparse.ColSlice): the view shares RowIdx/Val with
+// the parent and keeps M and the *global* row indices, which is what makes
+// the partial sketch S·A[:, J0:J1) bit-identical to the corresponding
+// columns of S·A — the sketch kernels consume rows, and rows are untouched
+// by a column split.
+type Shard struct {
+	J0, J1 int
+	A      *sparse.CSC
+}
+
+// Split cuts a into at most k nnz-balanced column shards using
+// sparse.NNZBalancedColSplit: cut points sit on the cumulative-nnz
+// quantiles (ColPtr *is* the cumulative histogram, so placement is a
+// binary search per cut, not a scan), which balances worker flops — the
+// kernels' work is Θ(d·nnz per shard) — rather than column counts, so a
+// power-law matrix does not send one worker 90% of the multiply.
+//
+// Every returned shard is non-empty in columns when n ≥ k; for n < k (or
+// degenerate n == 0) fewer shards come back. The shards tile [0, a.N)
+// exactly, in order, with no overlap.
+func Split(a *sparse.CSC, k int) []Shard {
+	cuts := sparse.NNZBalancedColSplit(a, k)
+	shards := make([]Shard, 0, len(cuts)-1)
+	for i := 0; i+1 < len(cuts); i++ {
+		j0, j1 := cuts[i], cuts[i+1]
+		shards = append(shards, Shard{J0: j0, J1: j1, A: a.ColSlice(j0, j1)})
+	}
+	return shards
+}

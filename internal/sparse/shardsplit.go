@@ -1,0 +1,66 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NNZBalancedColSplit partitions the columns [0, n) of a into at most k
+// contiguous slabs of near-equal nonzero count and returns the cut points
+// c[0]=0 <= c[1] <= ... <= c[len-1]=n, so slab i is [c[i], c[i+1]).
+//
+// ColPtr is exactly the prefix sum of the per-column nonzero counts, so the
+// i-th cut is a binary search for the column where ceil(nnz·i/k) entries
+// have accumulated — O(k log n) total, no per-column scan. The cuts are then
+// clamped so that, whenever n >= k, every slab holds at least one column:
+// a shard of the serving layer must carry a non-degenerate CSC even when a
+// single dense column swallows the whole nnz budget.
+//
+// k is clamped to [1, max(n, 1)]; a 0-column matrix yields the single empty
+// slab [0, 0). The balance guarantee is the same one the nnz-aware task
+// partitioner gives: no slab exceeds the ideal nnz/k share by more than the
+// heaviest single column, which is the best any contiguous split can do.
+func NNZBalancedColSplit(a *CSC, k int) []int {
+	n := a.N
+	if k < 1 {
+		k = 1
+	}
+	if n == 0 {
+		return []int{0, 0}
+	}
+	if k > n {
+		k = n
+	}
+	nnz := a.ColPtr[n]
+	cuts := make([]int, k+1)
+	cuts[k] = n
+	for i := 1; i < k; i++ {
+		// Smallest column index whose prefix reaches the i-th ideal share.
+		target := (nnz*i + k - 1) / k
+		j := sort.SearchInts(a.ColPtr, target)
+		// Clamp into the window that leaves at least one column for every
+		// slab on both sides of the cut.
+		if lo := cuts[i-1] + 1; j < lo {
+			j = lo
+		}
+		if hi := n - (k - i); j > hi {
+			j = hi
+		}
+		cuts[i] = j
+	}
+	return cuts
+}
+
+// validateCuts is a debugging aid for tests: it checks a cut vector is a
+// monotone cover of [0, n].
+func validateCuts(cuts []int, n int) error {
+	if len(cuts) < 2 || cuts[0] != 0 || cuts[len(cuts)-1] != n {
+		return fmt.Errorf("sparse: cuts %v do not cover [0, %d]", cuts, n)
+	}
+	for i := 1; i < len(cuts); i++ {
+		if cuts[i] < cuts[i-1] {
+			return fmt.Errorf("sparse: cuts %v not monotone at %d", cuts, i)
+		}
+	}
+	return nil
+}

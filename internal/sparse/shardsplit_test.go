@@ -1,0 +1,112 @@
+package sparse
+
+import "testing"
+
+func splitTestMatrix(t *testing.T, n int, colNNZ func(j int) int) *CSC {
+	t.Helper()
+	m := 64
+	coo := NewCOO(m, n, 0)
+	for j := 0; j < n; j++ {
+		c := colNNZ(j)
+		if c > m {
+			c = m
+		}
+		for i := 0; i < c; i++ {
+			coo.Append(i, j, float64(i+j)+0.5)
+		}
+	}
+	return coo.ToCSC()
+}
+
+func TestNNZBalancedColSplit(t *testing.T) {
+	cases := []struct {
+		name   string
+		n      int
+		colNNZ func(int) int
+	}{
+		{"uniform", 40, func(int) int { return 3 }},
+		{"empty-cols", 40, func(j int) int { return (j % 3) * 2 }},
+		{"one-dense-col", 40, func(j int) int {
+			if j == 17 {
+				return 64
+			}
+			return 1
+		}},
+		{"all-empty", 12, func(int) int { return 0 }},
+		{"front-loaded", 30, func(j int) int { return 40 - j }},
+	}
+	for _, tc := range cases {
+		a := splitTestMatrix(t, tc.n, tc.colNNZ)
+		for k := 1; k <= 8; k++ {
+			cuts := NNZBalancedColSplit(a, k)
+			if err := validateCuts(cuts, a.N); err != nil {
+				t.Fatalf("%s k=%d: %v", tc.name, k, err)
+			}
+			want := k
+			if want > a.N {
+				want = a.N
+			}
+			if len(cuts) != want+1 {
+				t.Fatalf("%s k=%d: %d cuts, want %d", tc.name, k, len(cuts), want+1)
+			}
+			// Every slab non-empty whenever n >= k.
+			total := 0
+			for i := 1; i < len(cuts); i++ {
+				if cuts[i] <= cuts[i-1] {
+					t.Fatalf("%s k=%d: empty slab [%d:%d) in %v", tc.name, k, cuts[i-1], cuts[i], cuts)
+				}
+				total += a.SlabNNZ(cuts[i-1], cuts[i])
+			}
+			if total != a.NNZ() {
+				t.Fatalf("%s k=%d: slabs cover %d of %d nnz", tc.name, k, total, a.NNZ())
+			}
+		}
+	}
+}
+
+// The balance bound: no slab exceeds the ideal share by more than the
+// heaviest single column (the contiguous-split optimum).
+func TestNNZBalancedColSplitBalance(t *testing.T) {
+	a := splitTestMatrix(t, 200, func(j int) int { return 1 + (j*7)%13 })
+	maxCol := 0
+	for j := 0; j < a.N; j++ {
+		if c := a.SlabNNZ(j, j+1); c > maxCol {
+			maxCol = c
+		}
+	}
+	for _, k := range []int{2, 3, 4, 7, 16} {
+		cuts := NNZBalancedColSplit(a, k)
+		ideal := (a.NNZ() + k - 1) / k
+		for i := 1; i < len(cuts); i++ {
+			if got := a.SlabNNZ(cuts[i-1], cuts[i]); got > ideal+maxCol {
+				t.Fatalf("k=%d slab %d holds %d nnz, ideal %d + maxcol %d", k, i-1, got, ideal, maxCol)
+			}
+		}
+	}
+}
+
+func TestNNZBalancedColSplitDegenerate(t *testing.T) {
+	empty := &CSC{M: 5, N: 0, ColPtr: []int{0}}
+	if got := NNZBalancedColSplit(empty, 4); len(got) != 2 || got[0] != 0 || got[1] != 0 {
+		t.Fatalf("0-col split = %v", got)
+	}
+	one := splitTestMatrix(t, 1, func(int) int { return 7 })
+	if got := NNZBalancedColSplit(one, 5); len(got) != 2 || got[1] != 1 {
+		t.Fatalf("1-col split = %v", got)
+	}
+	if got := NNZBalancedColSplit(one, 0); len(got) != 2 {
+		t.Fatalf("k=0 split = %v", got)
+	}
+	// ColSlice over the cuts must reassemble the exact nnz, with global rows.
+	a := splitTestMatrix(t, 33, func(j int) int { return j % 5 })
+	cuts := NNZBalancedColSplit(a, 4)
+	for i := 1; i < len(cuts); i++ {
+		s := a.ColSlice(cuts[i-1], cuts[i])
+		if s.M != a.M {
+			t.Fatalf("shard M=%d want %d", s.M, a.M)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("shard [%d:%d): %v", cuts[i-1], cuts[i], err)
+		}
+	}
+}

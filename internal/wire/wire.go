@@ -105,6 +105,11 @@ const (
 	MsgCSC MsgType = 5
 	// MsgDense is a standalone dense matrix (tools and tests).
 	MsgDense MsgType = 6
+	// MsgShardRequest is a coordinator→worker request for one column shard
+	// of a larger sketch (shard.go).
+	MsgShardRequest MsgType = 7
+	// MsgShardResponse is the partial sketch of one column shard.
+	MsgShardResponse MsgType = 8
 )
 
 // String implements fmt.Stringer for MsgType.
@@ -122,6 +127,10 @@ func (t MsgType) String() string {
 		return "csc"
 	case MsgDense:
 		return "dense"
+	case MsgShardRequest:
+		return "shard-request"
+	case MsgShardResponse:
+		return "shard-response"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}

@@ -40,6 +40,7 @@ import (
 	"sketchsp/internal/obs"
 	"sketchsp/internal/rng"
 	"sketchsp/internal/service"
+	"sketchsp/internal/shard"
 	"sketchsp/internal/solver"
 	"sketchsp/internal/sparse"
 )
@@ -243,6 +244,37 @@ type (
 // NewClient returns a client for the sketchd server at baseURL, e.g.
 // "http://127.0.0.1:7464".
 func NewClient(baseURL string, cfg ClientConfig) *Client { return client.New(baseURL, cfg) }
+
+// Sharded serving re-exports. A ShardCoordinator splits each request into
+// nnz-balanced column shards, routes every shard to a worker by consistent
+// hashing on the shard's structural fingerprint (repeat matrices keep
+// hitting the same workers' plan caches), executes the shards on the
+// workers in parallel, and reassembles the partial sketches. Because S[i,j]
+// depends only on (seed, blocking, i, global column j), the merged sketch
+// is bit-identical to a single-process run — sharding is invisible to
+// callers. cmd/sketchd exposes the same layer as a daemon via -peers.
+type (
+	// Backend is the shard-agnostic serving interface: both a *Service
+	// (local execution) and a *ShardCoordinator (fan-out over workers)
+	// implement it, so servers and callers need not know which they hold.
+	Backend = service.Backend
+	// ShardCoordinator fans sketch requests out over sketchd workers and
+	// merges the exact partial sketches.
+	ShardCoordinator = shard.Coordinator
+	// ShardConfig configures a ShardCoordinator (peers, shards per
+	// request, failover cooldown, client tuning).
+	ShardConfig = shard.Config
+	// ShardError reports which column range on which peer failed, and
+	// wraps the underlying cause for errors.Is/As.
+	ShardError = shard.ShardError
+)
+
+// ErrNoShardPeers: a ShardCoordinator was configured with no usable peers.
+var ErrNoShardPeers = shard.ErrNoPeers
+
+// NewShardCoordinator returns a coordinator fanning out over cfg.Peers.
+// Close it when done; it owns one Client per peer.
+func NewShardCoordinator(cfg ShardConfig) (*ShardCoordinator, error) { return shard.New(cfg) }
 
 // MetricsRegistry is the dependency-free metrics registry behind every
 // layer's counters and histograms (see internal/obs). A Service creates a
