@@ -47,3 +47,4 @@ bench-json:
 	$(GO) run ./cmd/spmmbench -serve-http -scale 0.05 -json BENCH_PR4.json
 	$(GO) run ./cmd/spmmbench -serve-http -scrape -scale 0.05 -json BENCH_PR5.json
 	$(GO) run ./cmd/spmmbench -serve-shard -json BENCH_PR6.json
+	$(GO) run ./cmd/spmmbench -skew -scale 0.05 -json BENCH_PR7.json

@@ -22,7 +22,8 @@ import (
 var (
 	gamma   = flag.Float64("gamma", 3, "sketch size factor: d = ceil(gamma*n) (ignored if -d is set)")
 	dFlag   = flag.Int("d", 0, "explicit sketch size d (rows of S)")
-	distF   = flag.String("dist", "uniform", "entry distribution: uniform | pm1 | gaussian | scaled-int")
+	distF   = flag.String("dist", "uniform", "entry distribution: uniform | pm1 | gaussian | scaled-int | sjlt | countsketch")
+	sparsF  = flag.Int("sparsity", 0, "nonzeros per S column for -dist sjlt (0 = ceil(sqrt(d)); countsketch is always 1)")
 	algF    = flag.Int("alg", 3, "compute kernel: 3 (kji/CSC) or 4 (jki/blocked CSR)")
 	seed    = flag.Uint64("seed", 0, "RNG seed (same seed + blocking → same sketch)")
 	source  = flag.String("rng", "xoshiro", "RNG engine: xoshiro | philox (philox is blocking-independent)")
@@ -79,7 +80,7 @@ func run(inPath, outPath string) error {
 
 	sk, err := core.NewSketcher(d, core.Options{
 		Algorithm: alg, Dist: dist, Source: src, Seed: *seed,
-		BlockN: *bn, BlockD: *bd, Workers: *workers,
+		BlockN: *bn, BlockD: *bd, Workers: *workers, Sparsity: *sparsF,
 	})
 	if err != nil {
 		return err

@@ -85,13 +85,19 @@ func main() {
 }
 
 // skewRecord is one (workload, scheduler) measurement of the skew suite —
-// the JSON schema consumed by the bench-json Make target.
+// the JSON schema consumed by the bench-json Make target. Records from the
+// sketch-family A/B carry suite="family" plus the dist/sparsity/speedup
+// fields; scheduler A/B records leave them zero.
 type skewRecord struct {
 	Name      string  `json:"name"`
 	Scheduler string  `json:"scheduler"`
 	NsOp      int64   `json:"ns_op"`
 	GFlops    float64 `json:"gflops"`
 	Imbalance float64 `json:"imbalance"`
+	Suite     string  `json:"suite,omitempty"`
+	Dist      string  `json:"dist,omitempty"`
+	Sparsity  int     `json:"sparsity,omitempty"`
+	Speedup   float64 `json:"speedup_vs_dense,omitempty"`
 }
 
 // skewSuite races the PR-1 uniform shared-channel scheduler against the
@@ -165,6 +171,7 @@ func skewSuite() {
 		}
 	}
 	emit(t)
+	records = append(records, familySuite(inputs, d, workers)...)
 	if *jsonOut != "" {
 		buf, err := json.MarshalIndent(records, "", "  ")
 		if err != nil {
@@ -178,6 +185,64 @@ func skewSuite() {
 		}
 		fmt.Printf("(wrote %s)\n", *jsonOut)
 	}
+}
+
+// familySuite is the sketch-family A/B riding on the skew suite's inputs:
+// dense distributions vs SJLT (default s = ⌈√d⌉) vs CountSketch (s = 1) at
+// EQUAL sketch dimension d, so the speedup column is purely the scatter
+// kernels touching s rows per stored entry instead of d. The wall-time
+// ratio tracks d/s minus dispatch overhead — at the suite's d it should
+// sit far above the 4x floor recorded in EXPERIMENTS.md.
+func familySuite(inputs []struct {
+	name string
+	a    *sparse.CSC
+}, d, workers int) []skewRecord {
+	families := []struct {
+		label    string
+		dist     rng.Distribution
+		sparsity int
+	}{
+		{"dense-uniform", rng.Uniform11, 0},
+		{"dense-rademacher", rng.Rademacher, 0},
+		{"sjlt-default-s", rng.SJLT, 0},
+		{"countsketch", rng.CountSketch, 0},
+	}
+	t := bench.NewTable(fmt.Sprintf(
+		"SKETCH FAMILY A/B — dense vs sparse sketches at equal d=%d, %d workers", d, workers),
+		"pattern", "family", "s", "time", "GF/s", "speedup-vs-dense")
+	var records []skewRecord
+	for _, in := range inputs {
+		var base time.Duration
+		for _, fam := range families {
+			tm := mustTime(in.a, d, core.Options{
+				Algorithm: core.Alg3, Dist: fam.dist, Sparsity: fam.sparsity,
+				Seed: uint64(*seed), Workers: workers, BlockD: d, BlockN: 500,
+			})
+			if fam.dist == rng.Uniform11 {
+				base = tm.Execute
+			}
+			speedup := 1.0
+			if base > 0 && tm.Execute > 0 {
+				speedup = float64(base) / float64(tm.Execute)
+			}
+			t.AddRow(in.name, fam.label, tm.PlanStats.Sparsity, tm.Execute,
+				fmt.Sprintf("%.2f", tm.Stats.GFlops()),
+				fmt.Sprintf("%.2fx", speedup))
+			records = append(records, skewRecord{
+				Name:      in.name,
+				Scheduler: core.SchedWeighted.String(),
+				NsOp:      tm.Execute.Nanoseconds(),
+				GFlops:    tm.Stats.GFlops(),
+				Imbalance: tm.Stats.Imbalance,
+				Suite:     "family",
+				Dist:      fam.dist.String(),
+				Sparsity:  tm.PlanStats.Sparsity,
+				Speedup:   speedup,
+			})
+		}
+	}
+	emit(t)
+	return records
 }
 
 func workloads() []bench.SpMMWorkload {

@@ -41,16 +41,25 @@ func ChooseAlgorithm(a *sparse.CSC, d int, opts Options, h float64, cacheBytes i
 	}
 	bd4, bn4 := resolveBlockSizes(d, a.N, Alg4, opts.BlockD, opts.BlockN)
 
-	cost3 := h * float64(analysis.PredictAlg3Samples(a, d))
+	// Sparse sketch family: a column of S carries s nonzeros instead of d,
+	// so both kernels' sample streams and Alg4's scattered writes shrink by
+	// the density factor s/d. The same accounting with the terms scaled.
+	density := 1.0
+	if s := rng.SJLTSparsity(opts.Dist, opts.Sparsity, d); s > 0 && d > 0 {
+		density = float64(s) / float64(d)
+	}
 
-	samples4 := float64(analysis.PredictAlg4Samples(a, d, bn4))
+	cost3 := h * float64(analysis.PredictAlg3Samples(a, d)) * density
+
+	samples4 := float64(analysis.PredictAlg4Samples(a, d, bn4)) * density
 	slabs := (a.N + bn4 - 1) / bn4
 	conversion := float64(a.M*slabs + a.NNZ())
 	cost4 := h*samples4 + conversion
 	if int64(bd4)*int64(bn4)*8 > cacheBytes {
 		// Â block spills the cache: charge Alg4's scattered rank-1
-		// updates one cold column read per nonzero.
-		cost4 += float64(a.NNZ()) * float64(bd4) / 8
+		// updates one cold column read per nonzero. A sparse S column
+		// touches only the s/d fraction of the block's rows.
+		cost4 += float64(a.NNZ()) * float64(bd4) / 8 * density
 	}
 	if cost4 < cost3 {
 		return Alg4

@@ -62,6 +62,13 @@ type Options struct {
 	Dist rng.Distribution
 	// Source is the RNG engine (default 4-lane batched xoshiro256++).
 	Source rng.SourceKind
+	// Sparsity is s, the per-column nonzero count for the sparse sketch
+	// family (Dist SJLT/CountSketch); ignored for dense distributions.
+	// 0 selects the default ⌈√d⌉ (the 1/√d-density rule); values are
+	// clamped to [1, d] at plan time (s ≥ d degenerates to a dense ±1/√s
+	// column set) and CountSketch always resolves to s = 1. The resolved
+	// value is surfaced in PlanStats.Sparsity.
+	Sparsity int
 	// Seed makes the sketch reproducible: same seed, same d, same
 	// blocking → identical Â, independent of Workers.
 	Seed uint64
@@ -174,9 +181,9 @@ func NewSketcher(d int, opts Options) (*Sketcher, error) {
 	if d <= 0 {
 		return nil, fmt.Errorf("%w: d=%d", ErrInvalidSketchSize, d)
 	}
-	if opts.BlockD < 0 || opts.BlockN < 0 || opts.Workers < 0 {
-		return nil, fmt.Errorf("%w: negative (BlockD=%d BlockN=%d Workers=%d)",
-			ErrBadOptions, opts.BlockD, opts.BlockN, opts.Workers)
+	if opts.BlockD < 0 || opts.BlockN < 0 || opts.Workers < 0 || opts.Sparsity < 0 {
+		return nil, fmt.Errorf("%w: negative (BlockD=%d BlockN=%d Workers=%d Sparsity=%d)",
+			ErrBadOptions, opts.BlockD, opts.BlockN, opts.Workers, opts.Sparsity)
 	}
 	return &Sketcher{d: d, opts: opts}, nil
 }

@@ -98,6 +98,27 @@ func TestGoldenSketchDigests(t *testing.T) {
 		{name: "uniform/auto", dist: rng.Uniform11, seed: 6, m: 200, n: 25, density: 0.08, matSeed: 31, d: 40,
 			opts: Options{Algorithm: AlgAuto, BlockD: 10, BlockN: 9, Workers: 2},
 			want: 0x218b4a140ccfc1f6},
+		{name: "sjlt/seq", dist: rng.SJLT, seed: 7, m: 120, n: 18, density: 0.12, matSeed: 37, d: 28,
+			opts: Options{BlockD: 9, BlockN: 5, Workers: 1, Sparsity: 4},
+			want: 0x40ba0f6404ecb1a6},
+		{name: "sjlt/par8-weighted", dist: rng.SJLT, seed: 7, m: 120, n: 18, density: 0.12, matSeed: 37, d: 28,
+			opts: Options{BlockD: 9, BlockN: 5, Workers: 8, Sparsity: 4},
+			want: 0x40ba0f6404ecb1a6}, // workers must not change the sketch
+		{name: "sjlt/blockd-split", dist: rng.SJLT, seed: 7, m: 120, n: 18, density: 0.12, matSeed: 37, d: 28,
+			opts: Options{BlockD: 28, BlockN: 3, Workers: 4, Sched: SchedUniform, Sparsity: 4},
+			want: 0x40ba0f6404ecb1a6}, // sparse columns are drawn at a reserved checkpoint: BlockD-independent even on xoshiro
+		{name: "sjlt/alg4-default-s", dist: rng.SJLT, seed: 8, m: 120, n: 18, density: 0.12, matSeed: 37, d: 28,
+			opts: Options{Algorithm: Alg4, BlockD: 9, BlockN: 5, Workers: 2},
+			want: 0x09883cdf24458bd8}, // Sparsity 0 resolves to ⌈√28⌉ = 6
+		{name: "sjlt/alg3-default-s", dist: rng.SJLT, seed: 8, m: 120, n: 18, density: 0.12, matSeed: 37, d: 28,
+			opts: Options{Algorithm: Alg3, BlockD: 9, BlockN: 5, Workers: 1},
+			want: 0x09883cdf24458bd8}, // Alg3 == Alg4 bit-identical for the scatter kernels too
+		{name: "countsketch/seq", dist: rng.CountSketch, seed: 9, m: 100, n: 14, density: 0.15, matSeed: 41, d: 20,
+			opts: Options{BlockD: 7, BlockN: 4, Workers: 1},
+			want: 0xe664d298e2a806c8},
+		{name: "countsketch/philox-par4", dist: rng.CountSketch, source: rng.SourcePhilox, seed: 10, m: 100, n: 14, density: 0.15, matSeed: 41, d: 20,
+			opts: Options{BlockD: 7, BlockN: 4, Workers: 4},
+			want: 0xa0d6982e447b78c1},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

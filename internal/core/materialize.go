@@ -18,6 +18,23 @@ func (sk *Sketcher) MaterializeS(m int) *dense.Matrix {
 	s := rng.NewSampler(rng.NewSource(sk.opts.Source, sk.opts.Seed), sk.opts.Dist)
 	bd, _ := sk.blockSizes(1)
 	out := dense.NewMatrix(sk.d, m)
+	if rng.IsSparse(sk.opts.Dist) {
+		// Sparse family: a column is s scattered ±1/√s entries drawn from
+		// the reserved per-column checkpoint — no block-row anchoring, the
+		// column is blocking-independent by construction.
+		sp := rng.SJLTSparsity(sk.opts.Dist, sk.opts.Sparsity, sk.d)
+		scale := rng.SJLTScale(sp)
+		pos := make([]int, sp)
+		val := make([]float64, sp)
+		for j := 0; j < m; j++ {
+			s.FillSJLTColumn(uint64(j), sk.d, sp, scale, pos, val)
+			col := out.Col(j)
+			for b := 0; b < sp; b++ {
+				col[pos[b]] = val[b]
+			}
+		}
+		return out
+	}
 	for i0 := 0; i0 < sk.d; i0 += bd {
 		d1 := bd
 		if i0+d1 > sk.d {

@@ -33,6 +33,17 @@ var (
 	metaWorkers = []int{1, 2, 8}
 )
 
+// metaSparsity picks the test sparsity per distribution: s=4 for SJLT so
+// the nonzero magnitude 1/√s = 0.5 is a power of two and linearity stays
+// bit-exact (CountSketch is pinned to s=1, ±1, always exact); 0 for the
+// dense distributions.
+func metaSparsity(dist rng.Distribution) int {
+	if dist == rng.SJLT {
+		return 4
+	}
+	return 0
+}
+
 // patternedPair builds two matrices on one shared sparsity pattern with
 // small-integer values, plus their exact sum. Shared pattern keeps the sum's
 // pattern identical too, so all three sketches accumulate the same rows in
@@ -82,14 +93,15 @@ func ulpDist(a, b float64) uint64 {
 func TestMetamorphicLinearity(t *testing.T) {
 	a1, a2, asum := patternedPair(240, 36, 6, 7)
 	const d = 33
-	for _, dist := range []rng.Distribution{rng.ScaledInt, rng.Rademacher, rng.Uniform11, rng.Gaussian} {
-		exact := dist == rng.ScaledInt || dist == rng.Rademacher
+	for _, dist := range []rng.Distribution{rng.ScaledInt, rng.Rademacher, rng.Uniform11, rng.Gaussian, rng.SJLT, rng.CountSketch} {
+		exact := dist == rng.ScaledInt || dist == rng.Rademacher || rng.IsSparse(dist)
 		for _, alg := range metaAlgs {
 			for _, sched := range metaScheds {
 				for _, workers := range metaWorkers {
 					opts := Options{
 						Algorithm: alg, Sched: sched, Workers: workers,
 						Dist: dist, Seed: 4242, BlockD: 11, BlockN: 7,
+						Sparsity: metaSparsity(dist),
 					}
 					sk := mustSketcher(t, d, opts)
 					h1, _ := sk.Sketch(a1)
@@ -124,13 +136,14 @@ func TestMetamorphicColumnSlab(t *testing.T) {
 	a := sparse.RandomUniform(260, 40, 0.08, 21)
 	const d = 33
 	slabs := [][2]int{{0, 40}, {0, 13}, {13, 29}, {29, 40}, {5, 6}, {17, 17}}
-	for _, dist := range []rng.Distribution{rng.Uniform11, rng.Rademacher, rng.Gaussian, rng.ScaledInt} {
+	for _, dist := range []rng.Distribution{rng.Uniform11, rng.Rademacher, rng.Gaussian, rng.ScaledInt, rng.SJLT, rng.CountSketch} {
 		for _, alg := range metaAlgs {
 			for _, sched := range metaScheds {
 				for _, workers := range metaWorkers {
 					opts := Options{
 						Algorithm: alg, Sched: sched, Workers: workers,
 						Dist: dist, Seed: 99, BlockD: 11, BlockN: 7,
+						Sparsity: metaSparsity(dist),
 					}
 					sk := mustSketcher(t, d, opts)
 					full, _ := sk.Sketch(a)
@@ -187,13 +200,14 @@ func TestMetamorphicZeroColumnInvariance(t *testing.T) {
 	a := sparse.RandomUniform(200, 30, 0.1, 63)
 	wide, origCol := withZeroColumns(a, 4)
 	const d = 33
-	for _, dist := range []rng.Distribution{rng.Uniform11, rng.Rademacher, rng.Gaussian, rng.ScaledInt} {
+	for _, dist := range []rng.Distribution{rng.Uniform11, rng.Rademacher, rng.Gaussian, rng.ScaledInt, rng.SJLT, rng.CountSketch} {
 		for _, alg := range metaAlgs {
 			for _, sched := range metaScheds {
 				for _, workers := range metaWorkers {
 					opts := Options{
 						Algorithm: alg, Sched: sched, Workers: workers,
 						Dist: dist, Seed: 7000, BlockD: 11, BlockN: 5,
+						Sparsity: metaSparsity(dist),
 					}
 					sk := mustSketcher(t, d, opts)
 					base, _ := sk.Sketch(a)

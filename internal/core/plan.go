@@ -29,6 +29,11 @@ type PlanStats struct {
 	BlockD, BlockN int
 	// Workers is the resolved worker count (clamped to the task count).
 	Workers int
+	// Sparsity is the resolved per-column nonzero count s for the sparse
+	// sketch family (SJLT/CountSketch): Options.Sparsity after the default
+	// ⌈√d⌉ rule and the [1, d] clamp, 1 for CountSketch. 0 for dense
+	// distributions.
+	Sparsity int
 	// Tasks is the number of outer-block cells after partitioning.
 	Tasks int
 	// Scheduler is the task scheduler the plan executes with.
@@ -65,6 +70,8 @@ type PlanStats struct {
 type workspace struct {
 	s          *rng.Sampler
 	v          []float64
+	pos        []int     // sparse family: per-column position scratch (len s)
+	sval       []float64 // sparse family: per-column value scratch (len s)
 	sub        dense.Matrix
 	samples    int64
 	sampleTime time.Duration
@@ -112,6 +119,11 @@ type Plan struct {
 	bd   int
 	bn   int
 
+	// Sparse sketch family: resolved per-column nonzero count (0 = dense)
+	// and nonzero magnitude 1/√s.
+	sparsity  int
+	sjltScale float64
+
 	flops    int64
 	a        *sparse.CSC        // Alg3 input (ScaledInt: pre-scaled clone)
 	colStart []int              // column partition; slab k = [colStart[k], colStart[k+1])
@@ -151,9 +163,9 @@ func NewPlan(a *sparse.CSC, d int, opts Options) (*Plan, error) {
 	if d <= 0 {
 		return nil, fmt.Errorf("%w: d=%d", ErrInvalidSketchSize, d)
 	}
-	if opts.BlockD < 0 || opts.BlockN < 0 || opts.Workers < 0 {
-		return nil, fmt.Errorf("%w: negative (BlockD=%d BlockN=%d Workers=%d)",
-			ErrBadOptions, opts.BlockD, opts.BlockN, opts.Workers)
+	if opts.BlockD < 0 || opts.BlockN < 0 || opts.Workers < 0 || opts.Sparsity < 0 {
+		return nil, fmt.Errorf("%w: negative (BlockD=%d BlockN=%d Workers=%d Sparsity=%d)",
+			ErrBadOptions, opts.BlockD, opts.BlockN, opts.Workers, opts.Sparsity)
 	}
 	if opts.Sched < SchedWeighted || opts.Sched > SchedUniform {
 		return nil, fmt.Errorf("%w: unknown scheduler %d", ErrBadOptions, int(opts.Sched))
@@ -165,10 +177,21 @@ func NewPlan(a *sparse.CSC, d int, opts Options) (*Plan, error) {
 	p := &Plan{d: d, n: a.N, opts: opts, schedIs: opts.Sched, gate: make(chan struct{}, 1)}
 	p.refs.Store(1)
 
+	// Resolve the sparse-family nonzero count once: the default ⌈√d⌉ rule,
+	// the [1, d] clamp and the CountSketch s=1 pin all happen here, so the
+	// kernels, the cost model and PlanStats agree on one effective s.
+	if rng.IsSparse(opts.Dist) {
+		p.sparsity = rng.SJLTSparsity(opts.Dist, opts.Sparsity, d)
+		p.sjltScale = rng.SJLTScale(p.sparsity)
+		p.opts.Sparsity = p.sparsity
+	} else {
+		p.opts.Sparsity = 0
+	}
+
 	// Resolve AlgAuto once, at plan time (the inspector of §III-B).
 	alg := opts.Algorithm
 	if alg == AlgAuto {
-		alg = ChooseAlgorithm(a, d, opts, opts.RNGCost, 0)
+		alg = ChooseAlgorithm(a, d, p.opts, opts.RNGCost, 0)
 	}
 	p.alg = alg
 	p.opts.Algorithm = alg
@@ -199,7 +222,13 @@ func NewPlan(a *sparse.CSC, d int, opts Options) (*Plan, error) {
 		src.Scale(rng.Scale31)
 	}
 	p.a = src
-	p.flops = 2 * int64(d) * int64(a.NNZ())
+	if p.sparsity > 0 {
+		// Sparse family: each stored entry of A meets only the s nonzeros
+		// of its S column, not all d rows.
+		p.flops = 2 * int64(p.sparsity) * int64(a.NNZ())
+	} else {
+		p.flops = 2 * int64(d) * int64(a.NNZ())
+	}
 
 	// Resolve the worker budget before partitioning: the slab target
 	// scales with it. The final worker count is re-clamped to the task
@@ -223,7 +252,7 @@ func NewPlan(a *sparse.CSC, d int, opts Options) (*Plan, error) {
 		p.colStart, p.stats.SlabsSplit, p.stats.SlabsFused =
 			colPartition(src, bn, targetSlabCount(w, blockRows, a.N))
 	}
-	p.tasks = makeWeightedTasks(d, bd, src, p.colStart)
+	p.tasks = makeWeightedTasks(d, bd, src, p.colStart, p.sparsity)
 
 	if w > len(p.tasks) {
 		w = len(p.tasks)
@@ -249,10 +278,16 @@ func NewPlan(a *sparse.CSC, d int, opts Options) (*Plan, error) {
 
 	p.ws = make([]*workspace, w)
 	for i := range p.ws {
-		p.ws[i] = &workspace{
+		ws := &workspace{
 			s: rng.NewSampler(rng.NewSource(opts.Source, opts.Seed), opts.Dist),
-			v: make([]float64, bd),
 		}
+		if p.sparsity > 0 {
+			ws.pos = make([]int, p.sparsity)
+			ws.sval = make([]float64, p.sparsity)
+		} else {
+			ws.v = make([]float64, bd)
+		}
+		p.ws[i] = ws
 	}
 	p.busyBuf = make([]time.Duration, w)
 	if p.schedIs != SchedUniform && w > 1 {
@@ -262,6 +297,7 @@ func NewPlan(a *sparse.CSC, d int, opts Options) (*Plan, error) {
 	p.stats.Algorithm = alg
 	p.stats.BlockD, p.stats.BlockN = bd, bn
 	p.stats.Workers = w
+	p.stats.Sparsity = p.sparsity
 	p.stats.Tasks = len(p.tasks)
 	p.stats.Scheduler = p.schedIs
 	p.stats.Slabs = nSlabs
@@ -554,6 +590,27 @@ func (p *Plan) runTask(t blockTask, ws *workspace) {
 	}
 	sub := &ws.sub
 	p.curAhat.ViewInto(sub, t.i0, t.j0, t.d1, t.n1)
+	if p.sparsity > 0 {
+		// Sparse family: scatter kernels, s nonzeros per S column. The
+		// draw is keyed off the global column index alone (see rng), so
+		// blockRow only selects which positions land in this block.
+		if p.alg == Alg4 {
+			slab := p.blocked.Blocks[t.slab]
+			if p.opts.Timed {
+				ws.samples += kernels.Kernel4SJLTTimed(sub, slab, uint64(t.i0), ws.s, p.d, p.sparsity, p.sjltScale, ws.pos, ws.sval, &ws.sampleTime)
+			} else {
+				ws.samples += kernels.Kernel4SJLT(sub, slab, uint64(t.i0), ws.s, p.d, p.sparsity, p.sjltScale, ws.pos, ws.sval)
+			}
+			return
+		}
+		slab := p.slabs[t.slab]
+		if p.opts.Timed {
+			ws.samples += kernels.Kernel3SJLTTimed(sub, slab, uint64(t.i0), ws.s, p.d, p.sparsity, p.sjltScale, ws.pos, ws.sval, &ws.sampleTime)
+		} else {
+			ws.samples += kernels.Kernel3SJLT(sub, slab, uint64(t.i0), ws.s, p.d, p.sparsity, p.sjltScale, ws.pos, ws.sval)
+		}
+		return
+	}
 	if p.alg == Alg4 {
 		slab := p.blocked.Blocks[t.slab]
 		if p.opts.Timed {

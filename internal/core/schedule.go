@@ -175,9 +175,12 @@ func colPartition(a *sparse.CSC, bn, targetSlabs int) (colStart []int, splits, f
 // makeWeightedTasks builds the outer-block task list over an arbitrary
 // column partition, weighting each cell by nnz(slab)·d1 — the kernel cost
 // model shared by Alg3 (sample count) and Alg4 (update stream length).
+// For the sparse sketch family (sparsity s > 0) a cell's cost is
+// nnz(slab)·s instead: the scatter kernels draw and write s entries per
+// S column regardless of the block height, so d1 drops out of the weight.
 // Slab-outer, block-row-inner order matches Algorithm 1's loop nesting and
 // the PR-1 task order on a uniform partition.
-func makeWeightedTasks(d, bd int, a *sparse.CSC, colStart []int) []blockTask {
+func makeWeightedTasks(d, bd int, a *sparse.CSC, colStart []int, sparsity int) []blockTask {
 	nSlabs := len(colStart) - 1
 	blockRows := (d + bd - 1) / bd
 	tasks := make([]blockTask, 0, nSlabs*blockRows)
@@ -189,9 +192,13 @@ func makeWeightedTasks(d, bd int, a *sparse.CSC, colStart []int) []blockTask {
 			if i0+d1 > d {
 				d1 = d - i0
 			}
+			w := nnz * int64(d1)
+			if sparsity > 0 {
+				w = nnz * int64(sparsity)
+			}
 			tasks = append(tasks, blockTask{
 				i0: i0, d1: d1, j0: j0, n1: j1 - j0,
-				slab: k, weight: nnz * int64(d1),
+				slab: k, weight: w,
 			})
 		}
 	}

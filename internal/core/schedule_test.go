@@ -120,7 +120,7 @@ func TestColPartitionDegenerate(t *testing.T) {
 func TestMakeWeightedTasks(t *testing.T) {
 	a := sparse.RandomUniform(300, 100, 0.05, 11)
 	// d < bd: a single short block row.
-	tasks := makeWeightedTasks(20, 64, a, sparse.UniformColSplit(a.N, 30))
+	tasks := makeWeightedTasks(20, 64, a, sparse.UniformColSplit(a.N, 30), 0)
 	if len(tasks) != 4 {
 		t.Fatalf("%d tasks, want 4 (1 block row × 4 slabs)", len(tasks))
 	}
@@ -137,13 +137,13 @@ func TestMakeWeightedTasks(t *testing.T) {
 		t.Fatalf("total weight %d, want nnz·d = %d", got, want)
 	}
 	// Multiple block rows: weights sum to nnz·d regardless of the split.
-	tasks = makeWeightedTasks(50, 16, a, sparse.UniformColSplit(a.N, 13))
+	tasks = makeWeightedTasks(50, 16, a, sparse.UniformColSplit(a.N, 13), 0)
 	if got, want := sumWeights(tasks), int64(a.NNZ())*50; got != want {
 		t.Fatalf("multi-row total weight %d, want %d", got, want)
 	}
 	// Slab indices address the partition, not j0/bn.
 	colStart := []int{0, 3, 40, 100}
-	tasks = makeWeightedTasks(10, 10, a, colStart)
+	tasks = makeWeightedTasks(10, 10, a, colStart, 0)
 	for i, tk := range tasks {
 		if tk.slab != i {
 			t.Fatalf("task %d slab %d", i, tk.slab)

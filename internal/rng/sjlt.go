@@ -1,0 +1,78 @@
+package rng
+
+import "math"
+
+// sjltBase is the reserved stream checkpoint row used to draw an SJLT
+// column's positions and signs: FillSJLTColumn repositions the source at
+// (sjltBase, j) rather than at the kernel's block-row checkpoint. Keying
+// the draw off the global column index j alone makes the sparse column a
+// pure function of (seed, source, d, s, j) — identical under any blocking,
+// worker count, scheduler, or shard split, for both the xoshiro reseeding
+// scheme and the Philox counter. Kernel checkpoints use r = blockRow,
+// which is far below 2⁶², so the streams can never collide.
+const sjltBase uint64 = 1 << 62
+
+// SJLTSparsity resolves the effective per-column nonzero count s for a
+// sparse-family distribution at sketch dimension d. CountSketch is pinned
+// to s = 1; SJLT uses the requested value, defaulting to ⌈√d⌉ when
+// requested ≤ 0 (the 1/√d-density rule from the sparse-JL literature),
+// and clamps to [1, d] (s ≥ d degenerates to a dense ±1/√s column set).
+// Non-sparse distributions return 0.
+func SJLTSparsity(dist Distribution, requested, d int) int {
+	if !IsSparse(dist) {
+		return 0
+	}
+	if d <= 0 {
+		return 1
+	}
+	if dist == CountSketch {
+		return 1
+	}
+	s := requested
+	if s <= 0 {
+		s = int(math.Ceil(math.Sqrt(float64(d))))
+	}
+	if s < 1 {
+		s = 1
+	}
+	if s > d {
+		s = d
+	}
+	return s
+}
+
+// SJLTScale is the nonzero magnitude 1/√s, chosen so E[S_ij²] = 1/d and
+// sketches across the family are directly comparable at equal d. For the
+// bit-exactness tests note 1/√s is a power of two iff s is a power of four
+// (s = 1, 4, 16, ...); only those sparsities make SJLT linearity exact in
+// floating point.
+func SJLTScale(s int) float64 { return 1 / math.Sqrt(float64(s)) }
+
+// FillSJLTColumn regenerates column j of the sparse sketching matrix S:
+// row positions into pos[:s] (strictly ascending, all in [0, d)) and
+// signed values ±scale into val[:s]. The block/OSNAP construction
+// partitions [0, d) into s contiguous blocks — the first d%s of size
+// ⌊d/s⌋+1, the rest ⌊d/s⌋ — and places exactly one nonzero per block:
+// position = blockStart + word % blockSize, sign = bit 63 of the word.
+// One raw word per nonzero; the draw always starts at the reserved
+// checkpoint (sjltBase, j), so callers need not (and must not) SetState
+// around it. pos and val must have length ≥ s.
+func (sp *Sampler) FillSJLTColumn(j uint64, d, s int, scale float64, pos []int, val []float64) {
+	sp.src.SetState(sjltBase, j)
+	sp.zig.reset()
+	w := sp.raw(s)
+	q, rem := d/s, d%s
+	start := 0
+	for b := 0; b < s; b++ {
+		size := q
+		if b < rem {
+			size++
+		}
+		u := w[b]
+		pos[b] = start + int(u%uint64(size))
+		// Branch-free ±scale from the top bit (independent of the
+		// position bits for any blockSize far below 2⁶³).
+		val[b] = scale * (1 - 2*float64(u>>63))
+		start += size
+	}
+}

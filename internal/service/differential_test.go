@@ -97,15 +97,15 @@ func assertBitIdentical(t *testing.T, label string, want, got *dense.Matrix) {
 }
 
 // TestDifferentialServiceVsOneShot sweeps the configuration product —
-// 9 shapes × 4 distributions × 3 schedulers with workers, algorithm,
-// density and blocking cycling deterministically — for 108 sampled
+// 9 shapes × 6 distributions × 3 schedulers with workers, algorithm,
+// density and blocking cycling deterministically — for 162 sampled
 // configurations (well past the 48-configuration acceptance floor). Each
 // one asserts service ≡ one-shot on the miss path AND on the cache-hit
 // path, while a deliberately small cache capacity keeps evictions flowing
 // underneath.
 func TestDifferentialServiceVsOneShot(t *testing.T) {
 	shapes := diffShapes()
-	dists := []rng.Distribution{rng.Uniform11, rng.Rademacher, rng.Gaussian, rng.ScaledInt}
+	dists := []rng.Distribution{rng.Uniform11, rng.Rademacher, rng.Gaussian, rng.ScaledInt, rng.SJLT, rng.CountSketch}
 	scheds := []core.Scheduler{core.SchedWeighted, core.SchedNoSteal, core.SchedUniform}
 	workerChoices := []int{1, 2, 4, 8}
 	algChoices := []core.Algorithm{core.Alg3, core.Alg4, core.AlgAuto}
@@ -136,6 +136,10 @@ func TestDifferentialServiceVsOneShot(t *testing.T) {
 					// plans even at these test sizes.
 					BlockD: []int{0, 13, 64}[r.Intn(3)],
 					BlockN: []int{0, 9}[r.Intn(2)],
+				}
+				if dist == rng.SJLT {
+					// Cycle explicit and default (⌈√d⌉) sparsity.
+					opts.Sparsity = []int{0, 1, 5}[(si+di+ci)%3]
 				}
 				label := fmt.Sprintf("%s/%v/%v/w%d/%v/dens%g",
 					sh.name, dist, sched, workers, alg, dens)

@@ -8,6 +8,7 @@ import (
 
 	"sketchsp/internal/core"
 	"sketchsp/internal/dense"
+	"sketchsp/internal/rng"
 	"sketchsp/internal/sparse"
 )
 
@@ -33,6 +34,42 @@ func TestServiceHitZeroAlloc(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("cache-hit path allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestServiceHitZeroAllocSJLT extends the zero-alloc gate to the
+// sparse-kernel execute path: a cache-hit SJLT request must be as
+// allocation-free as a dense one (the per-column position/value scratch is
+// plan-owned, never per-request). Named so CI's -run
+// 'TestServiceHitZeroAlloc' matches both gates.
+func TestServiceHitZeroAllocSJLT(t *testing.T) {
+	svc := New(Config{Capacity: 4, MaxInFlight: 2})
+	defer svc.Close()
+	a := sparse.RandomUniform(3000, 200, 0.01, 1)
+	d := 300
+	opts := core.Options{Seed: 9, Workers: 2, Dist: rng.SJLT, Sparsity: 6}
+	out := dense.NewMatrix(d, a.N)
+	ctx := context.Background()
+	if _, err := svc.SketchInto(ctx, out, a, d, opts); err != nil { // build + warm pool
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := svc.SketchInto(ctx, out, a, d, opts); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("SJLT cache-hit path allocates %.1f objects/op, want 0", allocs)
+	}
+	// A request with a different sparsity must key a different plan: two
+	// entries resident, not a silent collision.
+	opts2 := opts
+	opts2.Sparsity = 3
+	if _, err := svc.SketchInto(ctx, out, a, d, opts2); err != nil {
+		t.Fatal(err)
+	}
+	if got := svc.Stats().CachedPlans; got != 2 {
+		t.Fatalf("sparsity change reused a plan: %d cached plans, want 2", got)
 	}
 }
 

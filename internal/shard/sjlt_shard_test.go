@@ -1,0 +1,109 @@
+package shard
+
+import (
+	"context"
+	"testing"
+
+	"sketchsp/internal/core"
+	"sketchsp/internal/rng"
+	"sketchsp/internal/sparse"
+)
+
+// Sparse-sketch-family coverage for the shard path. The coordinator splits
+// on columns and sparse.ColSlice keeps global row indices, while
+// FillSJLTColumn draws each S column at a reserved checkpoint keyed only by
+// (seed, source, d, s, j) — so a worker sketching a slab regenerates
+// exactly the S columns the single-process sketch would use, and the merge
+// must be bit-identical even across worker-local blocking choices.
+
+// TestCoordinatorBitIdentitySJLT extends the tentpole guarantee of
+// TestCoordinatorBitIdentity to the sparse family: SJLT (explicit and
+// default sparsity, both sources) and CountSketch merged from 3 workers
+// equal the single-process sketch bit for bit.
+func TestCoordinatorBitIdentitySJLT(t *testing.T) {
+	_, urls := startWorkers(t, 3, nil)
+	c, err := New(Config{Peers: urls, Shards: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	matrices := map[string]*sparse.CSC{
+		"uniform":  sparse.RandomUniform(400, 60, 0.05, 11),
+		"powerlaw": sparse.PowerLaw(400, 60, 2000, 1.4, 12),
+	}
+	optsSet := map[string]core.Options{
+		"sjlt-s4":        {Dist: rng.SJLT, Sparsity: 4, Seed: 42, BlockD: 8, Workers: 1},
+		"sjlt-default-s": {Dist: rng.SJLT, Seed: 7, Algorithm: core.Alg4, Workers: 1},
+		"sjlt-philox":    {Dist: rng.SJLT, Sparsity: 6, Source: rng.SourcePhilox, Seed: 3, BlockN: 9, Workers: 1},
+		"countsketch":    {Dist: rng.CountSketch, Seed: 5, Workers: 1},
+	}
+	const d = 24
+	for mname, a := range matrices {
+		for oname, opts := range optsSet {
+			got, st, err := c.Sketch(context.Background(), a, d, opts)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", mname, oname, err)
+			}
+			assertBitIdentical(t, got, directSketch(t, a, d, opts))
+			if st.Flops <= 0 || st.Total <= 0 {
+				t.Fatalf("%s/%s: aggregated stats not populated: %+v", mname, oname, st)
+			}
+		}
+	}
+}
+
+// TestCoordinatorSJLTDegenerateShapes pushes the degenerate shapes through
+// the full split → wire → worker → merge path: matrices with empty column
+// runs (so some shards may carry zero nnz), s ≥ d clamping, s = 1, and an
+// m×0 input that yields no shards at all.
+func TestCoordinatorSJLTDegenerateShapes(t *testing.T) {
+	_, urls := startWorkers(t, 2, nil)
+	c, err := New(Config{Peers: urls, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const d = 12
+
+	// Columns 10..29 empty: nnz-balanced cuts collapse around the dense run,
+	// so empty columns travel inside shards and must merge to exact zeros.
+	holed := sparse.NewCOO(80, 30, 0)
+	base := sparse.RandomUniform(80, 10, 0.3, 71)
+	for j := 0; j < base.N; j++ {
+		rows, vals := base.ColView(j)
+		for k, i := range rows {
+			holed.Append(i, j, vals[k])
+		}
+	}
+	gappy := holed.ToCSC()
+
+	for name, opts := range map[string]core.Options{
+		"s-ge-d": {Dist: rng.SJLT, Sparsity: d + 5, Seed: 1, Workers: 1}, // clamps to s = d
+		"s-eq-1": {Dist: rng.SJLT, Sparsity: 1, Seed: 2, Workers: 1},
+		"cs":     {Dist: rng.CountSketch, Seed: 3, Workers: 1},
+	} {
+		got, _, err := c.Sketch(context.Background(), gappy, d, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		assertBitIdentical(t, got, directSketch(t, gappy, d, opts))
+		for j := base.N; j < gappy.N; j++ {
+			for i := 0; i < d; i++ {
+				if v := got.At(i, j); v != 0 {
+					t.Fatalf("%s: empty column %d merged to nonzero Â[%d]=%g", name, j, i, v)
+				}
+			}
+		}
+	}
+
+	// m×0: zero shards, zero-width result, no worker RPCs to trip on.
+	empty := &sparse.CSC{M: 50, N: 0, ColPtr: []int{0}}
+	got, _, err := c.Sketch(context.Background(), empty, d, core.Options{Dist: rng.SJLT, Sparsity: 3, Seed: 9, Workers: 1})
+	if err != nil {
+		t.Fatalf("m×0 through shard path: %v", err)
+	}
+	if got.Rows != d || got.Cols != 0 {
+		t.Fatalf("m×0 merged to %dx%d, want %dx0", got.Rows, got.Cols, d)
+	}
+}

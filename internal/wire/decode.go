@@ -145,17 +145,20 @@ func DecodeRequestInto(dst *SketchRequest, payload []byte) error {
 	blockN := int64(getU64(payload[48:]))
 	workers := int64(getU64(payload[56:]))
 	sched := int64(getU64(payload[64:]))
-	rngCost := math.Float64frombits(getU64(payload[72:]))
-	flags := payload[80]
+	sparsity := int64(getU64(payload[72:]))
+	rngCost := math.Float64frombits(getU64(payload[80:]))
+	flags := payload[88]
 
 	// Enum domains. These guards are load-bearing, not cosmetic: an
 	// out-of-domain Source or Dist would panic inside rng.NewSource /
 	// the sampler's fill switch, which a server facing untrusted bytes
-	// cannot afford.
+	// cannot afford. The Dist ceiling is rng.CountSketch, the last member
+	// of the sparse sketch family — an unknown enum value is rejected
+	// here, never silently mapped to a default distribution.
 	switch {
 	case alg < int64(core.AlgAuto) || alg > int64(core.Alg4):
 		return fmt.Errorf("%w: algorithm %d out of domain", ErrMalformed, alg)
-	case dist < int64(rng.Uniform11) || dist > int64(rng.Junk):
+	case dist < int64(rng.Uniform11) || dist > int64(rng.CountSketch):
 		return fmt.Errorf("%w: distribution %d out of domain", ErrMalformed, dist)
 	case src < int64(rng.SourceBatchXoshiro) || src > int64(rng.SourcePhilox):
 		return fmt.Errorf("%w: rng source %d out of domain", ErrMalformed, src)
@@ -165,6 +168,8 @@ func DecodeRequestInto(dst *SketchRequest, payload []byte) error {
 		return fmt.Errorf("%w: block sizes (%d, %d) out of domain", ErrMalformed, blockD, blockN)
 	case workers < 0 || workers > 1<<20:
 		return fmt.Errorf("%w: workers %d out of domain", ErrMalformed, workers)
+	case sparsity < 0 || sparsity > MaxDim:
+		return fmt.Errorf("%w: sparsity %d out of domain", ErrMalformed, sparsity)
 	case math.IsNaN(rngCost) || math.IsInf(rngCost, 0) || rngCost < 0:
 		return fmt.Errorf("%w: non-finite or negative RNGCost", ErrMalformed)
 	case flags&^3 != 0:
@@ -177,6 +182,7 @@ func DecodeRequestInto(dst *SketchRequest, payload []byte) error {
 	opts.BlockN = int(blockN)
 	opts.Workers = int(workers)
 	opts.Sched = core.Scheduler(sched)
+	opts.Sparsity = int(sparsity)
 	opts.RNGCost = rngCost
 	opts.Timed = flags&1 != 0
 	opts.TuneBlockN = flags&2 != 0

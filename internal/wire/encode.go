@@ -68,8 +68,8 @@ func AppendDense(dst []byte, m *dense.Matrix) []byte {
 }
 
 // requestFixedSize is the fixed-width prefix of a request payload before
-// the embedded CSC: d, seed, 7 option integers, rngCost, flag byte.
-const requestFixedSize = 8 + 8 + 7*8 + 8 + 1
+// the embedded CSC: d, seed, 8 option integers, rngCost, flag byte.
+const requestFixedSize = 8 + 8 + 8*8 + 8 + 1
 
 // AppendRequest appends the request payload for (d, opts, a) to dst.
 func AppendRequest(dst []byte, d int, opts core.Options, a *sparse.CSC) []byte {
@@ -82,6 +82,7 @@ func AppendRequest(dst []byte, d int, opts core.Options, a *sparse.CSC) []byte {
 	dst = appendU64(dst, uint64(int64(opts.BlockN)))
 	dst = appendU64(dst, uint64(int64(opts.Workers)))
 	dst = appendU64(dst, uint64(int64(opts.Sched)))
+	dst = appendU64(dst, uint64(int64(opts.Sparsity)))
 	dst = appendU64(dst, math.Float64bits(opts.RNGCost))
 	var flags byte
 	if opts.Timed {

@@ -59,6 +59,19 @@ func FuzzWireRoundtrip(f *testing.F) {
 	f.Add(mustFrame(MsgShardResponse, AppendShardResponse(nil, &ShardResponse{
 		Status: StatusClosed, Detail: "draining",
 	})))
+	// Sparse sketch family: a valid SJLT request (explicit sparsity), a
+	// CountSketch request (default sparsity), and — the rejection seed —
+	// a request whose dist field is one past the last known Distribution,
+	// which must come back ErrMalformed, not decode to a default.
+	f.Add(mustFrame(MsgSketchRequest, AppendRequest(nil, 8, core.Options{
+		Dist: rng.SJLT, Sparsity: 3, Seed: 7,
+	}, shapes["emptycols"])))
+	f.Add(mustFrame(MsgSketchRequest, AppendRequest(nil, 5, core.Options{
+		Dist: rng.CountSketch, Source: rng.SourcePhilox,
+	}, shapes["degenerate-0xn"])))
+	f.Add(mustFrame(MsgSketchRequest, AppendRequest(nil, 4, core.Options{
+		Dist: rng.CountSketch + 1,
+	}, shapes["emptycols"])))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		const limit = 1 << 22

@@ -12,9 +12,9 @@
 //
 //	offset  size  field
 //	0       3     magic "SKW"
-//	3       1     version (currently 1)
+//	3       1     version (currently 2)
 //	4       1     message type (MsgType)
-//	5       1     flags (must be 0 in version 1)
+//	5       1     flags (must be 0 in version 2)
 //	6       2     reserved (must be 0)
 //	8       4     payload length (uint32)
 //	12      ...   payload
@@ -33,8 +33,13 @@
 // Sketch request (MsgSketchRequest):
 //
 //	u64 d | u64 seed | i64 algorithm | i64 dist | i64 source |
-//	i64 blockD | i64 blockN | i64 workers | i64 sched | f64 rngCost |
-//	u8 flags (bit0 Timed, bit1 TuneBlockN) | CSC payload (to end of frame)
+//	i64 blockD | i64 blockN | i64 workers | i64 sched | i64 sparsity |
+//	f64 rngCost | u8 flags (bit0 Timed, bit1 TuneBlockN) |
+//	CSC payload (to end of frame)
+//
+// (version 2 inserted the sparse-sketch-family i64 sparsity field after
+// sched; version-1 frames are rejected by the version check, never
+// misparsed.)
 //
 // Sketch response (MsgSketchResponse):
 //
@@ -72,7 +77,8 @@ import (
 )
 
 // Version is the frame format version this package encodes and accepts.
-const Version = 1
+// Version 2 added the request sparsity field (sparse sketch family).
+const Version = 2
 
 // HeaderSize is the fixed frame-header length preceding every payload.
 const HeaderSize = 12

@@ -127,6 +127,8 @@ func TestRequestRoundtrip(t *testing.T) {
 			Seed: 42, BlockD: 128, BlockN: 33, Workers: 4, Timed: true,
 			RNGCost: 2.5, TuneBlockN: true, Sched: core.SchedUniform},
 		{Algorithm: core.Alg4, Dist: rng.ScaledInt, Seed: ^uint64(0), Sched: core.SchedNoSteal},
+		{Dist: rng.SJLT, Sparsity: 9, Seed: 3},
+		{Algorithm: core.Alg3, Dist: rng.CountSketch, Source: rng.SourcePhilox, Workers: 2},
 	}
 	for name, a := range testCSCs() {
 		for i, opts := range optsList {
@@ -352,6 +354,29 @@ func TestDecodeRejectsBrokenPayloads(t *testing.T) {
 		putU64(mut[off:], uint64(int64(99)))
 		if _, err := DecodeRequest(mut); !errors.Is(err, ErrMalformed) {
 			t.Errorf("enum at offset %d: %v", off, err)
+		}
+	}
+	// Distribution one past the last member of the sparse family must be
+	// rejected as malformed, never fall back to a default distribution.
+	distMut := append([]byte{}, req...)
+	putU64(distMut[24:], uint64(int64(rng.CountSketch)+1))
+	if _, err := DecodeRequest(distMut); !errors.Is(err, ErrMalformed) {
+		t.Errorf("dist past CountSketch: %v", err)
+	}
+	// ... while every in-domain distribution decodes.
+	for d := rng.Uniform11; d <= rng.CountSketch; d++ {
+		ok := append([]byte{}, req...)
+		putU64(ok[24:], uint64(int64(d)))
+		if _, err := DecodeRequest(ok); err != nil {
+			t.Errorf("dist %v rejected: %v", d, err)
+		}
+	}
+	// Negative or absurd sparsity is out of domain.
+	for _, sp := range []int64{-1, int64(MaxDim) + 1} {
+		mut := append([]byte{}, req...)
+		putU64(mut[72:], uint64(sp))
+		if _, err := DecodeRequest(mut); !errors.Is(err, ErrMalformed) {
+			t.Errorf("sparsity %d: %v", sp, err)
 		}
 	}
 	// Unknown response status.

@@ -149,6 +149,14 @@ const (
 	// ScaledInt uses the integer scaling trick: S holds raw int32 values
 	// and A is pre-scaled by 2⁻³¹.
 	ScaledInt = rng.ScaledInt
+	// SJLT draws s-sparse Johnson–Lindenstrauss columns: exactly s
+	// nonzeros per column, valued ±1/√s, regenerated per global column
+	// index. Options.Sparsity selects s (0 = ⌈√d⌉); per-column work drops
+	// from O(d) to O(s).
+	SJLT = rng.SJLT
+	// CountSketch is the s=1 member of the sparse family: one ±1 nonzero
+	// per column.
+	CountSketch = rng.CountSketch
 )
 
 // RNG engines.
