@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci build test vet race bench bench-json
+.PHONY: ci build test vet race bench bench-json fuzz-smoke
 
-ci: vet test race
+ci: vet test race fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,13 @@ race:
 	$(GO) test -race -count=2 ./internal/service/...
 	$(GO) test -race ./internal/obs/... ./internal/server/...
 	$(GO) test -race ./internal/shard/...
+	$(GO) test -race -count=2 ./internal/store/...
+
+# Short coverage-guided run of the wire fuzzer (v3 frames: by-ref and
+# delta messages included); the committed corpus seeds always replay, this
+# adds a few seconds of mutation on top as a PR smoke.
+fuzz-smoke:
+	$(GO) test ./internal/wire -run FuzzWireRoundtrip -fuzz FuzzWireRoundtrip -fuzztime 5s
 
 bench:
 	$(GO) test -bench . -benchtime 1x ./...
@@ -39,7 +46,9 @@ bench:
 # record repeats the HTTP replay with -scrape, folding the /metrics series
 # (cache traffic, shed, stage latency sums) into the JSON. The PR6 record
 # replays the same mix through a shard coordinator over 1/2/4 loopback
-# sketchd worker processes and writes the scaling curve.
+# sketchd worker processes and writes the scaling curve. The PR8 record is
+# the content-addressed A/B: repeat sketches of one ~2 MB matrix inline vs
+# by fingerprint, plus the incremental ΔA patch, with bit-identity checks.
 bench-json:
 	$(GO) run ./cmd/spmmbench -skew -scale 0.05 -json BENCH_PR2.json
 	$(GO) test -run - -bench BenchmarkServiceHit -benchtime 100x .
@@ -48,3 +57,4 @@ bench-json:
 	$(GO) run ./cmd/spmmbench -serve-http -scrape -scale 0.05 -json BENCH_PR5.json
 	$(GO) run ./cmd/spmmbench -serve-shard -json BENCH_PR6.json
 	$(GO) run ./cmd/spmmbench -skew -scale 0.05 -json BENCH_PR7.json
+	$(GO) run ./cmd/spmmbench -byref -requests 200 -json BENCH_PR8.json

@@ -55,6 +55,8 @@ func main() {
 		maxSketch      = flag.Int64("max-sketch", 1<<30, "largest sketch (8*d*n bytes) a request may demand")
 		drainTimeout   = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
 		pprofOn        = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the serving port")
+		storeMB        = flag.Int64("store-mb", 0, "content-addressed matrix store budget in MiB (0 = default 256, negative = unbounded)")
+		sketchCacheMB  = flag.Int64("sketch-cache-mb", 0, "cached-sketch (Â) budget in MiB for by-reference serving (0 = default 64, negative = unbounded)")
 
 		peers        = flag.String("peers", "", "comma-separated worker base URLs; non-empty switches to coordinator mode")
 		shards       = flag.Int("shards", 0, "column shards per request in coordinator mode (0 = one per peer)")
@@ -91,6 +93,7 @@ func main() {
 			Peers:        peerList,
 			Shards:       *shards,
 			PeerCooldown: *peerCooldown,
+			StoreBytes:   *storeMB << 20,
 		})
 		if err != nil {
 			log.Fatalf("sketchd: coordinator: %v", err)
@@ -101,10 +104,12 @@ func main() {
 		mode = fmt.Sprintf("coordinator over %d peers, %d shards/request", len(coord.Peers()), *shards)
 	} else {
 		svc := service.New(service.Config{
-			Capacity:       *cache,
-			MaxInFlight:    *maxInFlight,
-			MaxQueue:       *maxQueue,
-			RequestTimeout: *requestTimeout,
+			Capacity:         *cache,
+			MaxInFlight:      *maxInFlight,
+			MaxQueue:         *maxQueue,
+			RequestTimeout:   *requestTimeout,
+			StoreBytes:       *storeMB << 20,
+			SketchCacheBytes: *sketchCacheMB << 20,
 		})
 		srv = server.New(svc, cfg)
 		cleanup = svc.Close

@@ -128,7 +128,7 @@ func (c *Client) Sketch(ctx context.Context, a *sparse.CSC, d int, opts core.Opt
 	if err != nil {
 		return nil, core.Stats{}, err
 	}
-	payload, err := c.do(ctx, body)
+	payload, err := c.do(ctx, http.MethodPost, "/v1/sketch", body)
 	if err != nil {
 		return nil, core.Stats{}, err
 	}
@@ -159,7 +159,7 @@ func (c *Client) SketchBatch(ctx context.Context, reqs []wire.SketchRequest) ([]
 	if err != nil {
 		return nil, err
 	}
-	payload, err := c.do(ctx, body)
+	payload, err := c.do(ctx, http.MethodPost, "/v1/sketch", body)
 	if err != nil {
 		return nil, err
 	}
@@ -192,7 +192,7 @@ func (c *Client) SketchShard(ctx context.Context, req *wire.ShardRequest) (*wire
 	if err != nil {
 		return nil, err
 	}
-	payload, err := c.do(ctx, body)
+	payload, err := c.do(ctx, http.MethodPost, "/v1/sketch", body)
 	if err != nil {
 		return nil, err
 	}
@@ -206,17 +206,17 @@ func (c *Client) SketchShard(ctx context.Context, req *wire.ShardRequest) (*wire
 	return resp, nil
 }
 
-// do POSTs the frame in body to /v1/sketch until it gets a decodable
+// do sends the frame in body to path until it gets a decodable
 // response payload, a non-retryable failure, or runs out of retries. The
 // response payload is returned undecoded so single and batch callers share
 // the retry loop.
-func (c *Client) do(ctx context.Context, body []byte) ([]byte, error) {
+func (c *Client) do(ctx context.Context, method, path string, body []byte) ([]byte, error) {
 	c.met.request()
 	sp := c.met.span()
 	defer sp.End()
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		payload, err := c.attempt(ctx, body)
+		payload, err := c.attempt(ctx, method, path, body)
 		if err == nil {
 			return payload, nil
 		}
@@ -232,16 +232,16 @@ func (c *Client) do(ctx context.Context, body []byte) ([]byte, error) {
 	}
 }
 
-// attempt performs one POST. Failures a retry could cure (transport errors,
+// attempt performs one HTTP exchange. Failures a retry could cure (transport errors,
 // StatusOverloaded responses) come back retryable; everything else is final.
-func (c *Client) attempt(ctx context.Context, body []byte) ([]byte, error) {
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte) ([]byte, error) {
 	actx := ctx
 	if c.cfg.AttemptTimeout > 0 {
 		var cancel context.CancelFunc
 		actx, cancel = context.WithTimeout(ctx, c.cfg.AttemptTimeout)
 		defer cancel()
 	}
-	req, err := http.NewRequestWithContext(actx, http.MethodPost, c.base+"/v1/sketch", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(actx, method, c.base+path, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
@@ -286,7 +286,7 @@ func (c *Client) attempt(ctx context.Context, body []byte) ([]byte, error) {
 		// error page, a truncated stream) is a transport-level problem.
 		return nil, &transportError{err: fmt.Errorf("http %d: %w", hres.StatusCode, err)}
 	}
-	if t != wire.MsgSketchResponse && t != wire.MsgBatchResponse && t != wire.MsgShardResponse {
+	if t != wire.MsgSketchResponse && t != wire.MsgBatchResponse && t != wire.MsgShardResponse && t != wire.MsgMatrixInfo {
 		return nil, fmt.Errorf("%w: unexpected response frame type %v", wire.ErrMalformed, t)
 	}
 	// Surface retryable wire statuses before handing the payload back, so
@@ -305,6 +305,17 @@ func (c *Client) attempt(ctx context.Context, body []byte) ([]byte, error) {
 // decode stays the single full decode), and the one decode below is of an
 // error item, which carries only a detail string.
 func statusPeek(t wire.MsgType, payload []byte) error {
+	if t == wire.MsgMatrixInfo {
+		st, err := wire.PeekStatus(payload)
+		if err != nil || !st.Retryable() {
+			return err
+		}
+		info, err := wire.DecodeMatrixInfo(payload)
+		if err != nil {
+			return err
+		}
+		return info.Err()
+	}
 	if t == wire.MsgSketchResponse || t == wire.MsgShardResponse {
 		st, err := wire.PeekStatus(payload)
 		if err != nil || !st.Retryable() {

@@ -7,12 +7,15 @@
 //
 // Endpoints:
 //
-//	POST /v1/sketch   wire.MsgSketchRequest or wire.MsgBatchRequest body;
-//	                  responds with the matching response frame. The HTTP
-//	                  status mirrors the wire status (200 OK, 400 invalid,
+//	POST /v1/sketch   wire.MsgSketchRequest, wire.MsgBatchRequest or
+//	                  wire.MsgSketchRef body; responds with the matching
+//	                  response frame. The HTTP status mirrors the wire
+//	                  status (200 OK, 400 invalid, 404 unknown fingerprint,
 //	                  429 overloaded, 503 draining/closed, 504 deadline),
 //	                  but clients should classify by the wire status — it
 //	                  survives proxies that rewrite HTTP codes.
+//	PUT  /v1/matrix   upload a matrix into the content-addressed store;
+//	PATCH /v1/matrix/{fp}  apply a sparse delta — see matrix.go.
 //	GET  /healthz     "ok" while serving, 503 once draining.
 //	GET  /stats       JSON snapshot: the service counters, the raw log₂
 //	                  latency histogram with p50/p90/p95/p99 (via
@@ -144,6 +147,8 @@ func newServer(b service.Backend, cfg Config) *Server {
 		met: newHTTPMetrics(cfg.Metrics)}
 	s.scratch.New = func() interface{} { return new(reqScratch) }
 	s.mux.HandleFunc("/v1/sketch", s.handleSketch)
+	s.mux.HandleFunc("/v1/matrix", s.handleMatrixPut)
+	s.mux.HandleFunc("/v1/matrix/", s.handleMatrixPatch)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.Handle("/metrics", cfg.Metrics.Handler())
@@ -227,6 +232,8 @@ func httpStatus(st wire.Status) int {
 		return 499 // client closed request (nginx convention)
 	case wire.StatusInternal:
 		return http.StatusInternalServerError
+	case wire.StatusNotFound:
+		return http.StatusNotFound
 	default: // invalid matrix / sketch size / options / malformed bytes
 		return http.StatusBadRequest
 	}
@@ -276,6 +283,8 @@ func (s *Server) handleSketch(w http.ResponseWriter, r *http.Request) {
 		s.serveBatch(ctx, w, payload, dsp)
 	case wire.MsgShardRequest:
 		s.serveShard(ctx, w, sc, payload, dsp)
+	case wire.MsgSketchRef:
+		s.serveSketchRef(ctx, w, sc, payload, dsp)
 	default:
 		dsp.End()
 		s.met.badRequests.Inc()
@@ -470,9 +479,12 @@ func (s *Server) checkSketchSize(d, n int) error {
 func (s *Server) writeError(w http.ResponseWriter, typ wire.MsgType, st wire.Status, detail string) {
 	resp := wire.SketchResponse{Status: st, Detail: detail}
 	var payload []byte
-	if typ == wire.MsgBatchResponse {
+	switch typ {
+	case wire.MsgBatchResponse:
 		payload = wire.AppendBatchResponse(nil, []wire.SketchResponse{resp})
-	} else {
+	case wire.MsgMatrixInfo:
+		payload = wire.AppendMatrixInfo(nil, &wire.MatrixInfo{Status: st, Detail: detail})
+	default:
 		payload = wire.AppendResponse(nil, &resp)
 	}
 	// An error payload is a status byte plus a short detail string — it

@@ -6,6 +6,7 @@ import (
 	"sketchsp/internal/core"
 	"sketchsp/internal/dense"
 	"sketchsp/internal/sparse"
+	"sketchsp/internal/store"
 )
 
 // Backend is the shard-agnostic serving surface: everything a request
@@ -32,5 +33,27 @@ type Backend interface {
 	Close()
 }
 
-// The local service is the reference Backend.
-var _ Backend = (*Service)(nil)
+// RefBackend is the content-addressed extension of Backend: upload once,
+// sketch by fingerprint, update with sparse deltas. The additional
+// contract (DESIGN.md §12, pinned by the by-ref differential and
+// metamorphic suites):
+//
+//   - SketchRef(fp, d, opts) is bit-identical to Sketch(A, d, opts) for
+//     the stored A — by-reference changes bytes on the wire, never bits
+//     in the answer.
+//   - An unknown fingerprint fails with an error unwrapping to
+//     store.ErrNotFound; PutMatrix-then-retry is the cure.
+//   - PatchMatrix(fp, ΔA) makes A+ΔA addressable under its own
+//     fingerprint without disturbing fp — stored content is immutable.
+type RefBackend interface {
+	Backend
+	PutMatrix(ctx context.Context, a *sparse.CSC) (store.Info, error)
+	SketchRef(ctx context.Context, fp sparse.Fingerprint, d int, opts core.Options) (*dense.Matrix, core.Stats, error)
+	PatchMatrix(ctx context.Context, fp sparse.Fingerprint, delta *sparse.CSC) (store.Info, error)
+}
+
+// The local service is the reference Backend and RefBackend.
+var (
+	_ Backend    = (*Service)(nil)
+	_ RefBackend = (*Service)(nil)
+)

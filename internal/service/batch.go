@@ -85,7 +85,7 @@ func (s *Service) SketchBatch(ctx context.Context, reqs []Request) []Response {
 				return
 			}
 			defer s.exit()
-			p, e, err := s.plan(gctx, k, reqs[idxs[0]].A)
+			p, e, err := s.plan(gctx, k, planSrc{a: reqs[idxs[0]].A})
 			if err != nil {
 				fail(err)
 				return

@@ -1,0 +1,454 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"sketchsp/internal/core"
+	"sketchsp/internal/dense"
+	"sketchsp/internal/rng"
+	"sketchsp/internal/sparse"
+	"sketchsp/internal/store"
+)
+
+// refConfigs is the configuration grid the by-ref suites sweep: the three
+// sketch families the serving stack exposes by reference, each under both
+// the blocked xoshiro source and the counter-based Philox source.
+func refConfigs() []core.Options {
+	var out []core.Options
+	for _, src := range []rng.SourceKind{rng.SourceBatchXoshiro, rng.SourcePhilox} {
+		out = append(out,
+			core.Options{Dist: rng.Rademacher, Source: src, Seed: 11},
+			core.Options{Dist: rng.SJLT, Sparsity: 2, Source: src, Seed: 12},
+			core.Options{Dist: rng.CountSketch, Source: src, Seed: 13},
+		)
+	}
+	return out
+}
+
+// intCSC builds an m×n CSC with small-integer values, the regime where
+// sketch arithmetic is exact (±1 and ±1/√s times small ints accumulate
+// without rounding), so incremental and from-scratch sketches must agree
+// bit for bit, not merely within tolerance.
+func intCSC(m, n, nnz int, seed int64) *sparse.CSC {
+	r := rand.New(rand.NewSource(seed))
+	coo := sparse.NewCOO(m, n, nnz)
+	seen := make(map[[2]int]bool)
+	for len(seen) < nnz {
+		i, j := r.Intn(m), r.Intn(n)
+		if seen[[2]int{i, j}] {
+			continue
+		}
+		seen[[2]int{i, j}] = true
+		v := float64(r.Intn(7) - 3)
+		if v == 0 {
+			v = 4
+		}
+		coo.Append(i, j, v)
+	}
+	return coo.ToCSC()
+}
+
+// oneShot computes the reference Â with a fresh plan outside the service.
+func oneShot(t *testing.T, a *sparse.CSC, d int, opts core.Options) *dense.Matrix {
+	t.Helper()
+	p, err := core.NewPlan(a.Clone(), d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	ahat := dense.NewMatrix(d, a.N)
+	if _, err := p.Execute(ahat); err != nil {
+		t.Fatal(err)
+	}
+	return ahat
+}
+
+// sameBits fails unless x and y are identical down to the float bit
+// patterns (so ±0.0 and NaN payloads count as differences).
+func sameBits(t *testing.T, label string, x, y *dense.Matrix) {
+	t.Helper()
+	if x.Rows != y.Rows || x.Cols != y.Cols {
+		t.Fatalf("%s: shape %dx%d vs %dx%d", label, x.Rows, x.Cols, y.Rows, y.Cols)
+	}
+	for j := 0; j < x.Cols; j++ {
+		xc, yc := x.Col(j), y.Col(j)
+		for i := range xc {
+			if math.Float64bits(xc[i]) != math.Float64bits(yc[i]) {
+				t.Fatalf("%s: bit mismatch at (%d,%d): %x vs %x",
+					label, i, j, math.Float64bits(xc[i]), math.Float64bits(yc[i]))
+			}
+		}
+	}
+}
+
+// TestSketchRefDifferential pins the by-reference core contract: sketching
+// a stored matrix by fingerprint returns bit-identical results to the
+// inline path and to a one-shot plan, across the store-miss-then-upload,
+// plan-cache-hit, and Â-cache-hit paths, for every family×source config.
+func TestSketchRefDifferential(t *testing.T) {
+	ctx := context.Background()
+	for _, opts := range refConfigs() {
+		opts := opts
+		t.Run(fmt.Sprintf("%v-%v", opts.Dist, opts.Source), func(t *testing.T) {
+			svc := New(Config{})
+			defer svc.Close()
+			a := intCSC(60, 24, 180, 5)
+			const d = 8
+			want := oneShot(t, a, d, opts)
+
+			// Unknown fingerprint: by-ref must fail NotFound, not guess.
+			fp := a.Fingerprint()
+			if _, _, err := svc.SketchRef(ctx, fp, d, opts); !errors.Is(err, store.ErrNotFound) {
+				t.Fatalf("sketch-by-ref before upload: %v, want store.ErrNotFound", err)
+			}
+
+			// Upload then sketch by reference: the miss path executes a plan
+			// built from the stored matrix.
+			info, err := svc.PutMatrix(ctx, a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !info.Created || info.Fp != fp {
+				t.Fatalf("put: %+v, want created under %v", info, fp)
+			}
+			got, _, err := svc.SketchRef(ctx, fp, d, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameBits(t, "by-ref vs one-shot", got, want)
+
+			// Repeat request: served from the Â cache, no new plan build.
+			builds := svc.Stats().Builds
+			again, _, err := svc.SketchRef(ctx, fp, d, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameBits(t, "by-ref repeat (Â-cache hit)", again, want)
+			if b := svc.Stats().Builds; b != builds {
+				t.Fatalf("repeat by-ref built a plan (%d -> %d builds)", builds, b)
+			}
+
+			// Inline path on the same service: one answer per (A, d, opts),
+			// however the matrix arrives.
+			inline, _, err := svc.Sketch(ctx, a, d, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameBits(t, "inline vs by-ref", inline, want)
+		})
+	}
+}
+
+// TestSketchRefPostEvictReupload drives the full 404 cure: a matrix evicted
+// by the store's byte budget turns by-ref requests into NotFound until the
+// client re-uploads, after which the bits match the pre-eviction answer.
+func TestSketchRefPostEvictReupload(t *testing.T) {
+	ctx := context.Background()
+	a := intCSC(60, 24, 180, 6)
+	b := intCSC(60, 24, 180, 7)
+	// Budget fits one matrix: the second upload evicts the first (nothing
+	// pins it — no sketch has been taken, so no plan holds a handle).
+	svc := New(Config{StoreBytes: a.MemoryBytes() + 16})
+	defer svc.Close()
+	opts := core.Options{Dist: rng.SJLT, Sparsity: 2, Seed: 9}
+	const d = 8
+	want := oneShot(t, a, d, opts)
+
+	if _, err := svc.PutMatrix(ctx, a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.PutMatrix(ctx, b); err != nil {
+		t.Fatal(err)
+	}
+	if svc.Store().Contains(a.Fingerprint()) {
+		t.Fatal("a must have been evicted by b's upload")
+	}
+	if _, _, err := svc.SketchRef(ctx, a.Fingerprint(), d, opts); !errors.Is(err, store.ErrNotFound) {
+		t.Fatalf("post-evict sketch: %v, want store.ErrNotFound", err)
+	}
+	// The cure: upload again (b is evicted in turn), then sketch.
+	if _, err := svc.PutMatrix(ctx, a); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := svc.SketchRef(ctx, a.Fingerprint(), d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameBits(t, "post-evict re-upload", got, want)
+}
+
+// patchDelta builds a ΔA for base that exercises the degenerate shapes in
+// one matrix: a brand-new entry, an entry in a column base leaves empty,
+// and an entry that exactly cancels an existing value of base.
+func patchDelta(t *testing.T, base *sparse.CSC, emptyCol int) *sparse.CSC {
+	t.Helper()
+	if base.ColPtr[emptyCol+1] != base.ColPtr[emptyCol] {
+		t.Fatalf("column %d of base is not empty", emptyCol)
+	}
+	// Find an existing entry to cancel.
+	var ci, cj int
+	var cv float64
+	found := false
+	for j := 0; j < base.N && !found; j++ {
+		if base.ColPtr[j+1] > base.ColPtr[j] {
+			p := base.ColPtr[j]
+			ci, cj, cv = base.RowIdx[p], j, base.Val[p]
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("base has no entries to cancel")
+	}
+	coo := sparse.NewCOO(base.M, base.N, 3)
+	coo.Append(ci, cj, -cv)            // cancels to exact zero: entry drops out
+	coo.Append(base.M-1, emptyCol, 2)  // lands in a previously empty column
+	coo.Append(base.M/2, base.N-1, -3) // plain new entry
+	return coo.ToCSC()
+}
+
+// intCSCWithEmptyCol is intCSC with one column guaranteed empty.
+func intCSCWithEmptyCol(m, n, nnz int, seed int64, emptyCol int) *sparse.CSC {
+	r := rand.New(rand.NewSource(seed))
+	coo := sparse.NewCOO(m, n, nnz)
+	seen := make(map[[2]int]bool)
+	for len(seen) < nnz {
+		i, j := r.Intn(m), r.Intn(n)
+		if j == emptyCol || seen[[2]int{i, j}] {
+			continue
+		}
+		seen[[2]int{i, j}] = true
+		v := float64(r.Intn(7) - 3)
+		if v == 0 {
+			v = 4
+		}
+		coo.Append(i, j, v)
+	}
+	return coo.ToCSC()
+}
+
+// TestPatchMetamorphic pins the incremental-update law sketch(A) + sketch(ΔA)
+// == sketch(A+ΔA) end to end: after PatchMatrix, sketching the new
+// fingerprint returns exactly the bits of a from-scratch sketch of the
+// merged matrix — served from the incrementally advanced Â cache, with no
+// plan ever built over the merged matrix.
+func TestPatchMetamorphic(t *testing.T) {
+	ctx := context.Background()
+	const emptyCol = 5
+	for _, opts := range refConfigs() {
+		opts := opts
+		t.Run(fmt.Sprintf("%v-%v", opts.Dist, opts.Source), func(t *testing.T) {
+			svc := New(Config{})
+			defer svc.Close()
+			a := intCSCWithEmptyCol(60, 24, 150, 21, emptyCol)
+			delta := patchDelta(t, a, emptyCol)
+			const d = 8
+
+			if _, err := svc.PutMatrix(ctx, a); err != nil {
+				t.Fatal(err)
+			}
+			base, _, err := svc.SketchRef(ctx, a.Fingerprint(), d, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			builds := svc.Stats().Builds
+
+			info, err := svc.PatchMatrix(ctx, a.Fingerprint(), delta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			merged, err := sparse.Add(a, delta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if info.Fp != merged.Fingerprint() {
+				t.Fatalf("patch stored %v, want fingerprint of A+ΔA %v", info.Fp, merged.Fingerprint())
+			}
+			if !svc.Store().Contains(a.Fingerprint()) {
+				t.Fatal("patch must not disturb the original matrix")
+			}
+
+			got, _, err := svc.SketchRef(ctx, info.Fp, d, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameBits(t, "incremental vs from-scratch", got, oneShot(t, merged, d, opts))
+			if b := svc.Stats().Builds; b != builds {
+				t.Fatalf("post-patch sketch rebuilt a plan (%d -> %d builds): the Â must come from the incremental path", builds, b)
+			}
+
+			// The old fingerprint still answers with the old bits.
+			old, _, err := svc.SketchRef(ctx, a.Fingerprint(), d, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameBits(t, "pre-patch sketch unchanged", old, base)
+		})
+	}
+}
+
+// TestPatchDegenerateAndChained covers the delta edge cases on one config:
+// an empty ΔA is an exact no-op (same fingerprint, same bits), and a chain
+// of PATCHes composes — every link advanced incrementally, with the final
+// bits equal to a one-shot sketch of the fully merged matrix.
+func TestPatchDegenerateAndChained(t *testing.T) {
+	ctx := context.Background()
+	opts := core.Options{Dist: rng.Rademacher, Seed: 31}
+	const d, emptyCol = 8, 3
+	svc := New(Config{})
+	defer svc.Close()
+	a := intCSCWithEmptyCol(50, 20, 120, 41, emptyCol)
+	fp := a.Fingerprint()
+	if _, err := svc.PutMatrix(ctx, a); err != nil {
+		t.Fatal(err)
+	}
+	base, _, err := svc.SketchRef(ctx, fp, d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Empty delta: A + 0 must map to A itself — same fingerprint (Created
+	// false), and the served sketch is byte-for-byte the cached one.
+	empty := &sparse.CSC{M: a.M, N: a.N, ColPtr: make([]int, a.N+1)}
+	info, err := svc.PatchMatrix(ctx, fp, empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Fp != fp || info.Created {
+		t.Fatalf("empty patch: %+v, want existing %v", info, fp)
+	}
+	same, _, err := svc.SketchRef(ctx, fp, d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameBits(t, "empty patch is identity", same, base)
+
+	// Chain: A -> A+Δ1 -> A+Δ1+Δ2, never resketching from scratch.
+	d1 := patchDelta(t, a, emptyCol)
+	m1, err := sparse.Add(a, d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	builds := svc.Stats().Builds
+	i1, err := svc.PatchMatrix(ctx, fp, d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coo := sparse.NewCOO(a.M, a.N, 2)
+	coo.Append(0, emptyCol, 5)
+	coo.Append(a.M-1, 0, -1)
+	d2 := coo.ToCSC()
+	m2, err := sparse.Add(m1, d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i2, err := svc.PatchMatrix(ctx, i1.Fp, d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i2.Fp != m2.Fingerprint() {
+		t.Fatalf("chained patch stored %v, want %v", i2.Fp, m2.Fingerprint())
+	}
+	got, _, err := svc.SketchRef(ctx, i2.Fp, d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameBits(t, "chained patches vs one-shot of full merge", got, oneShot(t, m2, d, opts))
+	if b := svc.Stats().Builds; b != builds {
+		t.Fatalf("patch chain built plans (%d -> %d)", builds, b)
+	}
+}
+
+// TestByRefConcurrent hammers the whole by-ref surface — uploads, by-ref
+// sketches with the NotFound-then-upload cure, and patches — against a
+// store small enough to evict constantly. Run under -race this checks the
+// handle/pin discipline; the final assertions check answers stayed right.
+func TestByRefConcurrent(t *testing.T) {
+	ctx := context.Background()
+	const nMat, workers, iters, d = 6, 8, 60, 6
+	mats := make([]*sparse.CSC, nMat)
+	wants := make([]*dense.Matrix, nMat)
+	opts := core.Options{Dist: rng.CountSketch, Seed: 77}
+	for i := range mats {
+		mats[i] = intCSC(40, 16, 100, int64(100+i))
+		wants[i] = oneShot(t, mats[i], d, opts)
+	}
+	svc := New(Config{
+		StoreBytes:       3 * mats[0].MemoryBytes(),
+		SketchCacheBytes: 2 * wants[0].MemoryBytes(),
+	})
+	defer svc.Close()
+
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(w)))
+			for it := 0; it < iters; it++ {
+				a := mats[r.Intn(nMat)]
+				fp := a.Fingerprint()
+				switch r.Intn(3) {
+				case 0:
+					if _, err := svc.PutMatrix(ctx, a); err != nil {
+						errc <- err
+						return
+					}
+				case 1:
+					got, _, err := svc.SketchRef(ctx, fp, d, opts)
+					if errors.Is(err, store.ErrNotFound) {
+						if _, err := svc.PutMatrix(ctx, a); err != nil {
+							errc <- err
+							return
+						}
+						got, _, err = svc.SketchRef(ctx, fp, d, opts)
+						if errors.Is(err, store.ErrNotFound) {
+							continue // evicted again under pressure: legal
+						}
+					}
+					if err != nil {
+						errc <- err
+						return
+					}
+					for i := range mats {
+						if mats[i].Fingerprint() == fp {
+							for j := 0; j < got.Cols; j++ {
+								gc, wc := got.Col(j), wants[i].Col(j)
+								for k := range gc {
+									if math.Float64bits(gc[k]) != math.Float64bits(wc[k]) {
+										errc <- fmt.Errorf("worker %d: bits diverged for matrix %d", w, i)
+										return
+									}
+								}
+							}
+						}
+					}
+				case 2:
+					// Patch with an empty delta: exercises the patch path
+					// without changing any expected answer.
+					empty := &sparse.CSC{M: a.M, N: a.N, ColPtr: make([]int, a.N+1)}
+					if _, err := svc.PatchMatrix(ctx, fp, empty); err != nil &&
+						!errors.Is(err, store.ErrNotFound) {
+						errc <- err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	st := svc.Store().Stats()
+	if st.Bytes < 0 || st.Matrices < 0 {
+		t.Fatalf("store accounting went negative: %+v", st)
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"sketchsp/internal/core"
 	"sketchsp/internal/sparse"
+	"sketchsp/internal/store"
 )
 
 // planKey identifies a cacheable plan: the structural fingerprint of the
@@ -22,16 +23,28 @@ type planKey struct {
 	opts core.Options
 }
 
+// planSrc names where a plan's input matrix comes from. Exactly one form is
+// set: a (inline request — the build deep-copies it) or store+fp
+// (by-reference request — the build resolves and pins the stored matrix).
+// It is a flat by-value struct, not a closure, so the cache-hit path stays
+// allocation-free (TestServiceHitZeroAlloc pins this).
+type planSrc struct {
+	a     *sparse.CSC
+	store *store.Store
+	fp    sparse.Fingerprint
+}
+
 // entry is one cache slot: the single-flight build state plus the per-entry
 // aggregation of execute metrics. The cache's reference to the plan is the
 // initial NewPlan reference, released by entry.close on eviction; every
 // request Retains around its own Execute.
 type entry struct {
-	key   planKey
-	ready chan struct{} // closed when the build finished (plan or err set)
-	plan  *core.Plan
-	err   error
-	elem  *list.Element
+	key    planKey
+	ready  chan struct{} // closed when the build finished (plan or err set)
+	plan   *core.Plan
+	handle *store.Handle // pin on the stored matrix a by-ref plan aliases
+	err    error
+	elem   *list.Element
 
 	mu       sync.Mutex // guards the aggregates below
 	executes int64
@@ -60,11 +73,18 @@ func (e *entry) record(st core.Stats) {
 
 // close releases the cache's plan reference. It waits for an in-progress
 // build first (an entry can be evicted while still building under churn);
-// in-flight executes are unaffected — they hold their own references.
+// in-flight executes are unaffected — they hold their own references. The
+// store pin, if any, is dropped here too: a straggling execute that outlives
+// the cache's reference still reads the matrix safely (the plan keeps it
+// reachable and stored matrices are immutable) — the pin only guarantees
+// store *residency* while the plan is cached.
 func (e *entry) close() {
 	<-e.ready
 	if e.plan != nil {
 		e.plan.Close()
+	}
+	if e.handle != nil {
+		e.handle.Release()
 	}
 }
 
@@ -76,7 +96,7 @@ func (e *entry) close() {
 // Retain-ing its plan, an eviction plus the last concurrent Release may
 // have shut the plan down. Retain then reports false and the request
 // rebuilds — correctness never depends on eviction timing.
-func (s *Service) plan(ctx context.Context, k planKey, a *sparse.CSC) (*core.Plan, *entry, error) {
+func (s *Service) plan(ctx context.Context, k planKey, src planSrc) (*core.Plan, *entry, error) {
 	for {
 		s.mu.Lock()
 		if s.closed {
@@ -101,7 +121,7 @@ func (s *Service) plan(ctx context.Context, k planKey, a *sparse.CSC) (*core.Pla
 				// off the request path.
 				go old.close()
 			}
-			s.build(e, a)
+			s.build(e, src)
 		}
 
 		select {
@@ -133,26 +153,44 @@ func (s *Service) plan(ctx context.Context, k planKey, a *sparse.CSC) (*core.Pla
 // concurrency suite asserts (builds == distinct keys, regardless of how
 // many requests raced). A failed build removes the entry so later requests
 // retry instead of caching the error forever.
-func (s *Service) build(e *entry, a *sparse.CSC) {
+func (s *Service) build(e *entry, src planSrc) {
 	defer close(e.ready)
 	// The cache keeps the plan alive long after this request returns, but
 	// core.NewPlan aliases the matrix it is given (it clones only for
-	// ScaledInt). Callers are free to reuse or mutate a's backing arrays
-	// once their request completes — the HTTP server decodes requests into
-	// pooled scratch — so the cached plan must own a private deep copy;
-	// otherwise later cache hits would execute against whatever bytes the
-	// caller wrote there next. Cloning here keeps the hit path untouched:
-	// the copy happens once per plan, on the build (miss) path only.
-	p, err := core.NewPlan(a.Clone(), e.key.d, e.key.opts)
+	// ScaledInt). For an inline source, callers are free to reuse or mutate
+	// a's backing arrays once their request completes — the HTTP server
+	// decodes requests into pooled scratch — so the cached plan must own a
+	// private deep copy; otherwise later cache hits would execute against
+	// whatever bytes the caller wrote there next. Cloning here keeps the hit
+	// path untouched: the copy happens once per plan, on the build (miss)
+	// path only.
+	//
+	// A by-ref source needs no copy at all: stored matrices are immutable
+	// for life, so the plan aliases the store's copy and the entry pins it
+	// resident with a Handle. A fingerprint that resolves to nothing (never
+	// uploaded, or evicted) fails the build with store.ErrNotFound; the
+	// entry is removed, so the client's upload-then-retry rebuilds cleanly.
+	a := src.a
+	if a != nil {
+		a = a.Clone()
+	} else {
+		h, err := src.store.Get(src.fp)
+		if err != nil {
+			e.err = err
+			s.dropFailedBuild(e)
+			return
+		}
+		e.handle = h
+		a = h.Matrix()
+	}
+	p, err := core.NewPlan(a, e.key.d, e.key.opts)
 	if err != nil {
 		e.err = err
-		s.met.buildErrors.Inc()
-		s.mu.Lock()
-		if cur, ok := s.entries[e.key]; ok && cur == e {
-			delete(s.entries, e.key)
-			s.lru.Remove(e.elem)
+		if e.handle != nil {
+			e.handle.Release()
+			e.handle = nil
 		}
-		s.mu.Unlock()
+		s.dropFailedBuild(e)
 		return
 	}
 	s.met.builds.Inc()
@@ -161,6 +199,18 @@ func (s *Service) build(e *entry, a *sparse.CSC) {
 	// cached plan lands in the same sketchsp_plan_* series.
 	p.SetMetrics(s.met.plan)
 	e.plan = p
+}
+
+// dropFailedBuild unmaps an entry whose build failed so later requests for
+// the key retry instead of caching the error forever.
+func (s *Service) dropFailedBuild(e *entry) {
+	s.met.buildErrors.Inc()
+	s.mu.Lock()
+	if cur, ok := s.entries[e.key]; ok && cur == e {
+		delete(s.entries, e.key)
+		s.lru.Remove(e.elem)
+	}
+	s.mu.Unlock()
 }
 
 // evictLocked trims the LRU tail down to capacity and returns the evicted

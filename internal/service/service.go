@@ -41,6 +41,7 @@ import (
 	"sketchsp/internal/dense"
 	"sketchsp/internal/obs"
 	"sketchsp/internal/sparse"
+	"sketchsp/internal/store"
 )
 
 // Service-level errors. Argument and plan errors surface as the core typed
@@ -70,6 +71,14 @@ type Config struct {
 	// RequestTimeout, when positive, imposes a per-request deadline on top
 	// of the caller's context.
 	RequestTimeout time.Duration
+	// StoreBytes bounds the content-addressed matrix store behind the
+	// by-reference surface (PutMatrix / SketchRefInto / PatchMatrix).
+	// 0 selects store.DefaultMaxBytes; negative means unbounded.
+	StoreBytes int64
+	// SketchCacheBytes bounds the cache of computed sketches Â that backs
+	// repeat by-reference requests and the incremental PATCH path. 0 selects
+	// 64 MiB; negative means unbounded.
+	SketchCacheBytes int64
 	// Metrics is the observability registry the service registers its
 	// counters and histograms on (sketchsp_service_* and the shared
 	// sketchsp_plan_* families). nil creates a private registry,
@@ -92,6 +101,13 @@ type Service struct {
 	reg *obs.Registry
 	met *svcMetrics
 
+	// Content-addressed surface (byref.go): uploaded matrices and the cache
+	// of computed sketches that makes repeat by-ref requests and PATCH
+	// deltas O(1) in nnz(A).
+	store    *store.Store
+	sketches *sketchCache
+	refMet   *refMetrics
+
 	mu      sync.Mutex
 	entries map[planKey]*entry
 	lru     *list.List // of *entry; front = most recently used
@@ -110,12 +126,15 @@ func New(cfg Config) *Service {
 		cfg.Metrics = obs.NewRegistry()
 	}
 	s := &Service{
-		cfg:     cfg,
-		sem:     make(chan struct{}, cfg.MaxInFlight),
-		reg:     cfg.Metrics,
-		met:     newSvcMetrics(cfg.Metrics),
-		entries: make(map[planKey]*entry),
-		lru:     list.New(),
+		cfg:      cfg,
+		sem:      make(chan struct{}, cfg.MaxInFlight),
+		reg:      cfg.Metrics,
+		met:      newSvcMetrics(cfg.Metrics),
+		refMet:   newRefMetrics(cfg.Metrics),
+		store:    store.New(store.Config{MaxBytes: cfg.StoreBytes, Metrics: cfg.Metrics}),
+		sketches: newSketchCache(cfg.SketchCacheBytes, cfg.Metrics),
+		entries:  make(map[planKey]*entry),
+		lru:      list.New(),
 	}
 	// Scrape-time gauge: the plan count already lives behind s.mu, so a
 	// GaugeFunc beats a manually mirrored counter that could drift.
@@ -180,7 +199,7 @@ func (s *Service) SketchInto(ctx context.Context, ahat *dense.Matrix, a *sparse.
 	}
 	defer s.exit()
 
-	p, e, err := s.plan(ctx, planKey{fp: a.Fingerprint(), d: d, opts: opts}, a)
+	p, e, err := s.plan(ctx, planKey{fp: a.Fingerprint(), d: d, opts: opts}, planSrc{a: a})
 	if err != nil {
 		return core.Stats{}, err
 	}

@@ -1,0 +1,192 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"sketchsp/internal/core"
+	"sketchsp/internal/rng"
+	"sketchsp/internal/sparse"
+	"sketchsp/internal/store"
+)
+
+// The coordinator's by-reference suite: uploads land in the coordinator's
+// store, sketches fan out as fingerprint-sized shard requests with the
+// client's upload-and-retry curing cold workers, and patches advance both
+// the coordinator's content and — best effort — the workers' shards.
+
+// TestCoordinatorByRefBitIdentity pins the by-reference tentpole: Â served
+// from a stored fingerprint through worker fan-out equals the
+// single-process sketch bit for bit, and repeat sketches keep working once
+// the workers have seen their shards.
+func TestCoordinatorByRefBitIdentity(t *testing.T) {
+	_, urls := startWorkers(t, 3, nil)
+	c, err := New(Config{Peers: urls, Shards: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	matrices := map[string]*sparse.CSC{
+		"powerlaw": sparse.PowerLaw(800, 150, 9000, 1.0, 11),
+		"uniform":  sparse.RandomUniform(300, 90, 0.04, 5),
+	}
+	configs := []struct {
+		name string
+		opts core.Options
+	}{
+		{"rademacher", core.Options{Dist: rng.Rademacher, Source: rng.SourceBatchXoshiro, Workers: 2, Seed: 7}},
+		{"sjlt-philox", core.Options{Dist: rng.SJLT, Source: rng.SourcePhilox, Workers: 2, Seed: 9, Sparsity: 3}},
+	}
+	const d = 24
+	for name, a := range matrices {
+		info, err := c.PutMatrix(context.Background(), a)
+		if err != nil {
+			t.Fatalf("PutMatrix(%s): %v", name, err)
+		}
+		for _, cfg := range configs {
+			t.Run(name+"/"+cfg.name, func(t *testing.T) {
+				// Twice: the first pass uploads shards to cold workers, the
+				// second must answer from resident content — both exact.
+				for pass := 0; pass < 2; pass++ {
+					got, stats, err := c.SketchRef(context.Background(), info.Fp, d, cfg.opts)
+					if err != nil {
+						t.Fatalf("SketchRef pass %d: %v", pass, err)
+					}
+					assertBitIdentical(t, got, directSketch(t, a, d, cfg.opts))
+					if stats.Total <= 0 {
+						t.Errorf("pass %d: stats lost Total", pass)
+					}
+				}
+			})
+		}
+	}
+
+	if _, _, err := c.SketchRef(context.Background(), sparse.Fingerprint{M: 1, N: 1, NNZ: 1, Hash: 42}, d, configs[0].opts); !errors.Is(err, store.ErrNotFound) {
+		t.Errorf("SketchRef(unknown fp) err = %v, want Is(store.ErrNotFound)", err)
+	}
+	if _, _, err := c.SketchRef(context.Background(), matrices["uniform"].Fingerprint(), 0, configs[0].opts); !errors.Is(err, core.ErrInvalidSketchSize) {
+		t.Errorf("SketchRef(d=0) err = %v, want Is(core.ErrInvalidSketchSize)", err)
+	}
+}
+
+// TestCoordinatorPatchForwarding drives PATCH through a single-shard,
+// single-worker cluster where forwarding is deterministic: after the
+// coordinator patches, the worker's store must already hold the merged
+// shard — advanced in place from the delta slice, not re-uploaded — and
+// by-ref sketches of the new fingerprint must be exact.
+func TestCoordinatorPatchForwarding(t *testing.T) {
+	workers, urls := startWorkers(t, 1, nil)
+	c, err := New(Config{Peers: urls, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	a, err := sparse.NewCSC(40, 6,
+		[]int{0, 2, 4, 4, 7, 9, 11},
+		[]int{1, 30, 0, 7, 2, 9, 39, 11, 12, 3, 38},
+		[]float64{1, -2, 3, 4, 5, -6, 7, 8, -9, 10, 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta, err := sparse.NewCSC(40, 6,
+		[]int{0, 1, 2, 3, 3, 3, 4},
+		[]int{5, 0, 17, 3},
+		[]float64{2, -3, 4, -10}) // −3 at (0,1) and −10 at (3,5) cancel exactly
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := sparse.Add(a, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.Options{Dist: rng.Rademacher, Seed: 17, Workers: 2}
+	const d = 16
+
+	info, err := c.PutMatrix(context.Background(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed the worker: the first by-ref sketch uploads the (single) shard.
+	if _, _, err := c.SketchRef(context.Background(), info.Fp, d, opts); err != nil {
+		t.Fatal(err)
+	}
+
+	infoSum, err := c.PatchMatrix(context.Background(), info.Fp, delta)
+	if err != nil {
+		t.Fatalf("PatchMatrix: %v", err)
+	}
+	if infoSum.Fp != sum.Fingerprint() {
+		t.Fatalf("PATCH returned fp %v, want %v", infoSum.Fp, sum.Fingerprint())
+	}
+
+	// With one shard the shard *is* the matrix, so forwarding must have
+	// planted the merged content in the worker's store already.
+	h, err := workers[0].svc.Store().Get(sum.Fingerprint())
+	if err != nil {
+		t.Fatalf("worker store after forwarded PATCH: %v", err)
+	}
+	h.Release()
+
+	got, _, err := c.SketchRef(context.Background(), infoSum.Fp, d, opts)
+	if err != nil {
+		t.Fatalf("SketchRef(A+ΔA): %v", err)
+	}
+	assertBitIdentical(t, got, directSketch(t, sum, d, opts))
+	// Immutability: the original fingerprint still serves the original bits.
+	gotA, _, err := c.SketchRef(context.Background(), info.Fp, d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, gotA, directSketch(t, a, d, opts))
+
+	if _, err := c.PatchMatrix(context.Background(), sparse.Fingerprint{M: 40, N: 6, NNZ: 2, Hash: 0xabc}, delta); !errors.Is(err, store.ErrNotFound) {
+		t.Errorf("PATCH unknown fp err = %v, want Is(store.ErrNotFound)", err)
+	}
+}
+
+// TestCoordinatorPatchColdWorkers asserts the correctness half of the
+// best-effort contract: when no worker has ever seen a shard (forwarding
+// has nothing to advance and silently fails), by-ref sketches of the
+// patched matrix still come out exact via the upload fallback.
+func TestCoordinatorPatchColdWorkers(t *testing.T) {
+	_, urls := startWorkers(t, 2, nil)
+	c, err := New(Config{Peers: urls, Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	a := sparse.RandomUniform(200, 60, 0.05, 23)
+	colptr := make([]int, 61)
+	for j := 31; j <= 60; j++ {
+		colptr[j] = 2 // both delta entries live in column 30
+	}
+	delta, err := sparse.NewCSC(200, 60, colptr, []int{10, 150}, []float64{1.5, -2.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := sparse.Add(a, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.Options{Dist: rng.CountSketch, Source: rng.SourceBatchXoshiro, Seed: 4, Workers: 2}
+	const d = 12
+
+	info, err := c.PutMatrix(context.Background(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No sketch before the patch: every worker is cold.
+	infoSum, err := c.PatchMatrix(context.Background(), info.Fp, delta)
+	if err != nil {
+		t.Fatalf("PatchMatrix on cold cluster: %v", err)
+	}
+	got, _, err := c.SketchRef(context.Background(), infoSum.Fp, d, opts)
+	if err != nil {
+		t.Fatalf("SketchRef after cold patch: %v", err)
+	}
+	assertBitIdentical(t, got, directSketch(t, sum, d, opts))
+}

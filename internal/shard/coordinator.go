@@ -14,6 +14,7 @@ import (
 	"sketchsp/internal/obs"
 	"sketchsp/internal/service"
 	"sketchsp/internal/sparse"
+	"sketchsp/internal/store"
 	"sketchsp/internal/wire"
 )
 
@@ -43,6 +44,10 @@ type Config struct {
 	// by routing (down peers are still used when every candidate for a
 	// shard is down). 0 selects 5s.
 	PeerCooldown time.Duration
+	// StoreBytes bounds the coordinator's own content-addressed matrix
+	// store behind PutMatrix/SketchRef/PatchMatrix. 0 selects
+	// store.DefaultMaxBytes; negative means unbounded.
+	StoreBytes int64
 	// Client configures the per-peer wire clients (retry/backoff/timeout
 	// — the client's own retries handle transient overload; the
 	// coordinator's failover layer handles peer death on top).
@@ -71,6 +76,7 @@ type Coordinator struct {
 	peers  []*peer // indexed like ring.Peers()
 	reg    *obs.Registry
 	met    *metrics
+	store  *store.Store // content-addressed surface (byref.go)
 	closed atomic.Bool
 }
 
@@ -102,6 +108,7 @@ func New(cfg Config) (*Coordinator, error) {
 		peers: make([]*peer, len(names)),
 		reg:   cfg.Metrics,
 		met:   newMetrics(cfg.Metrics),
+		store: store.New(store.Config{MaxBytes: cfg.StoreBytes, Metrics: cfg.Metrics}),
 	}
 	for i, name := range names {
 		c.peers[i] = &peer{
@@ -170,6 +177,18 @@ func (c *Coordinator) sketch(ctx context.Context, a *sparse.CSC, d int, opts cor
 		return nil, core.Stats{}, fmt.Errorf("%w: %v", core.ErrInvalidMatrix, err)
 	}
 
+	run := func(fctx context.Context, sh *Shard) (*wire.ShardResponse, error) {
+		return c.sketchShard(fctx, sh, a.N, d, opts)
+	}
+	return c.fanMerge(ctx, a, d, run)
+}
+
+// fanMerge is the shard fan-out and exact merge shared by the inline and
+// by-reference paths: split a into nnz-balanced column shards, run each
+// through the supplied per-shard call concurrently, and accumulate the
+// partials into Â. The call differs — inline ships the shard's CSC, by-ref
+// ships its fingerprint — but placement and merging cannot.
+func (c *Coordinator) fanMerge(ctx context.Context, a *sparse.CSC, d int, run func(ctx context.Context, sh *Shard) (*wire.ShardResponse, error)) (*dense.Matrix, core.Stats, error) {
 	k := c.cfg.Shards
 	if k <= 0 {
 		k = len(c.peers)
@@ -188,7 +207,7 @@ func (c *Coordinator) sketch(ctx context.Context, a *sparse.CSC, d int, opts cor
 	results := make(chan result, len(shards))
 	for i := range shards {
 		go func(i int) {
-			resp, err := c.sketchShard(fctx, &shards[i], a.N, d, opts)
+			resp, err := run(fctx, &shards[i])
 			results <- result{i, resp, err}
 		}(i)
 	}
@@ -276,11 +295,23 @@ func (c *Coordinator) sketchShard(ctx context.Context, sh *Shard, nTotal, d int,
 			A:    sh.A,
 		},
 	}
+	wireBytes := int64(wire.ShardRequestWireSize(req))
+	return c.walkPeers(ctx, sh, wireBytes, func(ctx context.Context, p *peer) (*wire.ShardResponse, error) {
+		return p.cli.SketchShard(ctx, req)
+	})
+}
+
+// walkPeers routes one shard across the ring with failover: peers are tried
+// in ring order (keyed by the shard's content fingerprint), skipping peers
+// in cooldown on the first pass and only falling back to them when every
+// candidate is down. try performs the actual RPC — inline shard request or
+// by-reference — and its classification is shared: input-class failures
+// fail fast, peer-health failures mark the peer down and move on.
+func (c *Coordinator) walkPeers(ctx context.Context, sh *Shard, wireBytes int64, try func(ctx context.Context, p *peer) (*wire.ShardResponse, error)) (*wire.ShardResponse, error) {
 	order := c.ring.Order(sh.A.Fingerprint().Hash)
 	if m := c.cfg.MaxPeersPerShard; m > 0 && m < len(order) {
 		order = order[:m]
 	}
-	wireBytes := int64(wire.ShardRequestWireSize(req))
 	var lastErr error
 	lastPeer := c.peers[order[0]].name
 	attempted := make([]bool, len(order))
@@ -301,7 +332,7 @@ func (c *Coordinator) sketchShard(ctx context.Context, sh *Shard, nTotal, d int,
 			c.met.subrequests.Inc()
 			p.met.requests.Inc()
 			p.met.bytes.Add(wireBytes)
-			resp, err := p.cli.SketchShard(ctx, req)
+			resp, err := try(ctx, p)
 			if err == nil {
 				return resp, nil
 			}

@@ -1,0 +1,65 @@
+package sparse
+
+import "fmt"
+
+// Add returns A + ΔA as a freshly allocated CSC matrix. Both operands must
+// be structurally valid and share the same shape; neither is modified and
+// the result never aliases either input's arrays (the serving layer applies
+// deltas to matrices whose backing arrays may be pooled request scratch or
+// pinned under live plans, so aliasing either side would be a correctness
+// bug of the PR 4 pooled-scratch class).
+//
+// The merge is a per-column two-pointer walk over the sorted row indices;
+// coincident entries are summed and — load-bearing for content addressing —
+// entries whose sum is exactly zero are dropped from the result. A stored
+// explicit zero and an absent entry are the same matrix mathematically but
+// fingerprint differently, so without the drop a PATCH that cancels an
+// entry would mint a fingerprint no client could reproduce from the values
+// alone. (A signed zero sum counts as zero: -0.0 == 0.0, and dropping it
+// keeps the canonical form independent of summand order.)
+//
+// Add commutes with ColSlice: Add(a, d).ColSlice(j0, j1) equals
+// Add(a.ColSlice(j0, j1), d.ColSlice(j0, j1)) entry for entry, because the
+// merge never looks across column boundaries. The shard coordinator's
+// delta forwarding relies on exactly this.
+func Add(a, delta *CSC) (*CSC, error) {
+	if a == nil || delta == nil {
+		return nil, fmt.Errorf("sparse: Add of nil matrix")
+	}
+	if a.M != delta.M || a.N != delta.N {
+		return nil, fmt.Errorf("sparse: Add shape mismatch %dx%d vs %dx%d", a.M, a.N, delta.M, delta.N)
+	}
+	out := &CSC{
+		M: a.M, N: a.N,
+		ColPtr: make([]int, a.N+1),
+		// nnz(A+Δ) <= nnz(A)+nnz(Δ); over-allocating and trimming once
+		// beats growing per column.
+		RowIdx: make([]int, 0, len(a.Val)+len(delta.Val)),
+		Val:    make([]float64, 0, len(a.Val)+len(delta.Val)),
+	}
+	for j := 0; j < a.N; j++ {
+		p, pEnd := a.ColPtr[j], a.ColPtr[j+1]
+		q, qEnd := delta.ColPtr[j], delta.ColPtr[j+1]
+		for p < pEnd || q < qEnd {
+			switch {
+			case q >= qEnd || (p < pEnd && a.RowIdx[p] < delta.RowIdx[q]):
+				out.RowIdx = append(out.RowIdx, a.RowIdx[p])
+				out.Val = append(out.Val, a.Val[p])
+				p++
+			case p >= pEnd || delta.RowIdx[q] < a.RowIdx[p]:
+				out.RowIdx = append(out.RowIdx, delta.RowIdx[q])
+				out.Val = append(out.Val, delta.Val[q])
+				q++
+			default: // coincident entry
+				if s := a.Val[p] + delta.Val[q]; s != 0 {
+					out.RowIdx = append(out.RowIdx, a.RowIdx[p])
+					out.Val = append(out.Val, s)
+				}
+				p++
+				q++
+			}
+		}
+		out.ColPtr[j+1] = len(out.Val)
+	}
+	return out, nil
+}

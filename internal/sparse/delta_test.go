@@ -1,0 +1,156 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+)
+
+func mustCSC(t *testing.T, m, n int, colPtr, rowIdx []int, val []float64) *CSC {
+	t.Helper()
+	a, err := NewCSC(m, n, colPtr, rowIdx, val)
+	if err != nil {
+		t.Fatalf("NewCSC: %v", err)
+	}
+	return a
+}
+
+// sameDense compares two matrices entry-wise including the zero pattern.
+func sameDense(t *testing.T, got, want *CSC) {
+	t.Helper()
+	if got.M != want.M || got.N != want.N {
+		t.Fatalf("shape %dx%d want %dx%d", got.M, got.N, want.M, want.N)
+	}
+	for j := 0; j < got.N; j++ {
+		for i := 0; i < got.M; i++ {
+			if g, w := got.At(i, j), want.At(i, j); g != w {
+				t.Fatalf("entry (%d,%d) = %v want %v", i, j, g, w)
+			}
+		}
+	}
+}
+
+func TestAddMergesSortedColumns(t *testing.T) {
+	a := mustCSC(t, 4, 3,
+		[]int{0, 2, 2, 4},
+		[]int{0, 2, 1, 3},
+		[]float64{1, 2, 3, 4})
+	d := mustCSC(t, 4, 3,
+		[]int{0, 2, 3, 4},
+		[]int{1, 2, 0, 1},
+		[]float64{10, 5, 7, 8})
+	sum, err := Add(a, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sum.Validate(); err != nil {
+		t.Fatalf("result invalid: %v", err)
+	}
+	want := mustCSC(t, 4, 3,
+		[]int{0, 3, 4, 6},
+		[]int{0, 1, 2, 0, 1, 3},
+		[]float64{1, 10, 7, 7, 11, 4})
+	sameDense(t, sum, want)
+}
+
+func TestAddDropsExactZeroSums(t *testing.T) {
+	a := mustCSC(t, 3, 2, []int{0, 2, 3}, []int{0, 2, 1}, []float64{1.5, -2, 4})
+	d := mustCSC(t, 3, 2, []int{0, 1, 1}, []int{0}, []float64{-1.5})
+	sum, err := Add(a, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.NNZ() != 2 {
+		t.Fatalf("nnz = %d, want 2 (cancelled entry must be dropped, not stored as 0)", sum.NNZ())
+	}
+	if sum.At(0, 0) != 0 || sum.At(2, 0) != -2 || sum.At(1, 1) != 4 {
+		t.Fatalf("wrong values after cancellation: %v", sum.Val)
+	}
+	// Canonical form: the cancelled matrix fingerprints identically to the
+	// same matrix built without the entry — this is what makes PATCH-derived
+	// fingerprints reproducible from values alone.
+	direct := mustCSC(t, 3, 2, []int{0, 1, 2}, []int{2, 1}, []float64{-2, 4})
+	if sum.Fingerprint() != direct.Fingerprint() {
+		t.Fatal("cancelled-entry fingerprint differs from directly built matrix")
+	}
+}
+
+func TestAddEmptyDeltaIsIdentity(t *testing.T) {
+	a := mustCSC(t, 5, 4,
+		[]int{0, 2, 2, 3, 5},
+		[]int{0, 4, 2, 1, 3},
+		[]float64{1, 2, 3, 4, 5})
+	empty := mustCSC(t, 5, 4, []int{0, 0, 0, 0, 0}, nil, nil)
+	sum, err := Add(a, empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Fingerprint() != a.Fingerprint() {
+		t.Fatal("A + 0 must fingerprint identically to A")
+	}
+	// And the result must not alias a's arrays: mutating the sum may never
+	// write through to the (possibly pinned) base matrix.
+	if len(sum.Val) > 0 {
+		sum.Val[0] = math.Inf(1)
+		if a.Val[0] == math.Inf(1) {
+			t.Fatal("Add result aliases its input")
+		}
+	}
+}
+
+func TestAddDeltaIntoEmptyColumn(t *testing.T) {
+	a := mustCSC(t, 3, 3, []int{0, 1, 1, 2}, []int{0, 2}, []float64{1, 2})
+	d := mustCSC(t, 3, 3, []int{0, 0, 2, 2}, []int{0, 1}, []float64{7, 8})
+	sum, err := Add(a, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.At(0, 1) != 7 || sum.At(1, 1) != 8 || sum.At(0, 0) != 1 || sum.At(2, 2) != 2 {
+		t.Fatalf("wrong merge into empty column: %v", sum.Val)
+	}
+	if err := sum.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddShapeMismatch(t *testing.T) {
+	a := mustCSC(t, 2, 2, []int{0, 0, 0}, nil, nil)
+	b := mustCSC(t, 3, 2, []int{0, 0, 0}, nil, nil)
+	if _, err := Add(a, b); err == nil {
+		t.Fatal("shape mismatch must error")
+	}
+	if _, err := Add(nil, a); err == nil {
+		t.Fatal("nil operand must error")
+	}
+	if _, err := Add(a, nil); err == nil {
+		t.Fatal("nil delta must error")
+	}
+}
+
+// TestAddCommutesWithColSlice pins the property the shard coordinator's
+// delta forwarding depends on: slicing after adding equals adding the
+// slices, bit for bit.
+func TestAddCommutesWithColSlice(t *testing.T) {
+	a := mustCSC(t, 6, 5,
+		[]int{0, 2, 3, 3, 6, 7},
+		[]int{0, 3, 2, 1, 4, 5, 0},
+		[]float64{1, -2, 3, 4, 5, -6, 7})
+	d := mustCSC(t, 6, 5,
+		[]int{0, 1, 3, 4, 5, 5},
+		[]int{3, 0, 2, 2, 4},
+		[]float64{2, 8, -3, 9, -5})
+	sum, err := Add(a, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range [][2]int{{0, 2}, {1, 4}, {3, 5}, {0, 5}, {2, 2}} {
+		j0, j1 := cut[0], cut[1]
+		whole := sum.ColSlice(j0, j1)
+		parts, err := Add(a.ColSlice(j0, j1).Clone(), d.ColSlice(j0, j1).Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if whole.Fingerprint() != parts.Fingerprint() {
+			t.Fatalf("Add/ColSlice do not commute on [%d:%d)", j0, j1)
+		}
+	}
+}

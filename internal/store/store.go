@@ -1,0 +1,311 @@
+// Package store is the content-addressed matrix store behind the
+// sketch-by-reference protocol: clients PUT a CSC matrix once, keyed by its
+// sparse.Fingerprint, and every later sketch request ships only the 32-byte
+// fingerprint instead of the O(nnz) payload — the network-side analogue of
+// the paper's "never materialise S" argument, applied to A itself.
+//
+// The store is a refcounted, memory-bounded LRU:
+//
+//   - Put validates and deep-copies the matrix in, so no caller retains a
+//     path to mutate a stored matrix; entries are immutable for their whole
+//     lifetime (a PATCH creates a new entry under the new fingerprint — it
+//     never edits in place, which is what lets plans alias stored matrices
+//     without cloning).
+//   - Get hands out a Handle that pins the entry: eviction walks the LRU
+//     tail but skips any entry with live handles, so a matrix serving a
+//     cached plan or an in-flight execute is never reclaimed under it. The
+//     byte budget may therefore overshoot while everything resident is
+//     pinned; it is re-trimmed as handles are released.
+//   - Accounting is exact: an entry's bytes are added once on insert and
+//     subtracted exactly once when it leaves the map, so the gauge can
+//     never go negative (the race suite hammers this).
+package store
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+
+	"sketchsp/internal/obs"
+	"sketchsp/internal/sparse"
+)
+
+// ErrNotFound is returned when no matrix with the requested fingerprint is
+// resident — either it was never uploaded or the LRU reclaimed it. The wire
+// layer maps it to StatusNotFound (HTTP 404); it is not retryable, but it is
+// *curable*: the client's fallback re-uploads and retries once.
+var ErrNotFound = errors.New("store: matrix not found")
+
+// DefaultMaxBytes is the byte budget when Config.MaxBytes is 0: 256 MiB,
+// roomy enough for hundreds of bench-sized matrices while bounding a
+// misbehaving uploader.
+const DefaultMaxBytes = 256 << 20
+
+// Config sizes the store.
+type Config struct {
+	// MaxBytes bounds the summed MemoryBytes of resident matrices; the LRU
+	// evicts unpinned entries beyond it. 0 selects DefaultMaxBytes;
+	// negative means unbounded.
+	MaxBytes int64
+	// Metrics, when non-nil, registers the sketchsp_store_* families.
+	Metrics *obs.Registry
+}
+
+// Info describes a stored matrix: its identity, its footprint, and whether
+// the operation that returned it inserted the entry (false: it was already
+// resident, byte-identical by fingerprint).
+type Info struct {
+	Fp      sparse.Fingerprint
+	Bytes   int64
+	Created bool
+}
+
+type entry struct {
+	fp    sparse.Fingerprint
+	a     *sparse.CSC // immutable once inserted
+	bytes int64
+	refs  int // live Handles; >0 pins the entry against eviction
+	elem  *list.Element
+}
+
+// Store is the content-addressed matrix store. Safe for concurrent use.
+type Store struct {
+	cfg Config
+
+	mu      sync.Mutex
+	entries map[sparse.Fingerprint]*entry
+	lru     *list.List // of *entry; front = most recently used
+	bytes   int64
+
+	met *metrics
+}
+
+type metrics struct {
+	puts      *obs.Counter
+	dupPuts   *obs.Counter
+	hits      *obs.Counter
+	misses    *obs.Counter
+	evictions *obs.Counter
+}
+
+// New returns a ready Store.
+func New(cfg Config) *Store {
+	if cfg.MaxBytes == 0 {
+		cfg.MaxBytes = DefaultMaxBytes
+	}
+	s := &Store{
+		cfg:     cfg,
+		entries: make(map[sparse.Fingerprint]*entry),
+		lru:     list.New(),
+	}
+	if r := cfg.Metrics; r != nil {
+		s.met = &metrics{
+			puts: r.Counter("sketchsp_store_puts_total",
+				"Matrices inserted into the content-addressed store."),
+			dupPuts: r.Counter("sketchsp_store_duplicate_puts_total",
+				"Puts that found their fingerprint already resident."),
+			hits: r.Counter("sketchsp_store_hits_total",
+				"Fingerprint lookups that found a resident matrix."),
+			misses: r.Counter("sketchsp_store_misses_total",
+				"Fingerprint lookups that found nothing (never uploaded or evicted)."),
+			evictions: r.Counter("sketchsp_store_evictions_total",
+				"Matrices reclaimed by the LRU byte budget."),
+		}
+		r.GaugeFunc("sketchsp_store_bytes",
+			"Summed MemoryBytes of resident matrices.", func() int64 {
+				s.mu.Lock()
+				defer s.mu.Unlock()
+				return s.bytes
+			})
+		r.GaugeFunc("sketchsp_store_matrices",
+			"Matrices currently resident.", func() int64 {
+				s.mu.Lock()
+				defer s.mu.Unlock()
+				return int64(s.lru.Len())
+			})
+	}
+	return s
+}
+
+// Put validates a, deep-copies it into the store and returns its Info. A
+// matrix already resident under the same fingerprint is not copied again
+// (Created=false) — content addressing makes re-uploads idempotent.
+func (s *Store) Put(a *sparse.CSC) (Info, error) {
+	if a == nil {
+		return Info{}, fmt.Errorf("store: nil matrix")
+	}
+	if err := a.Validate(); err != nil {
+		return Info{}, err
+	}
+	return s.insert(a, true)
+}
+
+// PutOwned inserts a without copying: the caller hands over ownership and
+// must never touch a's arrays again. This is the PATCH path — the merged
+// A + ΔA is freshly allocated by sparse.Add, so cloning it again would only
+// double the peak footprint. The matrix must already be valid.
+func (s *Store) PutOwned(a *sparse.CSC) (Info, error) {
+	if a == nil {
+		return Info{}, fmt.Errorf("store: nil matrix")
+	}
+	return s.insert(a, false)
+}
+
+func (s *Store) insert(a *sparse.CSC, clone bool) (Info, error) {
+	fp := a.Fingerprint()
+	s.mu.Lock()
+	if e, ok := s.entries[fp]; ok {
+		s.lru.MoveToFront(e.elem)
+		info := Info{Fp: fp, Bytes: e.bytes}
+		s.mu.Unlock()
+		if s.met != nil {
+			s.met.dupPuts.Inc()
+		}
+		return info, nil
+	}
+	if clone {
+		// Copy while holding the map reservation would serialise uploads;
+		// but inserting first would expose a half-copied matrix. Copy
+		// outside the lock and re-check: a racing identical Put wins
+		// harmlessly (same bytes by fingerprint).
+		s.mu.Unlock()
+		a = a.Clone()
+		s.mu.Lock()
+		if e, ok := s.entries[fp]; ok {
+			s.lru.MoveToFront(e.elem)
+			info := Info{Fp: fp, Bytes: e.bytes}
+			s.mu.Unlock()
+			if s.met != nil {
+				s.met.dupPuts.Inc()
+			}
+			return info, nil
+		}
+	}
+	e := &entry{fp: fp, a: a, bytes: a.MemoryBytes()}
+	e.elem = s.lru.PushFront(e)
+	s.entries[fp] = e
+	s.bytes += e.bytes
+	// Pin the new entry through its own insertion trim: when everything
+	// else resident is pinned, the budget walk would otherwise reclaim the
+	// matrix being uploaded, turning Put into a silent no-op and the
+	// client's 404-then-upload fallback into a loop.
+	e.refs++
+	s.evictLocked()
+	e.refs--
+	info := Info{Fp: fp, Bytes: e.bytes, Created: true}
+	s.mu.Unlock()
+	if s.met != nil {
+		s.met.puts.Inc()
+	}
+	return info, nil
+}
+
+// Get resolves fp to a pinned Handle, or (nil, ErrNotFound). The caller
+// must Release the handle; until then the matrix cannot be evicted.
+func (s *Store) Get(fp sparse.Fingerprint) (*Handle, error) {
+	s.mu.Lock()
+	e, ok := s.entries[fp]
+	if !ok {
+		s.mu.Unlock()
+		if s.met != nil {
+			s.met.misses.Inc()
+		}
+		return nil, ErrNotFound
+	}
+	e.refs++
+	s.lru.MoveToFront(e.elem)
+	s.mu.Unlock()
+	if s.met != nil {
+		s.met.hits.Inc()
+	}
+	return &Handle{s: s, e: e}, nil
+}
+
+// Contains reports whether fp is resident without touching LRU order or
+// refcounts (stats endpoints, tests).
+func (s *Store) Contains(fp sparse.Fingerprint) bool {
+	s.mu.Lock()
+	_, ok := s.entries[fp]
+	s.mu.Unlock()
+	return ok
+}
+
+// Stats is a point-in-time snapshot of the store occupancy.
+type Stats struct {
+	Matrices int   `json:"matrices"`
+	Bytes    int64 `json:"bytes"`
+	MaxBytes int64 `json:"max_bytes"`
+}
+
+// Stats snapshots the current occupancy.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{Matrices: s.lru.Len(), Bytes: s.bytes, MaxBytes: s.cfg.MaxBytes}
+}
+
+// evictLocked trims unpinned LRU-tail entries until the byte budget holds.
+// Pinned entries are skipped, not deferred: if everything resident is
+// pinned the store overshoots its budget rather than reclaiming a matrix in
+// use — Release re-trims once pins drop. Called with s.mu held.
+func (s *Store) evictLocked() {
+	if s.cfg.MaxBytes < 0 {
+		return
+	}
+	for el := s.lru.Back(); el != nil && s.bytes > s.cfg.MaxBytes; {
+		e := el.Value.(*entry)
+		prev := el.Prev()
+		if e.refs == 0 {
+			s.lru.Remove(el)
+			delete(s.entries, e.fp)
+			s.bytes -= e.bytes
+			if s.met != nil {
+				s.met.evictions.Inc()
+			}
+		}
+		el = prev
+	}
+}
+
+// Handle pins one stored matrix. The matrix it exposes is immutable and
+// shared — callers must treat it as read-only (plans do: kernels never
+// write to A).
+type Handle struct {
+	s *Store
+	e *entry
+
+	mu       sync.Mutex
+	released bool
+}
+
+// Matrix returns the pinned matrix. The returned CSC (and its arrays) stays
+// valid even after Release — Go's GC keeps it alive for as long as anything
+// references it — but only while the handle is unreleased is it guaranteed
+// still resident in the store.
+func (h *Handle) Matrix() *sparse.CSC { return h.e.a }
+
+// Fingerprint returns the pinned matrix's identity.
+func (h *Handle) Fingerprint() sparse.Fingerprint { return h.e.fp }
+
+// Release unpins the matrix. Idempotent: double releases are absorbed, so a
+// refcount can never be driven negative by a confused caller. Dropping the
+// last pin re-runs the byte-budget trim, since this entry may be the one
+// holding the store over budget.
+func (h *Handle) Release() {
+	h.mu.Lock()
+	if h.released {
+		h.mu.Unlock()
+		return
+	}
+	h.released = true
+	h.mu.Unlock()
+
+	s := h.s
+	s.mu.Lock()
+	h.e.refs--
+	if h.e.refs == 0 && s.bytes > s.cfg.MaxBytes {
+		s.evictLocked()
+	}
+	s.mu.Unlock()
+}

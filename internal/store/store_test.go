@@ -1,0 +1,286 @@
+package store
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"sketchsp/internal/obs"
+	"sketchsp/internal/sparse"
+)
+
+// testMatrix builds a valid m×n matrix with one nonzero per column, values
+// derived from tag so distinct tags give distinct fingerprints.
+func testMatrix(m, n int, tag float64) *sparse.CSC {
+	colPtr := make([]int, n+1)
+	rowIdx := make([]int, n)
+	val := make([]float64, n)
+	for j := 0; j < n; j++ {
+		colPtr[j+1] = j + 1
+		rowIdx[j] = j % m
+		val[j] = tag + float64(j)
+	}
+	a, err := sparse.NewCSC(m, n, colPtr, rowIdx, val)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+func TestPutGetRoundtrip(t *testing.T) {
+	s := New(Config{})
+	a := testMatrix(8, 6, 1)
+	info, err := s.Put(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Created {
+		t.Fatal("first Put must report Created")
+	}
+	if info.Fp != a.Fingerprint() {
+		t.Fatal("Info fingerprint mismatch")
+	}
+	if info.Bytes != a.MemoryBytes() {
+		t.Fatalf("Info bytes %d want %d", info.Bytes, a.MemoryBytes())
+	}
+
+	h, err := s.Get(info.Fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Release()
+	if h.Fingerprint() != info.Fp {
+		t.Fatal("handle fingerprint mismatch")
+	}
+	if h.Matrix().Fingerprint() != info.Fp {
+		t.Fatal("stored matrix content differs")
+	}
+	// The store owns a private copy: mutating the caller's matrix after Put
+	// must not reach the stored one.
+	a.Val[0] = 999
+	if h.Matrix().Val[0] == 999 {
+		t.Fatal("Put did not deep-copy the matrix")
+	}
+}
+
+func TestPutIdempotentByContent(t *testing.T) {
+	s := New(Config{})
+	a := testMatrix(4, 4, 2)
+	first, err := s.Put(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := s.Put(a.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Created {
+		t.Fatal("re-upload of identical content must not create a new entry")
+	}
+	if first.Fp != second.Fp || first.Bytes != second.Bytes {
+		t.Fatal("duplicate Put returned different Info")
+	}
+	if st := s.Stats(); st.Matrices != 1 {
+		t.Fatalf("resident matrices = %d, want 1", st.Matrices)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s := New(Config{})
+	h, err := s.Get(sparse.Fingerprint{M: 1, N: 1, NNZ: 0, Hash: 42})
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	if h != nil {
+		t.Fatal("missing Get must return a nil handle")
+	}
+}
+
+func TestPutRejectsInvalid(t *testing.T) {
+	s := New(Config{})
+	if _, err := s.Put(nil); err == nil {
+		t.Fatal("nil matrix must be rejected")
+	}
+	bad := &sparse.CSC{M: 2, N: 2, ColPtr: []int{0, 5, 1}, RowIdx: []int{0}, Val: []float64{1}}
+	if _, err := s.Put(bad); err == nil {
+		t.Fatal("invalid matrix must be rejected")
+	}
+	if st := s.Stats(); st.Matrices != 0 || st.Bytes != 0 {
+		t.Fatal("rejected Put must not change occupancy")
+	}
+}
+
+func TestLRUEvictionUnpinnedOnly(t *testing.T) {
+	one := testMatrix(8, 8, 0).MemoryBytes()
+	s := New(Config{MaxBytes: 2 * one})
+	a0, a1, a2 := testMatrix(8, 8, 10), testMatrix(8, 8, 20), testMatrix(8, 8, 30)
+
+	if _, err := s.Put(a0); err != nil {
+		t.Fatal(err)
+	}
+	h0, err := s.Get(a0.Fingerprint()) // pin the oldest
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put(a1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put(a2); err != nil { // over budget: must evict a1, not pinned a0
+		t.Fatal(err)
+	}
+	if !s.Contains(a0.Fingerprint()) {
+		t.Fatal("pinned matrix was evicted")
+	}
+	if s.Contains(a1.Fingerprint()) {
+		t.Fatal("unpinned LRU matrix survived over budget")
+	}
+	if !s.Contains(a2.Fingerprint()) {
+		t.Fatal("just-inserted matrix was evicted")
+	}
+
+	// Releasing the pin while over budget re-trims to the byte bound.
+	h0.Release()
+	if st := s.Stats(); st.Bytes > st.MaxBytes {
+		t.Fatalf("store stayed over budget after release: %d > %d", st.Bytes, st.MaxBytes)
+	}
+}
+
+func TestAllPinnedOvershootsThenRecovers(t *testing.T) {
+	one := testMatrix(8, 8, 0).MemoryBytes()
+	s := New(Config{MaxBytes: one}) // budget: a single matrix
+	a0, a1 := testMatrix(8, 8, 1), testMatrix(8, 8, 2)
+	if _, err := s.Put(a0); err != nil {
+		t.Fatal(err)
+	}
+	h0, err := s.Get(a0.Fingerprint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put(a1); err != nil {
+		t.Fatal(err)
+	}
+	h1, err := s.Get(a1.Fingerprint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both pinned: nothing evictable, overshoot tolerated.
+	if st := s.Stats(); st.Matrices != 2 {
+		t.Fatalf("pinned matrices evicted: %d resident", st.Matrices)
+	}
+	h0.Release()
+	h1.Release()
+	if st := s.Stats(); st.Bytes > st.MaxBytes {
+		t.Fatalf("budget not restored after releases: %d > %d", st.Bytes, st.MaxBytes)
+	}
+}
+
+func TestReleaseIdempotent(t *testing.T) {
+	s := New(Config{})
+	a := testMatrix(3, 3, 5)
+	info, err := s.Put(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := s.Get(info.Fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Release()
+	h.Release() // must not drive refs negative
+	h2, err := s.Get(info.Fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2.Release()
+}
+
+func TestPutOwnedSkipsCopy(t *testing.T) {
+	s := New(Config{})
+	a := testMatrix(4, 4, 9)
+	info, err := s.PutOwned(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := s.Get(info.Fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Release()
+	if h.Matrix() != a {
+		t.Fatal("PutOwned must store the caller's matrix without copying")
+	}
+}
+
+// TestStoreRaceHammer is the concurrent PUT / Get / eviction property
+// suite: under a tiny byte budget and constant churn, (1) a pinned matrix
+// is always resolvable and byte-identical, (2) accounting never goes
+// negative, and (3) no operation races another (run under -race).
+func TestStoreRaceHammer(t *testing.T) {
+	reg := obs.NewRegistry()
+	one := testMatrix(16, 16, 0).MemoryBytes()
+	s := New(Config{MaxBytes: 3 * one, Metrics: reg})
+
+	const workers = 8
+	const iters = 400
+	mats := make([]*sparse.CSC, 12)
+	for i := range mats {
+		mats[i] = testMatrix(16, 16, float64(100*i))
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rnd := rand.New(rand.NewSource(seed))
+			for i := 0; i < iters; i++ {
+				a := mats[rnd.Intn(len(mats))]
+				fp := a.Fingerprint()
+				switch rnd.Intn(3) {
+				case 0:
+					if _, err := s.Put(a); err != nil {
+						t.Errorf("Put: %v", err)
+						return
+					}
+				case 1:
+					h, err := s.Get(fp)
+					if errors.Is(err, ErrNotFound) {
+						continue // evicted or not yet uploaded: legal
+					}
+					if err != nil {
+						t.Errorf("Get: %v", err)
+						return
+					}
+					// While pinned, the content must stay resolvable and
+					// intact even as other workers churn the LRU.
+					if h.Matrix().Fingerprint() != fp {
+						t.Error("pinned matrix content changed under churn")
+						h.Release()
+						return
+					}
+					if !s.Contains(fp) {
+						t.Error("pinned matrix evicted from the map")
+						h.Release()
+						return
+					}
+					h.Release()
+				case 2:
+					if st := s.Stats(); st.Bytes < 0 || st.Matrices < 0 {
+						t.Errorf("negative accounting: %+v", st)
+						return
+					}
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+
+	if st := s.Stats(); st.Bytes < 0 {
+		t.Fatalf("final bytes negative: %d", st.Bytes)
+	}
+	// With every handle released, the budget must hold again.
+	if st := s.Stats(); st.Bytes > st.MaxBytes {
+		t.Fatalf("over budget at rest: %d > %d", st.Bytes, st.MaxBytes)
+	}
+}

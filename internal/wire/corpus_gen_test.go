@@ -1,0 +1,118 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"sketchsp/internal/core"
+	"sketchsp/internal/rng"
+	"sketchsp/internal/sparse"
+)
+
+// The three committed degenerate corpus seeds for the v3 content-addressed
+// messages. Each is a well-framed message whose payload is broken in a way
+// a length prefix alone cannot catch, so the fuzzer starts from inputs that
+// exercise the deep rejection paths rather than having to mutate its way
+// there:
+//
+//   - truncated-fingerprint: a sketch-by-reference request cut one byte
+//     short of its fixed 121-byte payload.
+//   - delta-overlapping-rows: a matrix delta whose CSC carries the same row
+//     index twice in one column (rejected by sparse validation, not by any
+//     size check).
+//   - put-oversized-nnz: a matrix put whose declared nnz is ~10^12 while
+//     the payload holds two entries — the size guard must refuse to
+//     allocate before touching the arrays.
+//
+// The seeds are generated deterministically from the codec itself; run
+//
+//	WIRE_CORPUS_WRITE=1 go test ./internal/wire -run TestCommittedCorpusSeeds
+//
+// to rewrite them after a wire-format change. The test fails when a
+// committed file drifts from what this package would generate.
+func corpusSeeds(t *testing.T) map[string][]byte {
+	t.Helper()
+
+	// Seed 1: valid sketch-ref frame, fingerprint truncated by one byte.
+	ref := AppendSketchRef(nil, &SketchRefRequest{
+		D:    8,
+		Opts: core.Options{Dist: rng.SJLT, Source: rng.SourcePhilox, Seed: 42, Sparsity: 2},
+		Fp:   sparse.Fingerprint{M: 128, N: 64, NNZ: 512, Hash: 0x0123456789abcdef},
+	})
+	truncated := mustFrame(MsgSketchRef, ref[:len(ref)-1])
+
+	// Seed 2: matrix delta whose CSC repeats row 1 in column 0. Built from
+	// a valid two-entry delta, then the second row index is patched to
+	// collide with the first. Payload layout: fp (32) + m,n,nnz (24) +
+	// colptr (8*(n+1)) + rowidx (8*nnz) + vals.
+	delta, err := sparse.NewCSC(3, 2, []int{0, 2, 2}, []int{1, 2}, []float64{1, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp := AppendMatrixDelta(nil, &MatrixDelta{Fp: delta.Fingerprint(), Delta: delta})
+	rowIdxOff := 32 + 24 + 8*(delta.N+1)
+	copy(dp[rowIdxOff+8:rowIdxOff+16], dp[rowIdxOff:rowIdxOff+8])
+	overlapping := mustFrame(MsgMatrixDelta, dp)
+
+	// Seed 3: matrix put declaring nnz = 2^40 over a two-entry payload. The
+	// nnz u64 sits after m and n.
+	a, err := sparse.NewCSC(4, 2, []int{0, 1, 2}, []int{0, 3}, []float64{2, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp := AppendMatrixPut(nil, a)
+	huge := appendU64(nil, 1<<40)
+	copy(pp[16:24], huge)
+	oversized := mustFrame(MsgMatrixPut, pp)
+
+	return map[string][]byte{
+		"ref-truncated-fingerprint": truncated,
+		"delta-overlapping-rows":    overlapping,
+		"put-oversized-nnz":         oversized,
+	}
+}
+
+func TestCommittedCorpusSeeds(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzWireRoundtrip")
+	for name, frame := range corpusSeeds(t) {
+		// Every seed must be framed cleanly, then rejected by its decoder —
+		// the rejection happens past SplitFrame, in the payload decode.
+		typ, payload, _, err := SplitFrame(frame, 1<<22)
+		if err != nil {
+			t.Fatalf("%s: frame must split cleanly, got %v", name, err)
+		}
+		switch typ {
+		case MsgSketchRef:
+			_, err = DecodeSketchRef(payload)
+		case MsgMatrixDelta:
+			_, err = DecodeMatrixDelta(payload)
+		case MsgMatrixPut:
+			_, err = DecodeMatrixPut(payload)
+		default:
+			t.Fatalf("%s: unexpected type %v", name, typ)
+		}
+		if err == nil {
+			t.Fatalf("%s: degenerate seed decoded cleanly — it must be rejected", name)
+		}
+
+		want := []byte(fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(frame))))
+		path := filepath.Join(dir, name)
+		if os.Getenv("WIRE_CORPUS_WRITE") == "1" {
+			if werr := os.WriteFile(path, want, 0o644); werr != nil {
+				t.Fatal(werr)
+			}
+			continue
+		}
+		got, rerr := os.ReadFile(path)
+		if rerr != nil {
+			t.Fatalf("%s: committed corpus seed missing (regenerate with WIRE_CORPUS_WRITE=1): %v", name, rerr)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s: committed corpus seed drifted from the codec (regenerate with WIRE_CORPUS_WRITE=1)", name)
+		}
+	}
+}

@@ -132,9 +132,25 @@ func DecodeRequestInto(dst *SketchRequest, payload []byte) error {
 	if len(payload) < requestFixedSize {
 		return fmt.Errorf("%w: request payload %d bytes, want >= %d", ErrMalformed, len(payload), requestFixedSize)
 	}
+	d, opts, err := decodeRequestFixed(payload)
+	if err != nil {
+		return err
+	}
+	dst.D = d
+	dst.Opts = opts
+	if dst.A == nil {
+		dst.A = new(sparse.CSC)
+	}
+	return DecodeCSCInto(dst.A, payload[requestFixedSize:])
+}
+
+// decodeRequestFixed parses the requestFixedSize (d, options) prefix shared
+// by MsgSketchRequest and MsgSketchRef payloads. The caller guarantees
+// len(payload) >= requestFixedSize.
+func decodeRequestFixed(payload []byte) (int, core.Options, error) {
 	d := getU64(payload[0:])
 	if d > MaxDim {
-		return fmt.Errorf("%w: sketch size %d exceeds MaxDim", ErrMalformed, d)
+		return 0, core.Options{}, fmt.Errorf("%w: sketch size %d exceeds MaxDim", ErrMalformed, d)
 	}
 	var opts core.Options
 	opts.Seed = getU64(payload[8:])
@@ -157,23 +173,23 @@ func DecodeRequestInto(dst *SketchRequest, payload []byte) error {
 	// here, never silently mapped to a default distribution.
 	switch {
 	case alg < int64(core.AlgAuto) || alg > int64(core.Alg4):
-		return fmt.Errorf("%w: algorithm %d out of domain", ErrMalformed, alg)
+		return 0, opts, fmt.Errorf("%w: algorithm %d out of domain", ErrMalformed, alg)
 	case dist < int64(rng.Uniform11) || dist > int64(rng.CountSketch):
-		return fmt.Errorf("%w: distribution %d out of domain", ErrMalformed, dist)
+		return 0, opts, fmt.Errorf("%w: distribution %d out of domain", ErrMalformed, dist)
 	case src < int64(rng.SourceBatchXoshiro) || src > int64(rng.SourcePhilox):
-		return fmt.Errorf("%w: rng source %d out of domain", ErrMalformed, src)
+		return 0, opts, fmt.Errorf("%w: rng source %d out of domain", ErrMalformed, src)
 	case sched < int64(core.SchedWeighted) || sched > int64(core.SchedUniform):
-		return fmt.Errorf("%w: scheduler %d out of domain", ErrMalformed, sched)
+		return 0, opts, fmt.Errorf("%w: scheduler %d out of domain", ErrMalformed, sched)
 	case blockD < 0 || blockD > MaxDim || blockN < 0 || blockN > MaxDim:
-		return fmt.Errorf("%w: block sizes (%d, %d) out of domain", ErrMalformed, blockD, blockN)
+		return 0, opts, fmt.Errorf("%w: block sizes (%d, %d) out of domain", ErrMalformed, blockD, blockN)
 	case workers < 0 || workers > 1<<20:
-		return fmt.Errorf("%w: workers %d out of domain", ErrMalformed, workers)
+		return 0, opts, fmt.Errorf("%w: workers %d out of domain", ErrMalformed, workers)
 	case sparsity < 0 || sparsity > MaxDim:
-		return fmt.Errorf("%w: sparsity %d out of domain", ErrMalformed, sparsity)
+		return 0, opts, fmt.Errorf("%w: sparsity %d out of domain", ErrMalformed, sparsity)
 	case math.IsNaN(rngCost) || math.IsInf(rngCost, 0) || rngCost < 0:
-		return fmt.Errorf("%w: non-finite or negative RNGCost", ErrMalformed)
+		return 0, opts, fmt.Errorf("%w: non-finite or negative RNGCost", ErrMalformed)
 	case flags&^3 != 0:
-		return fmt.Errorf("%w: unknown request flags %#x", ErrMalformed, flags)
+		return 0, opts, fmt.Errorf("%w: unknown request flags %#x", ErrMalformed, flags)
 	}
 	opts.Algorithm = core.Algorithm(alg)
 	opts.Dist = rng.Distribution(dist)
@@ -186,13 +202,7 @@ func DecodeRequestInto(dst *SketchRequest, payload []byte) error {
 	opts.RNGCost = rngCost
 	opts.Timed = flags&1 != 0
 	opts.TuneBlockN = flags&2 != 0
-
-	dst.D = int(d)
-	dst.Opts = opts
-	if dst.A == nil {
-		dst.A = new(sparse.CSC)
-	}
-	return DecodeCSCInto(dst.A, payload[requestFixedSize:])
+	return int(d), opts, nil
 }
 
 // DecodeResponse decodes a single-response payload.
@@ -211,7 +221,7 @@ func DecodeResponseInto(dst *SketchResponse, payload []byte) error {
 		return fmt.Errorf("%w: empty response payload", ErrMalformed)
 	}
 	st := Status(payload[0])
-	if st > StatusInternal {
+	if st > maxStatus {
 		return fmt.Errorf("%w: unknown status %d", ErrMalformed, payload[0])
 	}
 	dst.Status = st
@@ -270,7 +280,7 @@ func PeekStatus(payload []byte) (Status, error) {
 		return 0, fmt.Errorf("%w: empty response payload", ErrMalformed)
 	}
 	st := Status(payload[0])
-	if st > StatusInternal {
+	if st > maxStatus {
 		return 0, fmt.Errorf("%w: unknown status %d", ErrMalformed, payload[0])
 	}
 	return st, nil

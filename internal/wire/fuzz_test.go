@@ -72,6 +72,28 @@ func FuzzWireRoundtrip(f *testing.F) {
 	f.Add(mustFrame(MsgSketchRequest, AppendRequest(nil, 4, core.Options{
 		Dist: rng.CountSketch + 1,
 	}, shapes["emptycols"])))
+	// Content-addressed (v3) messages: put, info (ok + error forms),
+	// sketch-by-reference, and delta. Degenerate rejection shapes — a
+	// truncated fingerprint, a delta with overlapping row indices, and an
+	// oversized declared nnz — are committed corpus seeds under
+	// testdata/fuzz/FuzzWireRoundtrip (see corpus_gen_test.go).
+	for _, a := range shapes {
+		f.Add(mustFrame(MsgMatrixPut, AppendMatrixPut(nil, a)))
+		f.Add(mustFrame(MsgMatrixDelta, AppendMatrixDelta(nil, &MatrixDelta{
+			Fp: a.Fingerprint(), Delta: a,
+		})))
+		f.Add(mustFrame(MsgSketchRef, AppendSketchRef(nil, &SketchRefRequest{
+			D: 4, Opts: core.Options{Dist: rng.Rademacher, Seed: 3},
+			Fp: a.Fingerprint(),
+		})))
+	}
+	f.Add(mustFrame(MsgMatrixInfo, AppendMatrixInfo(nil, &MatrixInfo{
+		Status: StatusOK, Fp: shapes["emptycols"].Fingerprint(),
+		Bytes: 96, Created: true,
+	})))
+	f.Add(mustFrame(MsgMatrixInfo, AppendMatrixInfo(nil, &MatrixInfo{
+		Status: StatusNotFound, Detail: "no such matrix",
+	})))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		const limit = 1 << 22
@@ -126,6 +148,30 @@ func FuzzWireRoundtrip(f *testing.F) {
 			if resp, err := DecodeShardResponse(payload); err == nil {
 				if !bytes.Equal(AppendShardResponse(nil, resp), payload) {
 					t.Fatal("shard response re-encode differs from accepted payload")
+				}
+			}
+		case MsgMatrixPut:
+			if a, err := DecodeMatrixPut(payload); err == nil {
+				if !bytes.Equal(AppendMatrixPut(nil, a), payload) {
+					t.Fatal("matrix-put re-encode differs from accepted payload")
+				}
+			}
+		case MsgMatrixInfo:
+			if info, err := DecodeMatrixInfo(payload); err == nil {
+				if !bytes.Equal(AppendMatrixInfo(nil, info), payload) {
+					t.Fatal("matrix-info re-encode differs from accepted payload")
+				}
+			}
+		case MsgSketchRef:
+			if req, err := DecodeSketchRef(payload); err == nil {
+				if !bytes.Equal(AppendSketchRef(nil, req), payload) {
+					t.Fatal("sketch-ref re-encode differs from accepted payload")
+				}
+			}
+		case MsgMatrixDelta:
+			if d, err := DecodeMatrixDelta(payload); err == nil {
+				if !bytes.Equal(AppendMatrixDelta(nil, d), payload) {
+					t.Fatal("matrix-delta re-encode differs from accepted payload")
 				}
 			}
 		}

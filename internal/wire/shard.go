@@ -137,7 +137,7 @@ func DecodeShardResponseInto(dst *ShardResponse, payload []byte) error {
 		return fmt.Errorf("%w: empty shard response payload", ErrMalformed)
 	}
 	st := Status(payload[0])
-	if st > StatusInternal {
+	if st > maxStatus {
 		return fmt.Errorf("%w: unknown status %d", ErrMalformed, payload[0])
 	}
 	dst.Status = st

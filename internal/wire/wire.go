@@ -12,9 +12,9 @@
 //
 //	offset  size  field
 //	0       3     magic "SKW"
-//	3       1     version (currently 2)
+//	3       1     version (currently 3)
 //	4       1     message type (MsgType)
-//	5       1     flags (must be 0 in version 2)
+//	5       1     flags (must be 0 in version 3)
 //	6       2     reserved (must be 0)
 //	8       4     payload length (uint32)
 //	12      ...   payload
@@ -53,6 +53,12 @@
 //
 //	u32 count | count × (u32 len | single request/response payload)
 //
+// By-reference messages (version 3, ref.go): MsgMatrixPut uploads a CSC
+// into the server's content-addressed store, MsgSketchRef asks for a sketch
+// by 32-byte fingerprint instead of shipping the matrix, MsgMatrixDelta
+// applies a sparse ΔA to a stored matrix, and MsgMatrixInfo answers the put
+// and delta messages with the (possibly new) stored identity.
+//
 // # Error taxonomy
 //
 // Statuses are the wire form of the typed errors the lower layers already
@@ -74,11 +80,15 @@ import (
 
 	"sketchsp/internal/core"
 	"sketchsp/internal/service"
+	"sketchsp/internal/store"
 )
 
 // Version is the frame format version this package encodes and accepts.
-// Version 2 added the request sparsity field (sparse sketch family).
-const Version = 2
+// Version 2 added the request sparsity field (sparse sketch family);
+// version 3 added the by-reference messages (matrix put / sketch-by-ref /
+// delta) and StatusNotFound. Old frames are rejected by the version check,
+// never misparsed.
+const Version = 3
 
 // HeaderSize is the fixed frame-header length preceding every payload.
 const HeaderSize = 12
@@ -116,6 +126,20 @@ const (
 	MsgShardRequest MsgType = 7
 	// MsgShardResponse is the partial sketch of one column shard.
 	MsgShardResponse MsgType = 8
+	// MsgMatrixPut uploads a CSC matrix into the server's content-addressed
+	// store (PUT /v1/matrix); answered with MsgMatrixInfo.
+	MsgMatrixPut MsgType = 9
+	// MsgMatrixInfo is the outcome of a matrix put or delta: the stored
+	// identity (fingerprint, bytes, created flag) or an error status.
+	MsgMatrixInfo MsgType = 10
+	// MsgSketchRef is a sketch request that names its matrix by fingerprint
+	// instead of embedding it; answered with MsgSketchResponse
+	// (StatusNotFound when the matrix is not resident).
+	MsgSketchRef MsgType = 11
+	// MsgMatrixDelta applies a sparse delta ΔA to the stored matrix named
+	// by its fingerprint (PATCH /v1/matrix/{fp}); answered with
+	// MsgMatrixInfo carrying the post-update identity.
+	MsgMatrixDelta MsgType = 12
 )
 
 // String implements fmt.Stringer for MsgType.
@@ -137,6 +161,14 @@ func (t MsgType) String() string {
 		return "shard-request"
 	case MsgShardResponse:
 		return "shard-response"
+	case MsgMatrixPut:
+		return "matrix-put"
+	case MsgMatrixInfo:
+		return "matrix-info"
+	case MsgSketchRef:
+		return "sketch-ref"
+	case MsgMatrixDelta:
+		return "matrix-delta"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -190,7 +222,16 @@ const (
 	StatusMalformed Status = 10
 	// StatusInternal: an unclassified server-side failure (ErrInternal).
 	StatusInternal Status = 11
+	// StatusNotFound: the fingerprint named no resident matrix
+	// (store.ErrNotFound). Not retryable as-is — resending the same
+	// reference finds the same nothing — but curable: the client's
+	// 404-then-upload fallback PUTs the matrix and reissues the reference
+	// once.
+	StatusNotFound Status = 12
 )
+
+// maxStatus is the last defined status; decoders reject anything above it.
+const maxStatus = StatusNotFound
 
 // String implements fmt.Stringer for Status.
 func (s Status) String() string {
@@ -219,6 +260,8 @@ func (s Status) String() string {
 		return "malformed"
 	case StatusInternal:
 		return "internal"
+	case StatusNotFound:
+		return "not-found"
 	default:
 		return fmt.Sprintf("Status(%d)", uint8(s))
 	}
@@ -237,6 +280,8 @@ func StatusOf(err error) Status {
 	switch {
 	case err == nil:
 		return StatusOK
+	case errors.Is(err, store.ErrNotFound):
+		return StatusNotFound
 	case errors.Is(err, service.ErrOverloaded):
 		return StatusOverloaded
 	case errors.Is(err, service.ErrClosed):
@@ -285,6 +330,8 @@ func (s Status) sentinel() error {
 		return context.Canceled
 	case StatusMalformed:
 		return ErrMalformed
+	case StatusNotFound:
+		return store.ErrNotFound
 	default:
 		return ErrInternal
 	}

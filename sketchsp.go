@@ -43,6 +43,7 @@ import (
 	"sketchsp/internal/shard"
 	"sketchsp/internal/solver"
 	"sketchsp/internal/sparse"
+	"sketchsp/internal/store"
 )
 
 // Typed errors. Construction surfaces (Sketch, NewPlan, NewSketcher, the
@@ -66,6 +67,11 @@ var (
 	// ErrServiceOverloaded: the Service admission queue was full
 	// (backpressure — retry later or shed the request).
 	ErrServiceOverloaded = service.ErrOverloaded
+	// ErrMatrixNotFound: a by-reference request named a fingerprint the
+	// server's content-addressed store does not hold (never uploaded, or
+	// evicted under its byte budget). The cure is PutMatrix-then-retry —
+	// Client.SketchCached does exactly that automatically.
+	ErrMatrixNotFound = store.ErrNotFound
 )
 
 // Matrix types re-exported from the internal substrate. The aliases make
@@ -252,6 +258,34 @@ type (
 // NewClient returns a client for the sketchd server at baseURL, e.g.
 // "http://127.0.0.1:7464".
 func NewClient(baseURL string, cfg ClientConfig) *Client { return client.New(baseURL, cfg) }
+
+// Content-addressed serving re-exports. Matrices repeat in serving
+// workloads, so the upload can be split from the request: PutMatrix stores
+// A under its structural fingerprint once, and every later sketch names
+// the 32-byte fingerprint instead of shipping O(nnz) bytes
+// (Client.SketchCached folds the two together, uploading only when the
+// server does not hold the content). PatchMatrix applies a sparse ΔA,
+// making A+ΔA addressable under its own fingerprint while the server
+// advances cached sketches incrementally as Â + S·ΔA — bit-identical to a
+// from-scratch sketch in the integer-exact value regime. Both *Service
+// and *ShardCoordinator implement RefBackend; Client exposes the matching
+// calls over the wire.
+type (
+	// Fingerprint is the content address of a sparse matrix: shape, nnz
+	// and a structural hash. CSC.Fingerprint computes it.
+	Fingerprint = sparse.Fingerprint
+	// MatrixInfo is a store receipt: the fingerprint, resident bytes, and
+	// whether the operation inserted new content.
+	MatrixInfo = store.Info
+	// RefBackend is the content-addressed extension of Backend (PutMatrix,
+	// SketchRef, PatchMatrix).
+	RefBackend = service.RefBackend
+)
+
+// AddSparse returns A+ΔA as a fresh CSC (inputs untouched), merging
+// coincident entries and dropping exact-zero sums so the result is in the
+// canonical form content addressing requires.
+func AddSparse(a, delta *CSC) (*CSC, error) { return sparse.Add(a, delta) }
 
 // Sharded serving re-exports. A ShardCoordinator splits each request into
 // nnz-balanced column shards, routes every shard to a worker by consistent
