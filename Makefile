@@ -31,10 +31,11 @@ race:
 	$(GO) test -race ./internal/obs/... ./internal/server/...
 	$(GO) test -race ./internal/shard/...
 	$(GO) test -race -count=2 ./internal/store/...
+	$(GO) test -race -count=2 ./internal/jobs/...
 
-# Short coverage-guided run of the wire fuzzer (v3 frames: by-ref and
-# delta messages included); the committed corpus seeds always replay, this
-# adds a few seconds of mutation on top as a PR smoke.
+# Short coverage-guided run of the wire fuzzer (v4 frames: solve and
+# job-status messages included); the committed corpus seeds always replay,
+# this adds a few seconds of mutation on top as a PR smoke.
 fuzz-smoke:
 	$(GO) test ./internal/wire -run FuzzWireRoundtrip -fuzz FuzzWireRoundtrip -fuzztime 5s
 
@@ -49,6 +50,8 @@ bench:
 # sketchd worker processes and writes the scaling curve. The PR8 record is
 # the content-addressed A/B: repeat sketches of one ~2 MB matrix inline vs
 # by fingerprint, plus the incremental ΔA patch, with bit-identity checks.
+# The PR9 record is the solve-surface A/B: direct SAP-QR vs served cold vs
+# served warm preconditioner cache, plus an async job round-trip.
 bench-json:
 	$(GO) run ./cmd/spmmbench -skew -scale 0.05 -json BENCH_PR2.json
 	$(GO) test -run - -bench BenchmarkServiceHit -benchtime 100x .
@@ -58,3 +61,4 @@ bench-json:
 	$(GO) run ./cmd/spmmbench -serve-shard -json BENCH_PR6.json
 	$(GO) run ./cmd/spmmbench -skew -scale 0.05 -json BENCH_PR7.json
 	$(GO) run ./cmd/spmmbench -byref -requests 200 -json BENCH_PR8.json
+	$(GO) run ./cmd/spmmbench -serve-solve -json BENCH_PR9.json

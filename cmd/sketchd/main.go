@@ -38,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"sketchsp/internal/jobs"
 	"sketchsp/internal/server"
 	"sketchsp/internal/service"
 	"sketchsp/internal/shard"
@@ -57,6 +58,13 @@ func main() {
 		pprofOn        = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the serving port")
 		storeMB        = flag.Int64("store-mb", 0, "content-addressed matrix store budget in MiB (0 = default 256, negative = unbounded)")
 		sketchCacheMB  = flag.Int64("sketch-cache-mb", 0, "cached-sketch (Â) budget in MiB for by-reference serving (0 = default 64, negative = unbounded)")
+		precondMB      = flag.Int64("precond-cache-mb", 0, "preconditioner-factor cache budget in MiB behind /v1/solve (0 = default 32, negative = unbounded)")
+
+		solveSyncNNZ = flag.Int("solve-sync-nnz", 0, "nnz threshold above which POST /v1/solve queues a job instead of solving inline (0 = default 1M, negative = always async)")
+		jobWorkers   = flag.Int("jobs", 0, "concurrent async solve jobs (0 = default 2)")
+		jobQueue     = flag.Int("job-queue", 0, "queued async solves before Submit sheds with overloaded (0 = default 64)")
+		jobTTL       = flag.Duration("job-ttl", 0, "how long a finished job's result stays fetchable (0 = default 10m)")
+		jobResultMB  = flag.Int64("job-results-mb", 0, "summed result budget of finished jobs in MiB (0 = default 256, negative = unbounded)")
 
 		peers        = flag.String("peers", "", "comma-separated worker base URLs; non-empty switches to coordinator mode")
 		shards       = flag.Int("shards", 0, "column shards per request in coordinator mode (0 = one per peer)")
@@ -81,6 +89,13 @@ func main() {
 		MaxSketchBytes: *maxSketch,
 		RequestTimeout: *requestTimeout,
 		Pprof:          *pprofOn,
+		SolveSyncNNZ:   *solveSyncNNZ,
+		Jobs: jobs.Config{
+			Workers:        *jobWorkers,
+			MaxQueue:       *jobQueue,
+			ResultTTL:      *jobTTL,
+			MaxResultBytes: *jobResultMB << 20,
+		},
 	}
 	if *peers != "" {
 		var peerList []string
@@ -104,12 +119,13 @@ func main() {
 		mode = fmt.Sprintf("coordinator over %d peers, %d shards/request", len(coord.Peers()), *shards)
 	} else {
 		svc := service.New(service.Config{
-			Capacity:         *cache,
-			MaxInFlight:      *maxInFlight,
-			MaxQueue:         *maxQueue,
-			RequestTimeout:   *requestTimeout,
-			StoreBytes:       *storeMB << 20,
-			SketchCacheBytes: *sketchCacheMB << 20,
+			Capacity:          *cache,
+			MaxInFlight:       *maxInFlight,
+			MaxQueue:          *maxQueue,
+			RequestTimeout:    *requestTimeout,
+			StoreBytes:        *storeMB << 20,
+			SketchCacheBytes:  *sketchCacheMB << 20,
+			PrecondCacheBytes: *precondMB << 20,
 		})
 		srv = server.New(svc, cfg)
 		cleanup = svc.Close

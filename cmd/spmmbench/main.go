@@ -48,7 +48,7 @@ var (
 
 func main() {
 	flag.Parse()
-	if !*all && *table == 0 && *fig == 0 && !*skew && !*serve && !*serveHTTP && !*serveShard && !*byref {
+	if !*all && *table == 0 && *fig == 0 && !*skew && !*serve && !*serveHTTP && !*serveShard && !*byref && !*serveSolve {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -84,6 +84,9 @@ func main() {
 	}
 	if *byref {
 		byrefSuite()
+	}
+	if *serveSolve {
+		serveSolveSuite()
 	}
 }
 

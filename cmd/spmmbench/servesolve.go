@@ -1,0 +1,207 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"time"
+
+	"sketchsp/internal/client"
+	"sketchsp/internal/core"
+	"sketchsp/internal/rng"
+	"sketchsp/internal/server"
+	"sketchsp/internal/service"
+	"sketchsp/internal/solver"
+	"sketchsp/internal/sparse"
+	"sketchsp/internal/wire"
+)
+
+// The -serve-solve mode is the preconditioner-cache A/B for the solve
+// surface (BENCH_PR9.json): the same least-squares problem is solved over
+// loopback HTTP, first against a cold service (the request pays the sketch
+// + QR factorization) and then repeatedly against the warm preconditioner
+// cache (the request pays only the LSQR iterations). A direct in-process
+// solver.Solve anchors the comparison, and the replay asserts every served
+// solution is bit-identical to the direct one — caching changes the cost,
+// never the answer. A final async round-trip exercises the job surface on
+// the same problem.
+
+var serveSolve = flag.Bool("serve-solve", false, "replay repeat solves of one problem: direct vs served cold vs served warm precond cache")
+
+// solveRecord is the JSON schema of a -serve-solve run (BENCH_PR9.json).
+type solveRecord struct {
+	MatrixM int `json:"matrix_m"`
+	MatrixN int `json:"matrix_n"`
+	NNZ     int `json:"matrix_nnz"`
+	Iters   int `json:"lsqr_iters"`
+
+	DirectUs     int64   `json:"direct_solve_us"`
+	ColdUs       int64   `json:"served_cold_us"`
+	WarmUs       int64   `json:"served_warm_us"`
+	WarmRequests int     `json:"warm_requests"`
+	WarmSpeedup  float64 `json:"warm_over_cold_speedup_x"`
+
+	BitIdentical      bool `json:"bit_identical"`
+	WarmPrecondCached bool `json:"warm_precond_cached"`
+	AsyncBitIdentical bool `json:"async_bit_identical"`
+
+	Residual float64 `json:"residual"`
+}
+
+func serveSolveSuite() {
+	// Tall enough that the preconditioner build (sketch + QR of the d×n
+	// sketch) dominates a single solve, so the cache A/B has signal.
+	const (
+		m      = 200000
+		n      = 1000
+		perRow = 8
+	)
+	a := sparse.FixedRowNNZ(m, n, perRow, *seed)
+	r := rand.New(rand.NewSource(*seed + 1))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	b := make([]float64, m)
+	a.MulVec(x, b)
+	for i := range b {
+		b[i] += 1e-3 * r.NormFloat64()
+	}
+	sketchOpts := core.Options{Dist: rng.Rademacher, Source: rng.SourceBatchXoshiro, Seed: uint64(*seed), Workers: runtime.GOMAXPROCS(0)}
+
+	// Anchor: the direct in-process solve (cold by construction).
+	directStart := time.Now()
+	want, info, err := solver.Solve(solver.MethodSAPQR, a, b, solver.Options{Sketch: sketchOpts})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spmmbench: direct solve:", err)
+		os.Exit(1)
+	}
+	directUs := time.Since(directStart).Microseconds()
+
+	svc := service.New(service.Config{Capacity: *cacheCap, MaxInFlight: *inFlight})
+	defer svc.Close()
+	srv := server.New(svc, server.Config{})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spmmbench:", err)
+		os.Exit(1)
+	}
+	serveDone := make(chan struct{})
+	go func() {
+		defer close(serveDone)
+		if err := srv.Serve(l); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "spmmbench: serve:", err)
+		}
+	}()
+	cl := client.New("http://"+l.Addr().String(), client.Config{})
+	ctx := context.Background()
+	req := &wire.SolveRequest{Method: wire.SolveSAPQR, A: a, B: b, Opts: sketchOpts}
+
+	solveOnce := func() (*wire.SolveResponse, int64, error) {
+		t0 := time.Now()
+		resp, err := cl.Solve(ctx, req)
+		return resp, time.Since(t0).Microseconds(), err
+	}
+
+	// Served cold: the first request builds sketch + QR + iterates.
+	coldResp, coldUs, err := solveOnce()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spmmbench: served cold solve:", err)
+		os.Exit(1)
+	}
+	bitOK := vecBitEqual(want, coldResp.X)
+
+	// Served warm: every further request replays the cached factor.
+	const warmRounds = 5
+	var warmTotal int64
+	warmCached := true
+	for i := 0; i < warmRounds; i++ {
+		resp, us, err := solveOnce()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spmmbench: served warm solve:", err)
+			os.Exit(1)
+		}
+		warmTotal += us
+		bitOK = bitOK && vecBitEqual(want, resp.X)
+		warmCached = warmCached && resp.Info.PrecondCached
+	}
+	warmUs := warmTotal / warmRounds
+
+	// Async round-trip through the job manager, same bits expected.
+	asyncOK := false
+	if id, err := cl.SolveAsync(ctx, req); err != nil {
+		fmt.Fprintln(os.Stderr, "spmmbench: async solve:", err)
+	} else if resp, err := cl.JobWait(ctx, id, time.Millisecond); err != nil {
+		fmt.Fprintln(os.Stderr, "spmmbench: job wait:", err)
+	} else {
+		asyncOK = vecBitEqual(want, resp.X)
+	}
+
+	speedup := 0.0
+	if warmUs > 0 {
+		speedup = float64(coldUs) / float64(warmUs)
+	}
+	fmt.Printf("\nSOLVE SUITE — SAP-QR on %dx%d (nnz=%d), %d LSQR iters, GOMAXPROCS=%d\n",
+		m, n, a.NNZ(), info.Iters, runtime.GOMAXPROCS(0))
+	fmt.Printf("  direct        %8d us\n", directUs)
+	fmt.Printf("  served cold   %8d us   (precond built on first request)\n", coldUs)
+	fmt.Printf("  served warm   %8d us   (mean of %d, precond cached %v)  %.1fx faster than cold\n",
+		warmUs, warmRounds, warmCached, speedup)
+	fmt.Printf("  bit-identical %v (sync)   %v (async job)   residual %.3g\n", bitOK, asyncOK, coldResp.Info.Residual)
+
+	sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	if err := srv.Shutdown(sctx); err != nil {
+		fmt.Fprintln(os.Stderr, "spmmbench: shutdown:", err)
+	}
+	cancel()
+	<-serveDone
+
+	if *jsonOut != "" {
+		rec := solveRecord{
+			MatrixM:           m,
+			MatrixN:           n,
+			NNZ:               a.NNZ(),
+			Iters:             info.Iters,
+			DirectUs:          directUs,
+			ColdUs:            coldUs,
+			WarmUs:            warmUs,
+			WarmRequests:      warmRounds,
+			WarmSpeedup:       speedup,
+			BitIdentical:      bitOK,
+			WarmPrecondCached: warmCached,
+			AsyncBitIdentical: asyncOK,
+			Residual:          coldResp.Info.Residual,
+		}
+		buf, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spmmbench:", err)
+			return
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonOut, buf, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "spmmbench:", err)
+			return
+		}
+		fmt.Printf("(wrote %s)\n", *jsonOut)
+	}
+}
+
+// vecBitEqual compares two solution vectors by Float64bits.
+func vecBitEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -211,22 +211,30 @@ func (c *Client) SketchShard(ctx context.Context, req *wire.ShardRequest) (*wire
 // response payload is returned undecoded so single and batch callers share
 // the retry loop.
 func (c *Client) do(ctx context.Context, method, path string, body []byte) ([]byte, error) {
+	_, payload, err := c.doTyped(ctx, method, path, body)
+	return payload, err
+}
+
+// doTyped is do for callers that dispatch on the response frame type —
+// POST /v1/solve answers MsgSolveResponse when it solved inline and
+// MsgJobStatus when it queued a job.
+func (c *Client) doTyped(ctx context.Context, method, path string, body []byte) (wire.MsgType, []byte, error) {
 	c.met.request()
 	sp := c.met.span()
 	defer sp.End()
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		payload, err := c.attempt(ctx, method, path, body)
+		typ, payload, err := c.attempt(ctx, method, path, body)
 		if err == nil {
-			return payload, nil
+			return typ, payload, nil
 		}
 		c.met.attemptFailed(err)
 		lastErr = err
 		if attempt >= c.cfg.MaxRetries || !retryable(err) || ctx.Err() != nil {
-			return nil, lastErr
+			return 0, nil, lastErr
 		}
 		if err := c.sleep(ctx, c.backoff(attempt)); err != nil {
-			return nil, lastErr
+			return 0, nil, lastErr
 		}
 		c.met.retry()
 	}
@@ -234,7 +242,7 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte) ([]by
 
 // attempt performs one HTTP exchange. Failures a retry could cure (transport errors,
 // StatusOverloaded responses) come back retryable; everything else is final.
-func (c *Client) attempt(ctx context.Context, method, path string, body []byte) ([]byte, error) {
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte) (wire.MsgType, []byte, error) {
 	actx := ctx
 	if c.cfg.AttemptTimeout > 0 {
 		var cancel context.CancelFunc
@@ -243,7 +251,7 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte) 
 	}
 	req, err := http.NewRequestWithContext(actx, method, c.base+path, bytes.NewReader(body))
 	if err != nil {
-		return nil, err
+		return 0, nil, err
 	}
 	req.Header.Set("Content-Type", "application/x-sketchsp-wire")
 	if dl, ok := actx.Deadline(); ok {
@@ -254,9 +262,9 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte) 
 	hres, err := c.http.Do(req)
 	if err != nil {
 		if ctx.Err() != nil {
-			return nil, ctx.Err() // caller gave up; do not dress it as transport
+			return 0, nil, ctx.Err() // caller gave up; do not dress it as transport
 		}
-		return nil, &transportError{err: err}
+		return 0, nil, &transportError{err: err}
 	}
 	defer hres.Body.Close()
 	// Read one byte past the limit so an oversized response is
@@ -267,12 +275,12 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte) 
 	raw, err := io.ReadAll(io.LimitReader(hres.Body, limit+1))
 	if err != nil {
 		if ctx.Err() != nil {
-			return nil, ctx.Err()
+			return 0, nil, ctx.Err()
 		}
-		return nil, &transportError{err: err}
+		return 0, nil, &transportError{err: err}
 	}
 	if int64(len(raw)) > limit {
-		return nil, fmt.Errorf("%w: response body exceeds MaxResponseBytes %d", wire.ErrTooLarge, c.cfg.MaxResponseBytes)
+		return 0, nil, fmt.Errorf("%w: response body exceeds MaxResponseBytes %d", wire.ErrTooLarge, c.cfg.MaxResponseBytes)
 	}
 	t, payload, _, err := wire.SplitFrame(raw, c.cfg.MaxResponseBytes)
 	if err != nil {
@@ -280,21 +288,24 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte) 
 			// The declared payload length exceeds our limit: resending the
 			// same request gets the same oversized answer, so fail final
 			// instead of dressing it as a retryable transport problem.
-			return nil, err
+			return 0, nil, err
 		}
 		// The server always answers in wire frames; anything else (a proxy
 		// error page, a truncated stream) is a transport-level problem.
-		return nil, &transportError{err: fmt.Errorf("http %d: %w", hres.StatusCode, err)}
+		return 0, nil, &transportError{err: fmt.Errorf("http %d: %w", hres.StatusCode, err)}
 	}
-	if t != wire.MsgSketchResponse && t != wire.MsgBatchResponse && t != wire.MsgShardResponse && t != wire.MsgMatrixInfo {
-		return nil, fmt.Errorf("%w: unexpected response frame type %v", wire.ErrMalformed, t)
+	switch t {
+	case wire.MsgSketchResponse, wire.MsgBatchResponse, wire.MsgShardResponse,
+		wire.MsgMatrixInfo, wire.MsgSolveResponse, wire.MsgJobStatus:
+	default:
+		return 0, nil, fmt.Errorf("%w: unexpected response frame type %v", wire.ErrMalformed, t)
 	}
 	// Surface retryable wire statuses before handing the payload back, so
 	// the retry loop sees them uniformly for single and batch responses.
 	if err := statusPeek(t, payload); err != nil {
-		return nil, err
+		return 0, nil, err
 	}
-	return payload, nil
+	return t, payload, nil
 }
 
 // statusPeek extracts a retry-relevant error from a response payload: for a
@@ -328,6 +339,28 @@ func statusPeek(t wire.MsgType, payload []byte) error {
 			return err
 		}
 		return resp.Err()
+	}
+	if t == wire.MsgSolveResponse {
+		st, err := wire.PeekStatus(payload)
+		if err != nil || !st.Retryable() {
+			return err
+		}
+		resp, err := wire.DecodeSolveResponse(payload)
+		if err != nil {
+			return err
+		}
+		return resp.Err()
+	}
+	if t == wire.MsgJobStatus {
+		st, err := wire.PeekStatus(payload)
+		if err != nil || !st.Retryable() {
+			return err
+		}
+		js, err := wire.DecodeJobStatus(payload)
+		if err != nil {
+			return err
+		}
+		return js.Err()
 	}
 	items, err := wire.SplitBatchPayload(payload)
 	if err != nil || len(items) == 0 {

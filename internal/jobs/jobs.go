@@ -1,0 +1,534 @@
+// Package jobs is the bounded async job manager behind the server's
+// POST /v1/solve: multi-second solver requests are admitted into a
+// fixed-capacity queue, executed by a small worker pool with a per-job
+// cancellable context, observable while running (iteration/residual
+// progress from the solver's callback), and retained after completion
+// under both a TTL and a byte budget so finished solutions can be fetched
+// with GET /v1/jobs/{id} without the result store growing without bound.
+//
+// The manager is deliberately generic — a job is just a Run closure
+// returning (result, retainedBytes, error) — so tests and future
+// long-running endpoints (bulk sketches, matrix imports) reuse it
+// unchanged.
+//
+// # Lifecycle
+//
+//	Submit ──► pending ──► running ──► done
+//	              │           │   └──► failed
+//	              │           └──────► cancelled   (Cancel while running:
+//	              └──────────────────► cancelled    ctx fires, the solver
+//	                                                observes it between
+//	                                                iterations)
+//
+// Terminal records (done/failed/cancelled) stay resident for ResultTTL,
+// and the newest results are kept under MaxResultBytes — whichever limit
+// fires first evicts the oldest terminal record wholly, so a later GET
+// answers not-found rather than serving a half-evicted alias.
+package jobs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sketchsp/internal/obs"
+)
+
+// State is a job's position in the lifecycle above.
+type State uint8
+
+// The five job states. Terminal states order after the live ones so
+// Terminal is a single comparison.
+const (
+	StatePending State = iota
+	StateRunning
+	StateDone
+	StateFailed
+	StateCancelled
+)
+
+// String implements fmt.Stringer for State.
+func (s State) String() string {
+	switch s {
+	case StatePending:
+		return "pending"
+	case StateRunning:
+		return "running"
+	case StateDone:
+		return "done"
+	case StateFailed:
+		return "failed"
+	case StateCancelled:
+		return "cancelled"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool { return s >= StateDone }
+
+// Manager-level sentinels. ErrQueueFull is the jobs-layer overload signal
+// (wire maps it to StatusOverloaded, so clients retry it like any other
+// saturation); ErrNotFound is a job ID that never existed or was evicted.
+var (
+	// ErrClosed: the manager is shut down.
+	ErrClosed = errors.New("jobs: manager closed")
+	// ErrQueueFull: the pending queue or the record table is at capacity.
+	ErrQueueFull = errors.New("jobs: queue full")
+	// ErrNotFound: no job with that ID is resident.
+	ErrNotFound = errors.New("jobs: no such job")
+)
+
+// Run executes one job. ctx is the job's private context — Cancel and
+// Close fire it, and the run must observe it to make jobs cancellable.
+// progress may be called freely (it is lock-free) to publish iteration
+// progress. bytes is the retained footprint of result charged against
+// Config.MaxResultBytes.
+type Run func(ctx context.Context, progress func(iter int, resid float64)) (result any, bytes int64, err error)
+
+// Config bounds a Manager. Every zero value selects the documented
+// default, so jobs.New(jobs.Config{}) is a usable manager.
+type Config struct {
+	// Workers is the number of jobs executing concurrently (default 2).
+	Workers int
+	// MaxQueue bounds jobs waiting to start; Submit beyond it fails with
+	// ErrQueueFull (default 64).
+	MaxQueue int
+	// MaxJobs bounds resident records, live and terminal together
+	// (default 1024). Submit evicts the oldest terminal record to make
+	// room; if every record is live it fails with ErrQueueFull.
+	MaxJobs int
+	// ResultTTL is how long a terminal record stays fetchable
+	// (default 10 minutes).
+	ResultTTL time.Duration
+	// MaxResultBytes bounds the summed result footprint of terminal
+	// records (default 256 MiB; negative = unbounded).
+	MaxResultBytes int64
+	// Metrics, when non-nil, registers the sketchsp_jobs_* families.
+	Metrics *obs.Registry
+}
+
+// Defaults referenced from Config docs and sketchd flags.
+const (
+	DefaultWorkers        = 2
+	DefaultMaxQueue       = 64
+	DefaultMaxJobs        = 1024
+	DefaultResultTTL      = 10 * time.Minute
+	DefaultMaxResultBytes = 256 << 20
+)
+
+func (c *Config) workers() int {
+	if c.Workers <= 0 {
+		return DefaultWorkers
+	}
+	return c.Workers
+}
+
+func (c *Config) maxQueue() int {
+	if c.MaxQueue <= 0 {
+		return DefaultMaxQueue
+	}
+	return c.MaxQueue
+}
+
+func (c *Config) maxJobs() int {
+	if c.MaxJobs <= 0 {
+		return DefaultMaxJobs
+	}
+	return c.MaxJobs
+}
+
+func (c *Config) resultTTL() time.Duration {
+	if c.ResultTTL <= 0 {
+		return DefaultResultTTL
+	}
+	return c.ResultTTL
+}
+
+func (c *Config) maxResultBytes() int64 {
+	if c.MaxResultBytes == 0 {
+		return DefaultMaxResultBytes
+	}
+	return c.MaxResultBytes
+}
+
+// Snapshot is a consistent copy of one job's externally visible state.
+type Snapshot struct {
+	ID    string
+	State State
+	// Iters and Resid are the latest progress published by the run.
+	Iters int
+	Resid float64
+	// Result and Bytes are set once State == StateDone.
+	Result any
+	Bytes  int64
+	// Err is the failure cause once State == StateFailed (or the
+	// cancellation cause for StateCancelled).
+	Err     error
+	Created time.Time
+	// Done is the terminal-transition time (zero while live).
+	Done time.Time
+}
+
+type job struct {
+	id      string
+	run     Run
+	cancel  context.CancelFunc
+	ctx     context.Context
+	created time.Time
+
+	// Lock-free progress, written by the run's callback, read by Get.
+	iters atomic.Int64
+	resid atomic.Uint64 // Float64bits
+
+	// Guarded by Manager.mu.
+	state       State
+	cancelAsked bool
+	result      any
+	bytes       int64
+	err         error
+	done        time.Time
+}
+
+// Manager runs and tracks jobs. Create with New, dispose with Close.
+type Manager struct {
+	cfg        Config
+	rootCtx    context.Context
+	rootCancel context.CancelFunc
+	queue      chan *job
+	wg         sync.WaitGroup
+
+	mu      sync.Mutex
+	jobs    map[string]*job
+	pending int // jobs in StatePending
+	queued  int // occupied queue-channel slots (≥ pending: a job
+	// cancelled while waiting keeps its slot until a worker drains it)
+	running     int
+	resultBytes int64
+	closed      bool
+	seq         uint64
+	idSalt      string
+
+	met jobMetrics
+}
+
+type jobMetrics struct {
+	submitted, completed, failed, cancelled, expired, rejected interface{ Inc() }
+}
+
+type nopCounter struct{}
+
+func (nopCounter) Inc() {}
+
+// New builds a Manager and starts its worker pool and TTL janitor.
+func New(cfg Config) *Manager {
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		cfg:        cfg,
+		rootCtx:    ctx,
+		rootCancel: cancel,
+		queue:      make(chan *job, cfg.maxQueue()),
+		jobs:       make(map[string]*job),
+	}
+	var salt [8]byte
+	if _, err := rand.Read(salt[:]); err == nil {
+		m.idSalt = hex.EncodeToString(salt[:])
+	} else {
+		m.idSalt = fmt.Sprintf("%016x", time.Now().UnixNano())
+	}
+	m.met = jobMetrics{
+		submitted: nopCounter{}, completed: nopCounter{}, failed: nopCounter{},
+		cancelled: nopCounter{}, expired: nopCounter{}, rejected: nopCounter{},
+	}
+	if r := cfg.Metrics; r != nil {
+		m.met.submitted = r.Counter("sketchsp_jobs_submitted_total", "Jobs accepted by Submit.")
+		m.met.completed = r.Counter("sketchsp_jobs_completed_total", "Jobs that finished successfully.")
+		m.met.failed = r.Counter("sketchsp_jobs_failed_total", "Jobs that finished with an error.")
+		m.met.cancelled = r.Counter("sketchsp_jobs_cancelled_total", "Jobs cancelled before or during execution.")
+		m.met.expired = r.Counter("sketchsp_jobs_expired_total", "Terminal job records evicted by TTL or the result byte budget.")
+		m.met.rejected = r.Counter("sketchsp_jobs_rejected_total", "Submissions rejected because a queue or record bound was hit.")
+		r.GaugeFunc("sketchsp_jobs_running", "Jobs currently executing.", func() int64 {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			return int64(m.running)
+		})
+		r.GaugeFunc("sketchsp_jobs_queued", "Jobs waiting for a worker.", func() int64 {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			return int64(m.pending)
+		})
+		r.GaugeFunc("sketchsp_jobs_retained", "Resident job records, live and terminal.", func() int64 {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			return int64(len(m.jobs))
+		})
+		r.GaugeFunc("sketchsp_jobs_result_bytes", "Summed retained result footprint.", func() int64 {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			return m.resultBytes
+		})
+	}
+	for i := 0; i < cfg.workers(); i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	m.wg.Add(1)
+	go m.janitor()
+	return m
+}
+
+// Submit queues a job and returns its ID. Fails with ErrQueueFull when the
+// pending queue is at capacity or every resident record is live, and with
+// ErrClosed after Close.
+func (m *Manager) Submit(run Run) (string, error) {
+	now := time.Now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return "", ErrClosed
+	}
+	m.expireLocked(now)
+	if m.queued >= m.cfg.maxQueue() {
+		m.met.rejected.Inc()
+		return "", fmt.Errorf("%w: %d jobs pending", ErrQueueFull, m.queued)
+	}
+	for len(m.jobs) >= m.cfg.maxJobs() {
+		if !m.evictOldestTerminalLocked() {
+			m.met.rejected.Inc()
+			return "", fmt.Errorf("%w: %d live jobs resident", ErrQueueFull, len(m.jobs))
+		}
+	}
+	m.seq++
+	id := fmt.Sprintf("%s%08x", m.idSalt, m.seq)
+	ctx, cancel := context.WithCancel(m.rootCtx)
+	j := &job{id: id, run: run, ctx: ctx, cancel: cancel, created: now, state: StatePending}
+	j.resid.Store(math.Float64bits(0))
+	m.jobs[id] = j
+	m.pending++
+	m.queued++
+	// Sent under mu: the queued-count guard above keeps the buffered
+	// channel from ever filling, and holding the lock means Close can
+	// safely close the channel without racing a send.
+	m.queue <- j
+	m.met.submitted.Inc()
+	return id, nil
+}
+
+// Get returns a snapshot of the job, or false if the ID is unknown or the
+// record has been evicted.
+func (m *Manager) Get(id string) (Snapshot, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.expireLocked(time.Now())
+	j, ok := m.jobs[id]
+	if !ok {
+		return Snapshot{}, false
+	}
+	return snapshotLocked(j), true
+}
+
+// Cancel requests cancellation: a pending job transitions to cancelled
+// immediately, a running job has its context fired and transitions once
+// the run observes it, and a terminal job is left as-is. The returned
+// snapshot reflects the post-cancel state; ok is false for unknown IDs.
+func (m *Manager) Cancel(id string) (Snapshot, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.expireLocked(time.Now())
+	j, ok := m.jobs[id]
+	if !ok {
+		return Snapshot{}, false
+	}
+	switch j.state {
+	case StatePending:
+		j.state = StateCancelled
+		j.err = context.Canceled
+		j.done = time.Now()
+		j.cancel()
+		m.pending-- // its queue slot is a no-op when dequeued
+		m.met.cancelled.Inc()
+	case StateRunning:
+		j.cancelAsked = true
+		j.cancel()
+	}
+	return snapshotLocked(j), true
+}
+
+// Close cancels every live job, stops the workers and janitor, and waits
+// for them. Records remain readable until the Manager is dropped, but
+// Submit fails with ErrClosed.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		m.wg.Wait()
+		return
+	}
+	m.closed = true
+	for _, j := range m.jobs {
+		if j.state == StatePending {
+			j.state = StateCancelled
+			j.err = context.Canceled
+			j.done = time.Now()
+			m.pending--
+			m.met.cancelled.Inc()
+		}
+	}
+	m.rootCancel() // fires every per-job context
+	close(m.queue) // safe: sends only happen under mu
+	m.mu.Unlock()
+	m.wg.Wait()
+}
+
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		m.runJob(j)
+	}
+}
+
+func (m *Manager) runJob(j *job) {
+	m.mu.Lock()
+	m.queued--
+	if j.state != StatePending { // cancelled while queued
+		m.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	m.pending--
+	m.running++
+	m.mu.Unlock()
+
+	progress := func(iter int, resid float64) {
+		j.iters.Store(int64(iter))
+		j.resid.Store(math.Float64bits(resid))
+	}
+	result, bytes, err := safeRun(j, progress)
+
+	now := time.Now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.running--
+	j.done = now
+	j.cancel()
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.result = result
+		j.bytes = bytes
+		m.resultBytes += bytes
+		m.met.completed.Inc()
+		m.enforceBudgetLocked()
+	case j.cancelAsked || errors.Is(err, context.Canceled):
+		j.state = StateCancelled
+		j.err = err
+		m.met.cancelled.Inc()
+	default:
+		j.state = StateFailed
+		j.err = err
+		m.met.failed.Inc()
+	}
+}
+
+// safeRun shields the worker pool from a panicking job.
+func safeRun(j *job, progress func(int, float64)) (result any, bytes int64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			result, bytes = nil, 0
+			err = fmt.Errorf("jobs: job %s panicked: %v", j.id, r)
+		}
+	}()
+	return j.run(j.ctx, progress)
+}
+
+// janitor sweeps TTL-expired terminal records so memory is reclaimed even
+// with no request traffic (Get/Submit also sweep lazily).
+func (m *Manager) janitor() {
+	defer m.wg.Done()
+	interval := m.cfg.resultTTL() / 4
+	if interval > 30*time.Second {
+		interval = 30 * time.Second
+	}
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.rootCtx.Done():
+			return
+		case now := <-t.C:
+			m.mu.Lock()
+			m.expireLocked(now)
+			m.mu.Unlock()
+		}
+	}
+}
+
+func (m *Manager) expireLocked(now time.Time) {
+	ttl := m.cfg.resultTTL()
+	for id, j := range m.jobs {
+		if j.state.Terminal() && now.Sub(j.done) > ttl {
+			m.dropLocked(id, j)
+		}
+	}
+}
+
+// enforceBudgetLocked evicts oldest-terminal-first until the retained
+// result bytes fit the budget.
+func (m *Manager) enforceBudgetLocked() {
+	budget := m.cfg.maxResultBytes()
+	if budget < 0 {
+		return
+	}
+	for m.resultBytes > budget {
+		if !m.evictOldestTerminalLocked() {
+			return
+		}
+	}
+}
+
+func (m *Manager) evictOldestTerminalLocked() bool {
+	var oldest *job
+	for _, j := range m.jobs {
+		if !j.state.Terminal() {
+			continue
+		}
+		if oldest == nil || j.done.Before(oldest.done) {
+			oldest = j
+		}
+	}
+	if oldest == nil {
+		return false
+	}
+	m.dropLocked(oldest.id, oldest)
+	return true
+}
+
+func (m *Manager) dropLocked(id string, j *job) {
+	m.resultBytes -= j.bytes
+	delete(m.jobs, id)
+	m.met.expired.Inc()
+}
+
+func snapshotLocked(j *job) Snapshot {
+	return Snapshot{
+		ID:      j.id,
+		State:   j.state,
+		Iters:   int(j.iters.Load()),
+		Resid:   math.Float64frombits(j.resid.Load()),
+		Result:  j.result,
+		Bytes:   j.bytes,
+		Err:     j.err,
+		Created: j.created,
+		Done:    j.done,
+	}
+}

@@ -1,0 +1,408 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"regexp"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitState polls until the job reaches want or the deadline passes.
+func waitState(t *testing.T, m *Manager, id string, want State) Snapshot {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if snap, ok := m.Get(id); ok && snap.State == want {
+			return snap
+		}
+		time.Sleep(time.Millisecond)
+	}
+	snap, ok := m.Get(id)
+	t.Fatalf("job %s never reached %v (now %v, resident %v)", id, want, snap.State, ok)
+	return Snapshot{}
+}
+
+// blockingRun returns a Run that signals started and then waits for release
+// or cancellation, so tests control exactly when workers are occupied.
+func blockingRun(started chan<- string, release <-chan struct{}, result any, bytes int64) Run {
+	return func(ctx context.Context, progress func(int, float64)) (any, int64, error) {
+		if started != nil {
+			started <- ""
+		}
+		select {
+		case <-release:
+			return result, bytes, nil
+		case <-ctx.Done():
+			return nil, 0, ctx.Err()
+		}
+	}
+}
+
+func TestJobLifecycleDone(t *testing.T) {
+	m := New(Config{Workers: 1})
+	defer m.Close()
+	started := make(chan string, 1)
+	release := make(chan struct{})
+	id, err := m.Submit(func(ctx context.Context, progress func(int, float64)) (any, int64, error) {
+		progress(7, 0.125)
+		started <- ""
+		<-release
+		return "answer", 42, nil
+	})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	<-started
+	snap, ok := m.Get(id)
+	if !ok || snap.State != StateRunning {
+		t.Fatalf("mid-run Get = %+v, %v; want running", snap, ok)
+	}
+	if snap.Iters != 7 || snap.Resid != 0.125 {
+		t.Errorf("progress not published: iters=%d resid=%v", snap.Iters, snap.Resid)
+	}
+	close(release)
+	snap = waitState(t, m, id, StateDone)
+	if snap.Result != "answer" || snap.Bytes != 42 || snap.Err != nil {
+		t.Errorf("done snapshot = %+v", snap)
+	}
+	if snap.Done.IsZero() || snap.Created.IsZero() {
+		t.Errorf("terminal timestamps missing: %+v", snap)
+	}
+}
+
+func TestJobFailed(t *testing.T) {
+	m := New(Config{Workers: 1})
+	defer m.Close()
+	boom := errors.New("boom")
+	id, err := m.Submit(func(ctx context.Context, progress func(int, float64)) (any, int64, error) {
+		return nil, 0, boom
+	})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	snap := waitState(t, m, id, StateFailed)
+	if !errors.Is(snap.Err, boom) {
+		t.Errorf("failed job Err = %v, want %v", snap.Err, boom)
+	}
+}
+
+func TestJobPanicBecomesFailure(t *testing.T) {
+	m := New(Config{Workers: 1})
+	defer m.Close()
+	id, err := m.Submit(func(ctx context.Context, progress func(int, float64)) (any, int64, error) {
+		panic("kaboom")
+	})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	snap := waitState(t, m, id, StateFailed)
+	if snap.Err == nil {
+		t.Fatal("panicking job reported no error")
+	}
+	// The pool survives: the same worker must run the next job.
+	id2, err := m.Submit(func(ctx context.Context, progress func(int, float64)) (any, int64, error) {
+		return 1, 0, nil
+	})
+	if err != nil {
+		t.Fatalf("Submit after panic: %v", err)
+	}
+	waitState(t, m, id2, StateDone)
+}
+
+func TestCancelPendingJob(t *testing.T) {
+	m := New(Config{Workers: 1})
+	defer m.Close()
+	started := make(chan string, 1)
+	release := make(chan struct{})
+	defer close(release)
+	if _, err := m.Submit(blockingRun(started, release, nil, 0)); err != nil {
+		t.Fatalf("Submit blocker: %v", err)
+	}
+	<-started // the only worker is now occupied
+	ran := make(chan struct{}, 1)
+	id, err := m.Submit(func(ctx context.Context, progress func(int, float64)) (any, int64, error) {
+		ran <- struct{}{}
+		return nil, 0, nil
+	})
+	if err != nil {
+		t.Fatalf("Submit pending: %v", err)
+	}
+	snap, ok := m.Cancel(id)
+	if !ok || snap.State != StateCancelled {
+		t.Fatalf("Cancel pending = %+v, %v; want cancelled", snap, ok)
+	}
+	if !errors.Is(snap.Err, context.Canceled) {
+		t.Errorf("cancelled Err = %v", snap.Err)
+	}
+	select {
+	case <-ran:
+		t.Fatal("cancelled pending job still ran")
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestCancelRunningJob(t *testing.T) {
+	m := New(Config{Workers: 1})
+	defer m.Close()
+	started := make(chan string, 1)
+	id, err := m.Submit(blockingRun(started, nil, nil, 0))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	<-started
+	if snap, ok := m.Cancel(id); !ok || snap.State != StateRunning {
+		// Cancel of a running job only requests: the transition lands when
+		// the run observes its context.
+		t.Fatalf("Cancel running = %+v, %v; want still running", snap, ok)
+	}
+	snap := waitState(t, m, id, StateCancelled)
+	if !errors.Is(snap.Err, context.Canceled) {
+		t.Errorf("cancelled Err = %v", snap.Err)
+	}
+}
+
+func TestCancelTerminalIsNoop(t *testing.T) {
+	m := New(Config{Workers: 1})
+	defer m.Close()
+	id, err := m.Submit(func(ctx context.Context, progress func(int, float64)) (any, int64, error) {
+		return "kept", 8, nil
+	})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waitState(t, m, id, StateDone)
+	snap, ok := m.Cancel(id)
+	if !ok || snap.State != StateDone || snap.Result != "kept" {
+		t.Fatalf("Cancel(done) = %+v, %v; want done with result intact", snap, ok)
+	}
+}
+
+func TestQueueFullSheds(t *testing.T) {
+	m := New(Config{Workers: 1, MaxQueue: 2})
+	defer m.Close()
+	started := make(chan string, 1)
+	release := make(chan struct{})
+	defer close(release)
+	if _, err := m.Submit(blockingRun(started, release, nil, 0)); err != nil {
+		t.Fatalf("Submit blocker: %v", err)
+	}
+	<-started
+	// The blocker's slot is drained (it is running); two more fill the queue.
+	for i := 0; i < 2; i++ {
+		if _, err := m.Submit(blockingRun(nil, release, nil, 0)); err != nil {
+			t.Fatalf("Submit fill %d: %v", i, err)
+		}
+	}
+	if _, err := m.Submit(blockingRun(nil, release, nil, 0)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("Submit beyond queue = %v, want ErrQueueFull", err)
+	}
+}
+
+func TestMaxJobsAllLiveSheds(t *testing.T) {
+	m := New(Config{Workers: 1, MaxJobs: 2, MaxQueue: 8})
+	defer m.Close()
+	started := make(chan string, 1)
+	release := make(chan struct{})
+	defer close(release)
+	if _, err := m.Submit(blockingRun(started, release, nil, 0)); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	<-started
+	if _, err := m.Submit(blockingRun(nil, release, nil, 0)); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if _, err := m.Submit(blockingRun(nil, release, nil, 0)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("Submit with all records live = %v, want ErrQueueFull", err)
+	}
+}
+
+func TestMaxJobsEvictsTerminal(t *testing.T) {
+	m := New(Config{Workers: 1, MaxJobs: 2})
+	defer m.Close()
+	first, err := m.Submit(func(ctx context.Context, progress func(int, float64)) (any, int64, error) {
+		return 1, 0, nil
+	})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waitState(t, m, first, StateDone)
+	second, err := m.Submit(func(ctx context.Context, progress func(int, float64)) (any, int64, error) {
+		return 2, 0, nil
+	})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waitState(t, m, second, StateDone)
+	// Both records resident at the cap; a third submit evicts the oldest.
+	third, err := m.Submit(func(ctx context.Context, progress func(int, float64)) (any, int64, error) {
+		return 3, 0, nil
+	})
+	if err != nil {
+		t.Fatalf("Submit at cap: %v", err)
+	}
+	if _, ok := m.Get(first); ok {
+		t.Error("oldest terminal record survived eviction")
+	}
+	waitState(t, m, third, StateDone)
+}
+
+func TestResultTTLExpiry(t *testing.T) {
+	m := New(Config{Workers: 1, ResultTTL: 30 * time.Millisecond})
+	defer m.Close()
+	id, err := m.Submit(func(ctx context.Context, progress func(int, float64)) (any, int64, error) {
+		return "soon gone", 16, nil
+	})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waitState(t, m, id, StateDone)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, ok := m.Get(id); !ok {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("terminal record survived its TTL")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestResultByteBudgetEvictsOldest(t *testing.T) {
+	m := New(Config{Workers: 1, MaxResultBytes: 100})
+	defer m.Close()
+	submit := func(bytes int64) string {
+		id, err := m.Submit(func(ctx context.Context, progress func(int, float64)) (any, int64, error) {
+			return bytes, bytes, nil
+		})
+		if err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+		waitState(t, m, id, StateDone)
+		return id
+	}
+	a := submit(60)
+	b := submit(30)
+	c := submit(60) // 150 > 100: the oldest (a) must go
+	if _, ok := m.Get(a); ok {
+		t.Error("oldest result survived the byte budget")
+	}
+	for _, id := range []string{b, c} {
+		if _, ok := m.Get(id); !ok {
+			t.Errorf("job %s evicted though the remaining results fit", id)
+		}
+	}
+}
+
+func TestCloseCancelsAndRejects(t *testing.T) {
+	m := New(Config{Workers: 1})
+	started := make(chan string, 1)
+	id, err := m.Submit(blockingRun(started, nil, nil, 0))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	<-started
+	pending, err := m.Submit(blockingRun(nil, nil, nil, 0))
+	if err != nil {
+		t.Fatalf("Submit pending: %v", err)
+	}
+	m.Close()
+	if snap, ok := m.Get(id); !ok || snap.State != StateCancelled {
+		t.Errorf("running job after Close = %+v, %v; want cancelled", snap, ok)
+	}
+	if snap, ok := m.Get(pending); !ok || snap.State != StateCancelled {
+		t.Errorf("pending job after Close = %+v, %v; want cancelled", snap, ok)
+	}
+	if _, err := m.Submit(blockingRun(nil, nil, nil, 0)); !errors.Is(err, ErrClosed) {
+		t.Errorf("Submit after Close = %v, want ErrClosed", err)
+	}
+	m.Close() // idempotent
+}
+
+func TestGetUnknownID(t *testing.T) {
+	m := New(Config{Workers: 1})
+	defer m.Close()
+	if _, ok := m.Get("no-such-job"); ok {
+		t.Error("Get of unknown ID reported a job")
+	}
+	if _, ok := m.Cancel("no-such-job"); ok {
+		t.Error("Cancel of unknown ID reported a job")
+	}
+}
+
+// Job IDs travel inside wire.JobStatus frames, whose decoder enforces the
+// [0-9a-z-] charset and a 64-byte cap; the manager must only mint IDs that
+// survive the trip.
+func TestJobIDWireSafe(t *testing.T) {
+	m := New(Config{Workers: 1})
+	defer m.Close()
+	idRe := regexp.MustCompile(`^[0-9a-z-]{1,64}$`)
+	for i := 0; i < 3; i++ {
+		id, err := m.Submit(func(ctx context.Context, progress func(int, float64)) (any, int64, error) {
+			return nil, 0, nil
+		})
+		if err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+		if !idRe.MatchString(id) {
+			t.Fatalf("job ID %q is not wire-safe", id)
+		}
+	}
+}
+
+// TestConcurrentHammer drives every entry point from many goroutines at
+// once; its value is under -race, where it pins the locking discipline.
+func TestConcurrentHammer(t *testing.T) {
+	m := New(Config{Workers: 4, MaxQueue: 256, MaxJobs: 256, MaxResultBytes: 1 << 20})
+	defer m.Close()
+	var wg sync.WaitGroup
+	ids := make(chan string, 1024)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				id, err := m.Submit(func(ctx context.Context, progress func(int, float64)) (any, int64, error) {
+					progress(i, float64(i))
+					select {
+					case <-ctx.Done():
+						return nil, 0, ctx.Err()
+					default:
+					}
+					return fmt.Sprintf("g%d-%d", g, i), 64, nil
+				})
+				if err != nil {
+					if !errors.Is(err, ErrQueueFull) {
+						t.Errorf("Submit: %v", err)
+					}
+					continue
+				}
+				select {
+				case ids <- id:
+				default:
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				select {
+				case id := <-ids:
+					m.Get(id)
+					if i%3 == 0 {
+						m.Cancel(id)
+					}
+				default:
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

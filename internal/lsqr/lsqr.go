@@ -138,6 +138,16 @@ type Options struct {
 	MaxIters int
 	// Precond is the right preconditioner; nil means Identity.
 	Precond RightPrecond
+	// Progress, when non-nil, is called once per iteration with the
+	// iteration number and the current residual-norm estimate ‖B·y − b‖.
+	// It runs on the solving goroutine after the iteration's updates and
+	// must not modify solver state; it has no effect on the arithmetic,
+	// so results are bit-identical with or without it.
+	Progress func(iter int, rnorm float64)
+	// Interrupt, when non-nil, is polled once per iteration before any
+	// work; a non-nil return aborts the solve with that error and the
+	// partial result so far. context.Context.Err is the intended value.
+	Interrupt func() error
 }
 
 // Result reports the outcome of a Solve.
@@ -220,6 +230,15 @@ func SolveOp(a Operator, b []float64, opts Options) (Result, error) {
 
 	var arnorm, rnorm float64
 	for it := 1; it <= maxIters; it++ {
+		if opts.Interrupt != nil {
+			if err := opts.Interrupt(); err != nil {
+				res.RNorm = rnorm
+				res.ATRNorm = arnorm
+				res.BNorm = math.Sqrt(bnorm2)
+				p.Apply(res.X, y)
+				return res, err
+			}
+		}
 		// u = B·v − α·u
 		p.Apply(tmpN, v)
 		a.MulVec(tmpN, tmpM)
@@ -278,6 +297,9 @@ func SolveOp(a Operator, b []float64, opts Options) (Result, error) {
 		rnorm = math.Abs(phiBar)
 		arnorm = rnorm * alpha * math.Abs(c)
 		res.Iters = it
+		if opts.Progress != nil {
+			opts.Progress(it, rnorm)
+		}
 		bn := math.Sqrt(bnorm2)
 		// Test 2 (least squares): the paper's backward-error metric.
 		if arnorm <= atol*bn*rnorm || arnorm == 0 {

@@ -30,6 +30,7 @@
 package obs
 
 import (
+	"math"
 	"math/bits"
 	"sync/atomic"
 	"time"
@@ -74,6 +75,22 @@ func (g *Gauge) Dec() { g.v.Add(-1) }
 
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// FloatGauge is an instantaneous float64 value (achieved residual, sketch
+// distortion estimate) stored as atomic bits, with the same padding and
+// zero-alloc guarantees as Gauge. Integer gauges stay Gauge; FloatGauge
+// exists for the solver metrics whose natural unit is a residual, not a
+// count.
+type FloatGauge struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// Set stores v.
+func (g *FloatGauge) Set(v float64) { g.v.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.v.Load()) }
 
 // HistBuckets is the fixed histogram resolution shared by every duration
 // histogram in the stack: bucket i counts observations in

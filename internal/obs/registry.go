@@ -19,6 +19,7 @@ const (
 	kindCounter metricKind = iota
 	kindGauge
 	kindGaugeFunc
+	kindFloatGauge
 	kindHistogram
 )
 
@@ -26,7 +27,7 @@ func (k metricKind) String() string {
 	switch k {
 	case kindCounter:
 		return "counter"
-	case kindGauge, kindGaugeFunc:
+	case kindGauge, kindGaugeFunc, kindFloatGauge:
 		return "gauge"
 	case kindHistogram:
 		return "histogram"
@@ -41,6 +42,7 @@ type sample struct {
 	labels string // rendered `key="value",...` without braces; "" for none
 	c      *Counter
 	g      *Gauge
+	fg     *FloatGauge
 	fn     func() int64
 	h      *Histogram
 }
@@ -126,6 +128,19 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	return g
 }
 
+// FloatGauge registers (or returns the existing) unlabeled float gauge.
+func (r *Registry) FloatGauge(name, help string) *FloatGauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, s := r.lookup(name, help, kindFloatGauge, "")
+	if s != nil {
+		return s.fg
+	}
+	g := new(FloatGauge)
+	f.samples = append(f.samples, sample{fg: g})
+	return g
+}
+
 // GaugeFunc registers a gauge whose value is computed at scrape time — for
 // values that already live behind a lock elsewhere (cached plan count). fn
 // must be safe to call from any goroutine; it runs while the registry lock
@@ -178,6 +193,8 @@ func (r *Registry) WriteText(w io.Writer) error {
 				writeSample(bw, f.name, s.labels, formatInt(s.g.Value()))
 			case kindGaugeFunc:
 				writeSample(bw, f.name, s.labels, formatInt(s.fn()))
+			case kindFloatGauge:
+				writeSample(bw, f.name, s.labels, strconv.FormatFloat(s.fg.Value(), 'g', -1, 64))
 			case kindHistogram:
 				writeHistogram(bw, f.name, s.h)
 			}

@@ -54,10 +54,16 @@ import (
 	"time"
 
 	"sketchsp/internal/core"
+	"sketchsp/internal/jobs"
 	"sketchsp/internal/obs"
 	"sketchsp/internal/service"
 	"sketchsp/internal/wire"
 )
+
+// DefaultSolveSyncNNZ is the nnz(A) threshold above which POST /v1/solve
+// answers 202 Accepted and runs the solve as a job instead of holding the
+// connection open.
+const DefaultSolveSyncNNZ = 1 << 20
 
 // Config sizes the HTTP layer. The zero value selects the defaults.
 type Config struct {
@@ -80,6 +86,14 @@ type Config struct {
 	// default: profiling endpoints on a serving port are an operator
 	// decision (the daemon's -pprof flag).
 	Pprof bool
+	// SolveSyncNNZ is the matrix-size threshold (in nonzeros) above which
+	// POST /v1/solve becomes a job even without the Async flag. 0 selects
+	// DefaultSolveSyncNNZ; negative forces every solve asynchronous.
+	SolveSyncNNZ int
+	// Jobs sizes the async solve job manager (workers, queue, result TTL
+	// and budget). A nil Jobs.Metrics inherits Config.Metrics. Only used
+	// when the backend implements service.SolveBackend.
+	Jobs jobs.Config
 }
 
 // Server is the HTTP serving layer over a service.Backend. Create with New
@@ -100,6 +114,10 @@ type Server struct {
 	// "server" in /stats and as sketchsp_http_* in /metrics — one set of
 	// atomics behind both views.
 	met *httpMetrics
+
+	// Async solve jobs (solve.go): created only when the backend
+	// implements service.SolveBackend, nil otherwise.
+	jobs *jobs.Manager
 
 	scratch sync.Pool // *reqScratch
 }
@@ -146,7 +164,16 @@ func newServer(b service.Backend, cfg Config) *Server {
 	s := &Server{backend: b, cfg: cfg, mux: http.NewServeMux(),
 		met: newHTTPMetrics(cfg.Metrics)}
 	s.scratch.New = func() interface{} { return new(reqScratch) }
+	if _, ok := b.(service.SolveBackend); ok {
+		jcfg := cfg.Jobs
+		if jcfg.Metrics == nil {
+			jcfg.Metrics = cfg.Metrics
+		}
+		s.jobs = jobs.New(jcfg)
+	}
 	s.mux.HandleFunc("/v1/sketch", s.handleSketch)
+	s.mux.HandleFunc("/v1/solve", s.handleSolve)
+	s.mux.HandleFunc("/v1/jobs/", s.handleJob)
 	s.mux.HandleFunc("/v1/matrix", s.handleMatrixPut)
 	s.mux.HandleFunc("/v1/matrix/", s.handleMatrixPatch)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -179,17 +206,23 @@ func (s *Server) Serve(l net.Listener) error {
 
 // Shutdown drains gracefully: /healthz flips to 503 (so load balancers
 // stop routing here), listeners close, and in-flight requests get until
-// ctx's deadline to finish. The service itself is left to the caller —
-// the daemon closes it after the drain so executing plans stay alive.
+// ctx's deadline to finish. Once HTTP has drained the job manager is
+// closed — queued jobs cancel, running ones have their contexts fired.
+// The service itself is left to the caller — the daemon closes it after
+// the drain so executing plans stay alive.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	s.httpMu.Lock()
 	srv := s.httpSrv
 	s.httpMu.Unlock()
-	if srv == nil {
-		return nil
+	var err error
+	if srv != nil {
+		err = srv.Shutdown(ctx)
 	}
-	return srv.Shutdown(ctx)
+	if s.jobs != nil {
+		s.jobs.Close()
+	}
+	return err
 }
 
 // Draining reports whether Shutdown has begun.
@@ -232,7 +265,7 @@ func httpStatus(st wire.Status) int {
 		return 499 // client closed request (nginx convention)
 	case wire.StatusInternal:
 		return http.StatusInternalServerError
-	case wire.StatusNotFound:
+	case wire.StatusNotFound, wire.StatusJobNotFound:
 		return http.StatusNotFound
 	default: // invalid matrix / sketch size / options / malformed bytes
 		return http.StatusBadRequest
@@ -484,6 +517,10 @@ func (s *Server) writeError(w http.ResponseWriter, typ wire.MsgType, st wire.Sta
 		payload = wire.AppendBatchResponse(nil, []wire.SketchResponse{resp})
 	case wire.MsgMatrixInfo:
 		payload = wire.AppendMatrixInfo(nil, &wire.MatrixInfo{Status: st, Detail: detail})
+	case wire.MsgSolveResponse:
+		payload = wire.AppendSolveResponse(nil, &wire.SolveResponse{Status: st, Detail: detail})
+	case wire.MsgJobStatus:
+		payload = wire.AppendJobStatus(nil, &wire.JobStatus{Status: st, Detail: detail})
 	default:
 		payload = wire.AppendResponse(nil, &resp)
 	}

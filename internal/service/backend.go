@@ -52,8 +52,24 @@ type RefBackend interface {
 	PatchMatrix(ctx context.Context, fp sparse.Fingerprint, delta *sparse.CSC) (store.Info, error)
 }
 
-// The local service is the reference Backend and RefBackend.
+// SolveBackend is the solver extension of Backend: POST /v1/solve routes
+// here. The contract (pinned by the served-vs-direct differential suite):
+//
+//   - Solve returns bits identical to a direct solver.Solve /
+//     solver.RandSVD for the same (matrix, b, options) — plan-cache and
+//     preconditioner-cache reuse change the cost, never the answer.
+//   - A by-reference request resolves its fingerprint at execution time;
+//     a matrix no longer resident fails with store.ErrNotFound even if it
+//     was resident at request admission (the async-job eviction race).
+//   - req.Opts.Progress, when set, observes LSQR iterations; ctx cancels
+//     between iterations.
+type SolveBackend interface {
+	Solve(ctx context.Context, req *SolveRequest) (*SolveResult, error)
+}
+
+// The local service is the reference Backend, RefBackend and SolveBackend.
 var (
-	_ Backend    = (*Service)(nil)
-	_ RefBackend = (*Service)(nil)
+	_ Backend      = (*Service)(nil)
+	_ RefBackend   = (*Service)(nil)
+	_ SolveBackend = (*Service)(nil)
 )

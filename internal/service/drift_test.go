@@ -1,0 +1,114 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"sketchsp/internal/dense"
+	"sketchsp/internal/sparse"
+)
+
+// This file probes the PATCH path outside the integer-exact regime pinned by
+// TestPatchMetamorphic. With generic float values the incremental update
+// Â += S·ΔA and the from-scratch sketch S·(A+ΔA) sum the same terms in a
+// different order, so bit-identity is NOT guaranteed — what the service does
+// guarantee (DESIGN.md §12) is that the drift after a chain of patches stays
+// at rounding noise, not something that compounds with the chain length.
+
+// floatDelta builds an m×n delta with nnz generic (non-integer) values, the
+// regime where fl(a+b) rounds and summation order matters.
+func floatDelta(m, n, nnz int, seed int64) *sparse.CSC {
+	r := rand.New(rand.NewSource(seed))
+	coo := sparse.NewCOO(m, n, nnz)
+	seen := make(map[[2]int]bool)
+	for len(seen) < nnz {
+		i, j := r.Intn(m), r.Intn(n)
+		if seen[[2]int{i, j}] {
+			continue
+		}
+		seen[[2]int{i, j}] = true
+		coo.Append(i, j, r.NormFloat64())
+	}
+	return coo.ToCSC()
+}
+
+// relFrob is the relative Frobenius distance ||x-y||_F / ||y||_F.
+func relFrob(t *testing.T, x, y *dense.Matrix) float64 {
+	t.Helper()
+	if x.Rows != y.Rows || x.Cols != y.Cols {
+		t.Fatalf("shape %dx%d vs %dx%d", x.Rows, x.Cols, y.Rows, y.Cols)
+	}
+	var diff, ref float64
+	for j := 0; j < x.Cols; j++ {
+		xc, yc := x.Col(j), y.Col(j)
+		for i := range xc {
+			d := xc[i] - yc[i]
+			diff += d * d
+			ref += yc[i] * yc[i]
+		}
+	}
+	if ref == 0 {
+		t.Fatal("reference sketch is identically zero")
+	}
+	return math.Sqrt(diff / ref)
+}
+
+// TestPatchFloatDrift chains PATCHes of float-valued deltas onto a
+// float-valued base and compares the incrementally advanced Â against a
+// one-shot sketch of the fully merged matrix. Each link must come from the
+// incremental path (no plan rebuild), and the accumulated drift must stay
+// within a few ulps' worth of relative Frobenius error — far below the
+// sketch's own O(1/√d) approximation error, so callers never need to
+// distinguish a patched Â from a fresh one.
+func TestPatchFloatDrift(t *testing.T) {
+	ctx := context.Background()
+	const (
+		m, n     = 80, 30
+		d        = 8
+		links    = 5
+		maxDrift = 1e-12
+	)
+	for _, opts := range refConfigs() {
+		opts := opts
+		t.Run(fmt.Sprintf("%v-%v", opts.Dist, opts.Source), func(t *testing.T) {
+			svc := New(Config{})
+			defer svc.Close()
+
+			merged := sparse.RandomUniform(m, n, 0.08, 31)
+			if _, err := svc.PutMatrix(ctx, merged); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := svc.SketchRef(ctx, merged.Fingerprint(), d, opts); err != nil {
+				t.Fatal(err)
+			}
+			builds := svc.Stats().Builds
+
+			fp := merged.Fingerprint()
+			for k := 0; k < links; k++ {
+				delta := floatDelta(m, n, 40, 100+int64(k))
+				info, err := svc.PatchMatrix(ctx, fp, delta)
+				if err != nil {
+					t.Fatalf("patch %d: %v", k, err)
+				}
+				if merged, err = sparse.Add(merged, delta); err != nil {
+					t.Fatal(err)
+				}
+				fp = info.Fp
+			}
+
+			got, _, err := svc.SketchRef(ctx, fp, d, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b := svc.Stats().Builds; b != builds {
+				t.Fatalf("patched sketch rebuilt a plan (%d -> %d builds): drift law only covers the incremental path", builds, b)
+			}
+			if drift := relFrob(t, got, oneShot(t, merged, d, opts)); drift > maxDrift {
+				t.Fatalf("relative Frobenius drift after %d patches = %g, want <= %g", links, drift, maxDrift)
+			}
+		})
+	}
+}

@@ -79,6 +79,9 @@ type Config struct {
 	// repeat by-reference requests and the incremental PATCH path. 0 selects
 	// 64 MiB; negative means unbounded.
 	SketchCacheBytes int64
+	// PrecondCacheBytes bounds the cache of preconditioner factors behind
+	// the solve surface. 0 selects 32 MiB; negative means unbounded.
+	PrecondCacheBytes int64
 	// Metrics is the observability registry the service registers its
 	// counters and histograms on (sketchsp_service_* and the shared
 	// sketchsp_plan_* families). nil creates a private registry,
@@ -108,6 +111,11 @@ type Service struct {
 	sketches *sketchCache
 	refMet   *refMetrics
 
+	// Solve surface (solve.go): preconditioner factor cache and the
+	// sketchsp_solve_* metric family.
+	preconds *precondCache
+	solveMet *solveMetrics
+
 	mu      sync.Mutex
 	entries map[planKey]*entry
 	lru     *list.List // of *entry; front = most recently used
@@ -133,6 +141,8 @@ func New(cfg Config) *Service {
 		refMet:   newRefMetrics(cfg.Metrics),
 		store:    store.New(store.Config{MaxBytes: cfg.StoreBytes, Metrics: cfg.Metrics}),
 		sketches: newSketchCache(cfg.SketchCacheBytes, cfg.Metrics),
+		preconds: newPrecondCache(cfg.PrecondCacheBytes, cfg.Metrics),
+		solveMet: newSolveMetrics(cfg.Metrics),
 		entries:  make(map[planKey]*entry),
 		lru:      list.New(),
 	}

@@ -1,0 +1,323 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"sketchsp/internal/core"
+	"sketchsp/internal/rng"
+	"sketchsp/internal/solver"
+	"sketchsp/internal/sparse"
+	"sketchsp/internal/store"
+)
+
+// solveProblem is one least-squares instance shared by the served and
+// direct paths of the differential suite.
+func solveProblem(seed int64, m, n int) (*sparse.CSC, []float64) {
+	a := sparse.FixedRowNNZ(m, n, 6, seed)
+	r := rand.New(rand.NewSource(seed + 1))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	b := make([]float64, m)
+	a.MulVec(x, b)
+	for i := range b {
+		b[i] += r.NormFloat64()
+	}
+	return a, b
+}
+
+func wideProblem(seed int64, m, n int) (*sparse.CSC, []float64) {
+	at := sparse.FixedRowNNZ(n, m, 5, seed) // tall, then transpose to wide
+	a := at.Transpose()
+	r := rand.New(rand.NewSource(seed + 1))
+	b := make([]float64, m)
+	for i := range b {
+		b[i] = r.NormFloat64()
+	}
+	return a, b
+}
+
+func solveOpts() solver.Options {
+	return solver.Options{Sketch: core.Options{Seed: 7, Dist: rng.Uniform11, Workers: 1}}
+}
+
+func sameBitsVec(t *testing.T, label string, want, got []float64) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: length %d vs %d", label, len(want), len(got))
+	}
+	for i := range want {
+		if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+			t.Fatalf("%s: bit mismatch at %d: %x vs %x",
+				label, i, math.Float64bits(want[i]), math.Float64bits(got[i]))
+		}
+	}
+}
+
+// TestSolveDifferentialVsDirect pins the SolveBackend contract: a served
+// solve returns exactly the bits of a direct solver call for the same
+// inputs, for every least-squares method — the plan cache and the
+// preconditioner cache may change the cost, never the answer.
+func TestSolveDifferentialVsDirect(t *testing.T) {
+	ctx := context.Background()
+	tall, btall := solveProblem(51, 400, 20)
+	wide, bwide := wideProblem(53, 30, 200)
+	cases := []struct {
+		method solver.Method
+		a      *sparse.CSC
+		b      []float64
+	}{
+		{solver.MethodSAPQR, tall, btall},
+		{solver.MethodSAPSVD, tall, btall},
+		{solver.MethodLSQRD, tall, btall},
+		{solver.MethodMinNorm, wide, bwide},
+	}
+	for _, tc := range cases {
+		t.Run(tc.method.String(), func(t *testing.T) {
+			want, _, err := solver.SolveContext(ctx, tc.method, tc.a, tc.b, solveOpts())
+			if err != nil {
+				t.Fatalf("direct: %v", err)
+			}
+			svc := New(Config{})
+			defer svc.Close()
+			res, err := svc.Solve(ctx, &SolveRequest{
+				Method: tc.method, A: tc.a, B: tc.b, Opts: solveOpts(),
+			})
+			if err != nil {
+				t.Fatalf("served: %v", err)
+			}
+			sameBitsVec(t, "served vs direct", want, res.X)
+			if !res.Info.Converged {
+				t.Errorf("served solve did not converge (%d iters)", res.Info.Iters)
+			}
+			if res.PrecondCached {
+				t.Error("first solve reported a preconditioner cache hit")
+			}
+		})
+	}
+}
+
+// TestSolveRandSVDDifferential: served factors are bit-identical to a
+// direct RandSVD with the same options.
+func TestSolveRandSVDDifferential(t *testing.T) {
+	ctx := context.Background()
+	a := sparse.FixedRowNNZ(300, 40, 6, 61)
+	const rank, over, power = 8, 4, 1
+	want, err := solver.RandSVD(a, rank, over, power, solveOpts().Sketch)
+	if err != nil {
+		t.Fatalf("direct: %v", err)
+	}
+	svc := New(Config{})
+	defer svc.Close()
+	res, err := svc.Solve(ctx, &SolveRequest{
+		Method: solver.MethodRandSVD, A: a, Opts: solveOpts(),
+		Rank: rank, Oversample: over, PowerIters: power,
+	})
+	if err != nil {
+		t.Fatalf("served: %v", err)
+	}
+	if res.Factors == nil {
+		t.Fatal("RandSVD result carries no factors")
+	}
+	sameBits(t, "U", want.U, res.Factors.U)
+	sameBits(t, "V", want.V, res.Factors.V)
+	sameBitsVec(t, "Sigma", want.Sigma, res.Factors.Sigma)
+}
+
+// TestSolvePrecondCacheBitIdentity: a repeat SAP solve hits the factor
+// cache — skipping the sketch and factorization — and still returns the
+// exact bits of the cold solve (cached-precond replay is deterministic).
+func TestSolvePrecondCacheBitIdentity(t *testing.T) {
+	ctx := context.Background()
+	a, b := solveProblem(71, 400, 20)
+	for _, method := range []solver.Method{solver.MethodSAPQR, solver.MethodSAPSVD} {
+		t.Run(method.String(), func(t *testing.T) {
+			svc := New(Config{})
+			defer svc.Close()
+			req := &SolveRequest{Method: method, A: a, B: b, Opts: solveOpts()}
+			cold, err := svc.Solve(ctx, req)
+			if err != nil {
+				t.Fatalf("cold: %v", err)
+			}
+			warm, err := svc.Solve(ctx, req)
+			if err != nil {
+				t.Fatalf("warm: %v", err)
+			}
+			if cold.PrecondCached || !warm.PrecondCached {
+				t.Fatalf("PrecondCached: cold=%v warm=%v; want false,true", cold.PrecondCached, warm.PrecondCached)
+			}
+			sameBitsVec(t, "warm vs cold", cold.X, warm.X)
+			if h, m := svc.solveMet.precondHits.Value(), svc.solveMet.precondMisses.Value(); h != 1 || m != 1 {
+				t.Errorf("precond counters hits=%d misses=%d, want 1,1", h, m)
+			}
+		})
+	}
+}
+
+// TestSolveByRefDifferential: solving a stored matrix by fingerprint
+// returns the bits of the inline solve, and the repeat lands on the
+// preconditioner cached under the same fingerprint.
+func TestSolveByRefDifferential(t *testing.T) {
+	ctx := context.Background()
+	a, b := solveProblem(81, 400, 20)
+	svc := New(Config{})
+	defer svc.Close()
+	want, err := svc.Solve(ctx, &SolveRequest{Method: solver.MethodSAPQR, A: a, B: b, Opts: solveOpts()})
+	if err != nil {
+		t.Fatalf("inline: %v", err)
+	}
+	if _, err := svc.PutMatrix(ctx, a); err != nil {
+		t.Fatal(err)
+	}
+	res, err := svc.Solve(ctx, &SolveRequest{
+		Method: solver.MethodSAPQR, ByRef: true, Fp: a.Fingerprint(), B: b, Opts: solveOpts(),
+	})
+	if err != nil {
+		t.Fatalf("by-ref: %v", err)
+	}
+	sameBitsVec(t, "by-ref vs inline", want.X, res.X)
+	// The inline solve already cached the preconditioner under a's
+	// fingerprint; the by-ref solve must have found it.
+	if !res.PrecondCached {
+		t.Error("by-ref solve missed the preconditioner cached by the inline solve")
+	}
+}
+
+// TestSolveByRefEvictedFingerprint pins the eviction half of the async-job
+// race (satellite: DESIGN.md §13): a by-reference solve resolves its
+// fingerprint at execution time, so a matrix evicted after the request was
+// built — here by the store's byte budget — fails with store.ErrNotFound
+// rather than solving against stale bytes.
+func TestSolveByRefEvictedFingerprint(t *testing.T) {
+	ctx := context.Background()
+	a, b := solveProblem(91, 400, 20)
+	other := sparse.FixedRowNNZ(400, 20, 6, 92)
+	// Store budget fits one matrix, plan cache holds one plan: a resident
+	// by-ref plan pins its matrix, so the plan must churn out first.
+	budget := other.MemoryBytes() + a.MemoryBytes()/2
+	svc := New(Config{StoreBytes: budget, Capacity: 1})
+	defer svc.Close()
+	if _, err := svc.PutMatrix(ctx, a); err != nil {
+		t.Fatal(err)
+	}
+	req := &SolveRequest{Method: solver.MethodSAPQR, ByRef: true, Fp: a.Fingerprint(), B: b, Opts: solveOpts()}
+	if _, err := svc.Solve(ctx, req); err != nil {
+		t.Fatalf("resident solve: %v", err)
+	}
+	// Churn the plan cache so a's plan — and its pin on the stored
+	// matrix — is released, then blow the store budget to evict a.
+	if _, _, err := svc.Sketch(ctx, other, 8, solveOpts().Sketch); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.PutMatrix(ctx, other); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return !svc.Store().Contains(a.Fingerprint()) })
+	_, err := svc.Solve(ctx, req)
+	if !errors.Is(err, store.ErrNotFound) {
+		t.Fatalf("solve of evicted fingerprint = %v, want store.ErrNotFound", err)
+	}
+}
+
+// TestSolveProgressObserved: Opts.Progress sees LSQR's iterations on the
+// serving path.
+func TestSolveProgressObserved(t *testing.T) {
+	ctx := context.Background()
+	a, b := solveProblem(95, 400, 20)
+	svc := New(Config{})
+	defer svc.Close()
+	var calls int
+	lastIter := -1
+	opts := solveOpts()
+	opts.Progress = func(iter int, resid float64) {
+		calls++
+		if iter <= lastIter {
+			t.Errorf("progress iterations not increasing: %d after %d", iter, lastIter)
+		}
+		lastIter = iter
+	}
+	res, err := svc.Solve(ctx, &SolveRequest{Method: solver.MethodSAPQR, A: a, B: b, Opts: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Fatal("Progress never called")
+	}
+	if lastIter > res.Info.Iters {
+		t.Errorf("last progress iter %d exceeds Info.Iters %d", lastIter, res.Info.Iters)
+	}
+}
+
+// TestSolveValidationAndClose: argument and lifecycle errors surface as
+// the canonical sentinels.
+func TestSolveValidationAndClose(t *testing.T) {
+	ctx := context.Background()
+	svc := New(Config{})
+	if _, err := svc.Solve(ctx, nil); !errors.Is(err, core.ErrNilMatrix) {
+		t.Errorf("Solve(nil) = %v, want ErrNilMatrix", err)
+	}
+	if _, err := svc.Solve(ctx, &SolveRequest{Method: solver.MethodSAPQR}); !errors.Is(err, core.ErrNilMatrix) {
+		t.Errorf("Solve(no matrix) = %v, want ErrNilMatrix", err)
+	}
+	a, b := solveProblem(97, 100, 10)
+	if _, err := svc.Solve(ctx, &SolveRequest{Method: solver.MethodRandSVD, A: a, B: b, Opts: solveOpts()}); err == nil {
+		t.Error("RandSVD with rank 0 did not fail")
+	}
+	svc.Close()
+	if _, err := svc.Solve(ctx, &SolveRequest{Method: solver.MethodSAPQR, A: a, B: b}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Solve after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestSolveMetricsMove: the sketchsp_solve_* counters and gauges track the
+// request stream.
+func TestSolveMetricsMove(t *testing.T) {
+	ctx := context.Background()
+	a, b := solveProblem(99, 400, 20)
+	svc := New(Config{})
+	defer svc.Close()
+	res, err := svc.Solve(ctx, &SolveRequest{Method: solver.MethodSAPQR, A: a, B: b, Opts: solveOpts()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := svc.solveMet.requests.Value(); got != 1 {
+		t.Errorf("requests = %d, want 1", got)
+	}
+	if got := svc.solveMet.lastResidual.Value(); got != res.Residual {
+		t.Errorf("lastResidual gauge = %v, want %v", got, res.Residual)
+	}
+	if got := svc.solveMet.iterations.Value(); got != int64(res.Info.Iters) {
+		t.Errorf("iterations = %d, want %d", got, res.Info.Iters)
+	}
+	if _, err := svc.Solve(ctx, &SolveRequest{Method: solver.MethodSAPQR, ByRef: true, Fp: a.Fingerprint(), B: b}); !errors.Is(err, store.ErrNotFound) {
+		t.Fatalf("unknown fingerprint = %v, want ErrNotFound", err)
+	}
+	if got := svc.solveMet.errors.Value(); got != 1 {
+		t.Errorf("errors = %d, want 1", got)
+	}
+}
+
+// contractionEstimate is a documented proxy; pin its algebra.
+func TestContractionEstimate(t *testing.T) {
+	cases := []struct {
+		resid float64
+		iters int
+		want  float64
+	}{
+		{1e-12, 12, 0.1},
+		{0.25, 2, 0.5},
+		{0, 5, 0},
+		{1e-3, 0, 0},
+	}
+	for _, c := range cases {
+		got := contractionEstimate(c.resid, c.iters)
+		if math.Abs(got-c.want) > 1e-12*math.Max(1, c.want) {
+			t.Errorf("contractionEstimate(%g, %d) = %g, want %g", c.resid, c.iters, got, c.want)
+		}
+	}
+}

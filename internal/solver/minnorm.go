@@ -1,13 +1,11 @@
 package solver
 
 import (
+	"context"
 	"fmt"
-	"math"
 	"time"
 
 	"sketchsp/internal/dense"
-	"sketchsp/internal/linalg"
-	"sketchsp/internal/lsqr"
 	"sketchsp/internal/sparse"
 )
 
@@ -23,51 +21,28 @@ import (
 // range((R⁻ᵀA)ᵀ) = range(Aᵀ), the iteration converges in O(1) steps to the
 // minimum-norm solution.
 func SolveMinNorm(a *sparse.CSC, b []float64, opts Options) ([]float64, Info, error) {
-	info := Info{Method: MethodSAPQR}
-	if a.M > a.N {
-		return nil, info, fmt.Errorf("solver: SolveMinNorm wants a wide matrix, got %dx%d (use SolveSAPQR)", a.M, a.N)
-	}
+	return SolveMinNormContext(context.Background(), a, b, opts)
+}
+
+// SolveMinNormContext is SolveMinNorm with cancellation between sketch
+// tasks and LSQR iterations; bit-identical to SolveMinNorm when ctx never
+// fires.
+func SolveMinNormContext(ctx context.Context, a *sparse.CSC, b []float64, opts Options) ([]float64, Info, error) {
+	info := Info{Method: MethodMinNorm}
 	if len(b) != a.M {
 		return nil, info, fmt.Errorf("solver: len(b)=%d, want m=%d", len(b), a.M)
 	}
 	start := time.Now()
-
-	at := a.Transpose() // tall n×m
-	d := int(math.Ceil(opts.gamma() * float64(a.M)))
-	if d < a.M+1 {
-		d = a.M + 1
-	}
-	ahat, skTime, err := sketchWithPlan(at, d, opts.Sketch)
+	p, err := BuildPrecondSketch(ctx, MethodMinNorm, a, opts, nil)
 	if err != nil {
 		return nil, info, err
 	}
-	info.SketchTime = skTime
-
-	t0 := time.Now()
-	qr := linalg.NewQRBlocked(ahat)
-	r := qr.R()
-	info.FactorTime = time.Since(t0)
-	if qr.RDiagMin() == 0 {
-		return nil, info, fmt.Errorf("solver: Aᵀ sketch is numerically rank deficient; A is not full row rank")
-	}
-
-	// Left-preconditioned right-hand side: R⁻ᵀ·b.
-	rhs := append([]float64(nil), b...)
-	dense.TrsvUpperT(r, rhs)
-
-	t0 = time.Now()
-	res, err := lsqr.SolveOp(&leftPrecondOp{a: a, r: r}, rhs, lsqr.Options{
-		Atol: opts.Atol, MaxIters: opts.MaxIters,
-	})
-	info.IterTime = time.Since(t0)
+	x, info, err := SolvePrecond(ctx, a, b, p, opts)
 	if err != nil {
 		return nil, info, err
 	}
-	info.Iters = res.Iters
-	info.Converged = res.Converged
-	info.MemoryBytes = ahat.MemoryBytes() + r.MemoryBytes()
 	info.Total = time.Since(start)
-	return res.X, info, nil
+	return x, info, nil
 }
 
 // leftPrecondOp is the operator B = R⁻ᵀ·A for a wide A and m×m

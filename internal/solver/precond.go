@@ -1,0 +1,222 @@
+package solver
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"sketchsp/internal/core"
+	"sketchsp/internal/dense"
+	"sketchsp/internal/linalg"
+	"sketchsp/internal/lsqr"
+	"sketchsp/internal/sparse"
+)
+
+// This file splits a SAP solve into its two stages — build the
+// preconditioner (sketch + dense factorization), then run preconditioned
+// LSQR — so callers that solve against the same matrix repeatedly (the
+// service layer's /v1/solve) can cache the first stage and replay only the
+// second. Both stages are deterministic: replaying SolvePrecond with a
+// cached Precond is bit-identical to the corresponding one-shot Solve*.
+
+// SketchFunc computes Â = S·A for the preconditioner build. The service
+// layer injects one that routes through its fingerprint-keyed plan cache;
+// nil selects the direct planner path. Implementations must be
+// bit-identical to core.NewPlan + Execute for the same (a, d, o) — the
+// plan-cache surface already guarantees this.
+type SketchFunc func(ctx context.Context, a *sparse.CSC, d int, o core.Options) (*dense.Matrix, time.Duration, error)
+
+// SAPSketchDim returns the sketch size of a SAP solve on a tall m×n
+// matrix: d = ⌈γ·n⌉ clamped to at least n+1.
+func SAPSketchDim(n int, opts Options) int {
+	d := int(math.Ceil(opts.gamma() * float64(n)))
+	if d < n+1 {
+		d = n + 1
+	}
+	return d
+}
+
+// MinNormSketchDim returns the sketch size of the min-norm pipeline on a
+// wide m×n matrix (the transpose is sketched): d = ⌈γ·m⌉, at least m+1.
+func MinNormSketchDim(m int, opts Options) int {
+	d := int(math.Ceil(opts.gamma() * float64(m)))
+	if d < m+1 {
+		d = m + 1
+	}
+	return d
+}
+
+// Precond is the reusable product of a SAP preconditioner build: the R
+// factor (SAP-QR, min-norm) or the V/Σ pair (SAP-SVD), plus the build
+// timings so a solve served from a cache can still report Table IX's
+// sketch/factor columns. A Precond is immutable after construction and
+// safe for concurrent SolvePrecond calls.
+type Precond struct {
+	// Method is the family the factors belong to: MethodSAPQR,
+	// MethodSAPSVD or MethodMinNorm.
+	Method Method
+	// R is the d×n upper-triangular factor (SAP-QR; m×m for min-norm).
+	R *dense.Matrix
+	// V and Sigma are the SVD factors (SAP-SVD).
+	V     *dense.Matrix
+	Sigma []float64
+	// SketchBytes is the footprint of the sketch Â consumed by the build,
+	// charged to Info.MemoryBytes exactly as the one-shot solvers do.
+	SketchBytes int64
+	// SketchTime and FactorTime are the build-stage costs.
+	SketchTime time.Duration
+	FactorTime time.Duration
+}
+
+// FactorBytes is the resident footprint of the factors themselves — what a
+// preconditioner cache holds.
+func (p *Precond) FactorBytes() int64 {
+	var b int64
+	if p.R != nil {
+		b += p.R.MemoryBytes()
+	}
+	if p.V != nil {
+		b += p.V.MemoryBytes()
+	}
+	b += int64(len(p.Sigma)) * 8
+	return b
+}
+
+// MemoryBytes is the solve-workspace charge: sketch plus factors, matching
+// the one-shot solvers' Info.MemoryBytes convention.
+func (p *Precond) MemoryBytes() int64 { return p.SketchBytes + p.FactorBytes() }
+
+// lsqrOptions maps solver options to LSQR options, wiring the progress
+// callback and, when ctx is cancellable, the per-iteration interrupt poll.
+func (o *Options) lsqrOptions(ctx context.Context) lsqr.Options {
+	lo := lsqr.Options{Atol: o.Atol, MaxIters: o.MaxIters, Progress: o.Progress}
+	if ctx != nil && ctx.Done() != nil {
+		lo.Interrupt = ctx.Err
+	}
+	return lo
+}
+
+// defaultSketch is the SketchFunc used when the caller does not supply
+// one: a fresh plan per build, executed under ctx. Bit-identical to
+// sketchWithPlan (Execute is ExecuteContext with a background context).
+func defaultSketch(ctx context.Context, a *sparse.CSC, d int, o core.Options) (*dense.Matrix, time.Duration, error) {
+	t0 := time.Now()
+	p, err := core.NewPlan(a, d, o)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer p.Close()
+	ahat := dense.NewMatrix(d, a.N)
+	if _, err := p.ExecuteContext(ctx, ahat); err != nil {
+		return nil, 0, err
+	}
+	return ahat, time.Since(t0), nil
+}
+
+// BuildPrecond builds the preconditioner stage of a SAP solve for
+// MethodSAPQR, MethodSAPSVD or MethodMinNorm (which sketches Aᵀ).
+// MethodLSQRD and MethodDirect have no cacheable preconditioner and are
+// rejected.
+func BuildPrecond(ctx context.Context, method Method, a *sparse.CSC, opts Options) (*Precond, error) {
+	return BuildPrecondSketch(ctx, method, a, opts, nil)
+}
+
+// BuildPrecondSketch is BuildPrecond with an injected sketch routine (nil
+// selects the direct planner path). For MethodMinNorm the sketch function
+// receives Aᵀ, not A.
+func BuildPrecondSketch(ctx context.Context, method Method, a *sparse.CSC, opts Options, sketch SketchFunc) (*Precond, error) {
+	if sketch == nil {
+		sketch = defaultSketch
+	}
+	switch method {
+	case MethodSAPQR, MethodSAPSVD:
+		d := SAPSketchDim(a.N, opts)
+		ahat, skTime, err := sketch(ctx, a, d, opts.Sketch)
+		if err != nil {
+			return nil, err
+		}
+		p := &Precond{Method: method, SketchBytes: ahat.MemoryBytes(), SketchTime: skTime}
+		t0 := time.Now()
+		if method == MethodSAPQR {
+			qr := linalg.NewQRBlocked(ahat)
+			p.R = qr.R()
+			p.FactorTime = time.Since(t0)
+			if qr.RDiagMin() == 0 {
+				return nil, fmt.Errorf("solver: sketch is numerically rank deficient; use SAP-SVD")
+			}
+		} else {
+			svd := linalg.NewSVD(ahat, 0)
+			p.V, p.Sigma = svd.V, svd.Sigma
+			p.FactorTime = time.Since(t0)
+		}
+		return p, nil
+	case MethodMinNorm:
+		if a.M > a.N {
+			return nil, fmt.Errorf("solver: SolveMinNorm wants a wide matrix, got %dx%d (use SolveSAPQR)", a.M, a.N)
+		}
+		at := a.Transpose() // tall n×m
+		d := MinNormSketchDim(a.M, opts)
+		ahat, skTime, err := sketch(ctx, at, d, opts.Sketch)
+		if err != nil {
+			return nil, err
+		}
+		p := &Precond{Method: MethodMinNorm, SketchBytes: ahat.MemoryBytes(), SketchTime: skTime}
+		t0 := time.Now()
+		qr := linalg.NewQRBlocked(ahat)
+		p.R = qr.R()
+		p.FactorTime = time.Since(t0)
+		if qr.RDiagMin() == 0 {
+			return nil, fmt.Errorf("solver: Aᵀ sketch is numerically rank deficient; A is not full row rank")
+		}
+		return p, nil
+	default:
+		return nil, fmt.Errorf("solver: %v has no cacheable preconditioner", method)
+	}
+}
+
+// SolvePrecond runs the iterative stage of a SAP solve against a prebuilt
+// preconditioner. Info carries the build's sketch/factor timings from p;
+// Info.Total covers only this call (callers composing a full solve
+// overwrite it). Bit-identical to the corresponding one-shot solver for
+// the same (a, b, opts) and an identically-built p, which is what makes
+// preconditioner caching transparent.
+func SolvePrecond(ctx context.Context, a *sparse.CSC, b []float64, p *Precond, opts Options) ([]float64, Info, error) {
+	info := Info{Method: p.Method, SketchTime: p.SketchTime, FactorTime: p.FactorTime}
+	start := time.Now()
+	lo := opts.lsqrOptions(ctx)
+	var res lsqr.Result
+	var err error
+	t0 := time.Now()
+	switch p.Method {
+	case MethodSAPQR:
+		lo.Precond = lsqr.UpperTriangular{R: p.R}
+		res, err = lsqr.Solve(a, b, lo)
+	case MethodSAPSVD:
+		drop := opts.SVDDrop
+		if drop == 0 {
+			drop = 1e-12
+		}
+		lo.Precond = lsqr.SigmaV{V: p.V, Sigma: p.Sigma, Drop: drop}
+		res, err = lsqr.Solve(a, b, lo)
+	case MethodMinNorm:
+		if len(b) != a.M {
+			return nil, info, fmt.Errorf("solver: len(b)=%d, want m=%d", len(b), a.M)
+		}
+		// Left-preconditioned right-hand side: R⁻ᵀ·b.
+		rhs := append([]float64(nil), b...)
+		dense.TrsvUpperT(p.R, rhs)
+		res, err = lsqr.SolveOp(&leftPrecondOp{a: a, r: p.R}, rhs, lo)
+	default:
+		return nil, info, fmt.Errorf("solver: SolvePrecond: unsupported method %v", p.Method)
+	}
+	info.IterTime = time.Since(t0)
+	if err != nil {
+		return nil, info, err
+	}
+	info.Iters = res.Iters
+	info.Converged = res.Converged
+	info.MemoryBytes = p.MemoryBytes()
+	info.Total = time.Since(start)
+	return res.X, info, nil
+}

@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -39,6 +40,14 @@ type RSVDResult struct {
 // powerIters > 0 adds subspace (power) iterations for spectra with slow
 // decay; oversample p defaults to 8.
 func RandSVD(a *sparse.CSC, rank, oversample, powerIters int, opts core.Options) (*RSVDResult, error) {
+	return RandSVDContext(context.Background(), a, rank, oversample, powerIters, opts)
+}
+
+// RandSVDContext is RandSVD with cancellation: ctx aborts the range-finder
+// sketch between kernel tasks and is polled between power iterations and
+// before the final dense factorization. Bit-identical to RandSVD when ctx
+// never fires.
+func RandSVDContext(ctx context.Context, a *sparse.CSC, rank, oversample, powerIters int, opts core.Options) (*RSVDResult, error) {
 	if rank <= 0 {
 		return nil, fmt.Errorf("solver: RandSVD rank=%d must be positive", rank)
 	}
@@ -63,7 +72,7 @@ func RandSVD(a *sparse.CSC, rank, oversample, powerIters int, opts core.Options)
 	// random matrix Ω is S itself, generated on the fly.
 	at := a.Transpose() // n×m
 	// k×m sketch of Aᵀ: rows span the row space of Aᵀ = column space of A.
-	yt, sketchTime, err := sketchWithPlan(at, k, opts)
+	yt, sketchTime, err := defaultSketch(ctx, at, k, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -72,6 +81,9 @@ func RandSVD(a *sparse.CSC, rank, oversample, powerIters int, opts core.Options)
 	// Optional power iterations: Y ← A·(Aᵀ·Y), re-orthonormalising each
 	// pass for stability.
 	for q := 0; q < powerIters; q++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		y = orthonormalColumns(y)
 		z := dense.NewMatrix(a.N, y.Cols) // Z = Aᵀ·Y
 		for c := 0; c < y.Cols; c++ {
@@ -81,6 +93,9 @@ func RandSVD(a *sparse.CSC, rank, oversample, powerIters int, opts core.Options)
 		for c := 0; c < z.Cols; c++ {
 			a.MulVec(z.Col(c), y.Col(c))
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	q := orthonormalColumns(y) // m×k orthonormal basis of the sample space
 

@@ -7,13 +7,13 @@
 package solver
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
 
 	"sketchsp/internal/core"
 	"sketchsp/internal/dense"
-	"sketchsp/internal/linalg"
 	"sketchsp/internal/lsqr"
 	"sketchsp/internal/sparse"
 	"sketchsp/internal/sparseqr"
@@ -22,12 +22,19 @@ import (
 // Method identifies a least-squares solver.
 type Method int
 
-// The solvers compared in Tables IX–XI.
+// The solvers compared in Tables IX–XI, plus the min-norm and RandSVD
+// request modes the serving layer dispatches on.
 const (
 	MethodSAPQR Method = iota
 	MethodSAPSVD
 	MethodLSQRD
 	MethodDirect
+	// MethodMinNorm is the underdetermined min-‖x‖ pipeline of footnote 2
+	// (SolveMinNorm): SAP-QR on Aᵀ used as a left preconditioner.
+	MethodMinNorm
+	// MethodRandSVD tags randomized low-rank factorization requests. It is
+	// not a least-squares method: Solve rejects it, callers use RandSVD.
+	MethodRandSVD
 )
 
 // String implements fmt.Stringer for Method.
@@ -41,6 +48,10 @@ func (m Method) String() string {
 		return "LSQR-D"
 	case MethodDirect:
 		return "SuiteSparse-like direct"
+	case MethodMinNorm:
+		return "min-norm"
+	case MethodRandSVD:
+		return "RandSVD"
 	default:
 		return fmt.Sprintf("Method(%d)", int(m))
 	}
@@ -61,6 +72,10 @@ type Options struct {
 	// SVDDrop is the relative singular-value truncation for SAP-SVD
 	// (paper: 1e-12); 0 selects it.
 	SVDDrop float64
+	// Progress, when non-nil, receives LSQR's per-iteration (iteration,
+	// residual-norm estimate) pairs. Purely observational: results are
+	// bit-identical with or without it. Ignored by MethodDirect.
+	Progress func(iter int, resid float64)
 }
 
 func (o *Options) gamma() float64 {
@@ -133,88 +148,56 @@ func ErrorMetric(a *sparse.CSC, x, b []float64) float64 {
 // Â = S·A, Â = QR, then LSQR on A·R⁻¹ (§V-C1). Intended for full-rank,
 // possibly ill-conditioned problems.
 func SolveSAPQR(a *sparse.CSC, b []float64, opts Options) ([]float64, Info, error) {
-	info := Info{Method: MethodSAPQR}
-	start := time.Now()
+	return SolveSAPQRContext(context.Background(), a, b, opts)
+}
 
-	d := int(math.Ceil(opts.gamma() * float64(a.N)))
-	if d < a.N+1 {
-		d = a.N + 1
-	}
-	ahat, skTime, err := sketchWithPlan(a, d, opts.Sketch)
-	if err != nil {
-		return nil, info, err
-	}
-	info.SketchTime = skTime
-
-	t0 := time.Now()
-	qr := linalg.NewQRBlocked(ahat)
-	r := qr.R()
-	info.FactorTime = time.Since(t0)
-	if qr.RDiagMin() == 0 {
-		return nil, info, fmt.Errorf("solver: sketch is numerically rank deficient; use SAP-SVD")
-	}
-
-	t0 = time.Now()
-	res, err := lsqr.Solve(a, b, lsqr.Options{
-		Atol: opts.Atol, MaxIters: opts.MaxIters,
-		Precond: lsqr.UpperTriangular{R: r},
-	})
-	info.IterTime = time.Since(t0)
-	if err != nil {
-		return nil, info, err
-	}
-	info.Iters = res.Iters
-	info.Converged = res.Converged
-	info.MemoryBytes = ahat.MemoryBytes() + r.MemoryBytes()
-	info.Total = time.Since(start)
-	return res.X, info, nil
+// SolveSAPQRContext is SolveSAPQR with cancellation: ctx aborts both the
+// sketch (between kernel tasks) and the LSQR loop (between iterations).
+// Results are bit-identical to SolveSAPQR when ctx never fires.
+func SolveSAPQRContext(ctx context.Context, a *sparse.CSC, b []float64, opts Options) ([]float64, Info, error) {
+	return solveSAP(ctx, MethodSAPQR, a, b, opts)
 }
 
 // SolveSAPSVD runs sketch-and-precondition with an SVD-based preconditioner
 // V·Σ⁺ built from Â = U·Σ·Vᵀ, dropping σ ≤ σmax·SVDDrop — the paper's
 // treatment for problems with singular values near zero.
 func SolveSAPSVD(a *sparse.CSC, b []float64, opts Options) ([]float64, Info, error) {
-	info := Info{Method: MethodSAPSVD}
+	return SolveSAPSVDContext(context.Background(), a, b, opts)
+}
+
+// SolveSAPSVDContext is SolveSAPSVD with cancellation (see
+// SolveSAPQRContext).
+func SolveSAPSVDContext(ctx context.Context, a *sparse.CSC, b []float64, opts Options) ([]float64, Info, error) {
+	return solveSAP(ctx, MethodSAPSVD, a, b, opts)
+}
+
+// solveSAP composes the two stages every SAP solve shares: build the
+// preconditioner (sketch + factor), then run the iterative stage. Keeping
+// the stages behind BuildPrecond/SolvePrecond lets the service layer cache
+// the first and replay only the second, bit-identically.
+func solveSAP(ctx context.Context, method Method, a *sparse.CSC, b []float64, opts Options) ([]float64, Info, error) {
 	start := time.Now()
-
-	d := int(math.Ceil(opts.gamma() * float64(a.N)))
-	if d < a.N+1 {
-		d = a.N + 1
+	p, err := BuildPrecondSketch(ctx, method, a, opts, nil)
+	if err != nil {
+		return nil, Info{Method: method}, err
 	}
-	ahat, skTime, err := sketchWithPlan(a, d, opts.Sketch)
+	x, info, err := SolvePrecond(ctx, a, b, p, opts)
 	if err != nil {
 		return nil, info, err
 	}
-	info.SketchTime = skTime
-
-	t0 := time.Now()
-	svd := linalg.NewSVD(ahat, 0)
-	info.FactorTime = time.Since(t0)
-
-	drop := opts.SVDDrop
-	if drop == 0 {
-		drop = 1e-12
-	}
-	t0 = time.Now()
-	res, err := lsqr.Solve(a, b, lsqr.Options{
-		Atol: opts.Atol, MaxIters: opts.MaxIters,
-		Precond: lsqr.SigmaV{V: svd.V, Sigma: svd.Sigma, Drop: drop},
-	})
-	info.IterTime = time.Since(t0)
-	if err != nil {
-		return nil, info, err
-	}
-	info.Iters = res.Iters
-	info.Converged = res.Converged
-	info.MemoryBytes = ahat.MemoryBytes() + svd.V.MemoryBytes() + int64(len(svd.Sigma))*8
 	info.Total = time.Since(start)
-	return res.X, info, nil
+	return x, info, nil
 }
 
 // SolveLSQRD is the classical baseline: LSQR with the diagonal
 // preconditioner D_ii = 1/‖A_i‖₂, guarded so that columns with
 // ‖A_i‖ ≤ ε·√n·max_j ‖A_j‖ keep D_ii = 1 (§V-C1).
 func SolveLSQRD(a *sparse.CSC, b []float64, opts Options) ([]float64, Info, error) {
+	return SolveLSQRDContext(context.Background(), a, b, opts)
+}
+
+// SolveLSQRDContext is SolveLSQRD with cancellation between iterations.
+func SolveLSQRDContext(ctx context.Context, a *sparse.CSC, b []float64, opts Options) ([]float64, Info, error) {
 	info := Info{Method: MethodLSQRD}
 	start := time.Now()
 	norms := a.ColNorms()
@@ -234,10 +217,9 @@ func SolveLSQRD(a *sparse.CSC, b []float64, opts Options) ([]float64, Info, erro
 		}
 	}
 	t0 := time.Now()
-	res, err := lsqr.Solve(a, b, lsqr.Options{
-		Atol: opts.Atol, MaxIters: opts.MaxIters,
-		Precond: lsqr.Diagonal{D: dvec},
-	})
+	lo := opts.lsqrOptions(ctx)
+	lo.Precond = lsqr.Diagonal{D: dvec}
+	res, err := lsqr.Solve(a, b, lo)
 	info.IterTime = time.Since(t0)
 	if err != nil {
 		return nil, info, err
@@ -273,15 +255,32 @@ func SolveDirect(a *sparse.CSC, b []float64, _ Options) ([]float64, Info, error)
 
 // Solve dispatches on method.
 func Solve(method Method, a *sparse.CSC, b []float64, opts Options) ([]float64, Info, error) {
+	return SolveContext(context.Background(), method, a, b, opts)
+}
+
+// SolveContext is Solve with cancellation and progress: ctx aborts the
+// sketch between kernel tasks and the LSQR loop between iterations, and
+// opts.Progress observes each iteration. MethodDirect only honours ctx
+// before the factorization starts (the sparse QR itself is one
+// uninterruptible step). When ctx never fires, results are bit-identical
+// to Solve.
+func SolveContext(ctx context.Context, method Method, a *sparse.CSC, b []float64, opts Options) ([]float64, Info, error) {
 	switch method {
 	case MethodSAPQR:
-		return SolveSAPQR(a, b, opts)
+		return SolveSAPQRContext(ctx, a, b, opts)
 	case MethodSAPSVD:
-		return SolveSAPSVD(a, b, opts)
+		return SolveSAPSVDContext(ctx, a, b, opts)
 	case MethodLSQRD:
-		return SolveLSQRD(a, b, opts)
+		return SolveLSQRDContext(ctx, a, b, opts)
+	case MethodMinNorm:
+		return SolveMinNormContext(ctx, a, b, opts)
 	case MethodDirect:
+		if err := ctx.Err(); err != nil {
+			return nil, Info{Method: MethodDirect}, err
+		}
 		return SolveDirect(a, b, opts)
+	case MethodRandSVD:
+		return nil, Info{Method: MethodRandSVD}, fmt.Errorf("solver: MethodRandSVD is not a least-squares method; use RandSVD")
 	default:
 		return nil, Info{}, fmt.Errorf("solver: unknown method %d", int(method))
 	}

@@ -28,6 +28,16 @@ import (
 //     the payload holds two entries — the size guard must refuse to
 //     allocate before touching the arrays.
 //
+// The v4 solve messages add three more:
+//
+//   - solve-bad-method: a well-formed solve request whose method byte is
+//     one past the last defined SolveMethod.
+//   - solve-bad-flags: a solve request with an undefined flag bit set —
+//     unknown flags must be rejected, not ignored, so the bits stay free
+//     for future versions.
+//   - jobstatus-bad-state: a job status whose state byte is past
+//     StateCancelled.
+//
 // The seeds are generated deterministically from the codec itself; run
 //
 //	WIRE_CORPUS_WRITE=1 go test ./internal/wire -run TestCommittedCorpusSeeds
@@ -69,10 +79,36 @@ func corpusSeeds(t *testing.T) map[string][]byte {
 	copy(pp[16:24], huge)
 	oversized := mustFrame(MsgMatrixPut, pp)
 
+	// Seed 4: solve request with method byte one past SolveRandSVD. The
+	// method is payload byte 0.
+	sp := AppendSolveRequest(nil, &SolveRequest{
+		Method: SolveSAPQR, Gamma: 4, B: []float64{1, 2}, A: a,
+	})
+	sp[0] = byte(maxSolveMethod) + 1
+	badMethod := mustFrame(MsgSolveRequest, sp)
+
+	// Seed 5: solve request with undefined flag bit 2 set (byte 1).
+	fp := AppendSolveRequest(nil, &SolveRequest{
+		Method: SolveLSQRD, B: []float64{0.5}, A: a,
+	})
+	fp[1] |= 4
+	badFlags := mustFrame(MsgSolveRequest, fp)
+
+	// Seed 6: job status whose state byte (payload byte 1) is past
+	// StateCancelled.
+	jp := AppendJobStatus(nil, &JobStatus{
+		Status: StatusOK, ID: "c0ffee", State: 1, Iters: 3, Resid: 0.5,
+	})
+	jp[1] = 9
+	badState := mustFrame(MsgJobStatus, jp)
+
 	return map[string][]byte{
 		"ref-truncated-fingerprint": truncated,
 		"delta-overlapping-rows":    overlapping,
 		"put-oversized-nnz":         oversized,
+		"solve-bad-method":          badMethod,
+		"solve-bad-flags":           badFlags,
+		"jobstatus-bad-state":       badState,
 	}
 }
 
@@ -92,6 +128,10 @@ func TestCommittedCorpusSeeds(t *testing.T) {
 			_, err = DecodeMatrixDelta(payload)
 		case MsgMatrixPut:
 			_, err = DecodeMatrixPut(payload)
+		case MsgSolveRequest:
+			_, err = DecodeSolveRequest(payload)
+		case MsgJobStatus:
+			_, err = DecodeJobStatus(payload)
 		default:
 			t.Fatalf("%s: unexpected type %v", name, typ)
 		}

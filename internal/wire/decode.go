@@ -152,18 +152,25 @@ func decodeRequestFixed(payload []byte) (int, core.Options, error) {
 	if d > MaxDim {
 		return 0, core.Options{}, fmt.Errorf("%w: sketch size %d exceeds MaxDim", ErrMalformed, d)
 	}
+	opts, err := decodeSketchOpts(payload[8:])
+	return int(d), opts, err
+}
+
+// decodeSketchOpts parses an optsWireSize core.Options block. The caller
+// guarantees len(payload) >= optsWireSize.
+func decodeSketchOpts(payload []byte) (core.Options, error) {
 	var opts core.Options
-	opts.Seed = getU64(payload[8:])
-	alg := int64(getU64(payload[16:]))
-	dist := int64(getU64(payload[24:]))
-	src := int64(getU64(payload[32:]))
-	blockD := int64(getU64(payload[40:]))
-	blockN := int64(getU64(payload[48:]))
-	workers := int64(getU64(payload[56:]))
-	sched := int64(getU64(payload[64:]))
-	sparsity := int64(getU64(payload[72:]))
-	rngCost := math.Float64frombits(getU64(payload[80:]))
-	flags := payload[88]
+	opts.Seed = getU64(payload[0:])
+	alg := int64(getU64(payload[8:]))
+	dist := int64(getU64(payload[16:]))
+	src := int64(getU64(payload[24:]))
+	blockD := int64(getU64(payload[32:]))
+	blockN := int64(getU64(payload[40:]))
+	workers := int64(getU64(payload[48:]))
+	sched := int64(getU64(payload[56:]))
+	sparsity := int64(getU64(payload[64:]))
+	rngCost := math.Float64frombits(getU64(payload[72:]))
+	flags := payload[80]
 
 	// Enum domains. These guards are load-bearing, not cosmetic: an
 	// out-of-domain Source or Dist would panic inside rng.NewSource /
@@ -173,23 +180,23 @@ func decodeRequestFixed(payload []byte) (int, core.Options, error) {
 	// here, never silently mapped to a default distribution.
 	switch {
 	case alg < int64(core.AlgAuto) || alg > int64(core.Alg4):
-		return 0, opts, fmt.Errorf("%w: algorithm %d out of domain", ErrMalformed, alg)
+		return opts, fmt.Errorf("%w: algorithm %d out of domain", ErrMalformed, alg)
 	case dist < int64(rng.Uniform11) || dist > int64(rng.CountSketch):
-		return 0, opts, fmt.Errorf("%w: distribution %d out of domain", ErrMalformed, dist)
+		return opts, fmt.Errorf("%w: distribution %d out of domain", ErrMalformed, dist)
 	case src < int64(rng.SourceBatchXoshiro) || src > int64(rng.SourcePhilox):
-		return 0, opts, fmt.Errorf("%w: rng source %d out of domain", ErrMalformed, src)
+		return opts, fmt.Errorf("%w: rng source %d out of domain", ErrMalformed, src)
 	case sched < int64(core.SchedWeighted) || sched > int64(core.SchedUniform):
-		return 0, opts, fmt.Errorf("%w: scheduler %d out of domain", ErrMalformed, sched)
+		return opts, fmt.Errorf("%w: scheduler %d out of domain", ErrMalformed, sched)
 	case blockD < 0 || blockD > MaxDim || blockN < 0 || blockN > MaxDim:
-		return 0, opts, fmt.Errorf("%w: block sizes (%d, %d) out of domain", ErrMalformed, blockD, blockN)
+		return opts, fmt.Errorf("%w: block sizes (%d, %d) out of domain", ErrMalformed, blockD, blockN)
 	case workers < 0 || workers > 1<<20:
-		return 0, opts, fmt.Errorf("%w: workers %d out of domain", ErrMalformed, workers)
+		return opts, fmt.Errorf("%w: workers %d out of domain", ErrMalformed, workers)
 	case sparsity < 0 || sparsity > MaxDim:
-		return 0, opts, fmt.Errorf("%w: sparsity %d out of domain", ErrMalformed, sparsity)
+		return opts, fmt.Errorf("%w: sparsity %d out of domain", ErrMalformed, sparsity)
 	case math.IsNaN(rngCost) || math.IsInf(rngCost, 0) || rngCost < 0:
-		return 0, opts, fmt.Errorf("%w: non-finite or negative RNGCost", ErrMalformed)
+		return opts, fmt.Errorf("%w: non-finite or negative RNGCost", ErrMalformed)
 	case flags&^3 != 0:
-		return 0, opts, fmt.Errorf("%w: unknown request flags %#x", ErrMalformed, flags)
+		return opts, fmt.Errorf("%w: unknown request flags %#x", ErrMalformed, flags)
 	}
 	opts.Algorithm = core.Algorithm(alg)
 	opts.Dist = rng.Distribution(dist)
@@ -202,7 +209,7 @@ func decodeRequestFixed(payload []byte) (int, core.Options, error) {
 	opts.RNGCost = rngCost
 	opts.Timed = flags&1 != 0
 	opts.TuneBlockN = flags&2 != 0
-	return int(d), opts, nil
+	return opts, nil
 }
 
 // DecodeResponse decodes a single-response payload.

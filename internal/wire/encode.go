@@ -71,9 +71,14 @@ func AppendDense(dst []byte, m *dense.Matrix) []byte {
 // the embedded CSC: d, seed, 8 option integers, rngCost, flag byte.
 const requestFixedSize = 8 + 8 + 8*8 + 8 + 1
 
-// AppendRequest appends the request payload for (d, opts, a) to dst.
-func AppendRequest(dst []byte, d int, opts core.Options, a *sparse.CSC) []byte {
-	dst = appendU64(dst, uint64(d))
+// optsWireSize is the encoded size of a core.Options block: seed, 8 option
+// integers, rngCost, flag byte. Shared by the sketch requests (after their
+// leading d) and the solve request (which derives d from gamma instead).
+const optsWireSize = 8 + 8*8 + 8 + 1
+
+// appendSketchOpts appends the core.Options block shared by every request
+// payload.
+func appendSketchOpts(dst []byte, opts core.Options) []byte {
 	dst = appendU64(dst, opts.Seed)
 	dst = appendU64(dst, uint64(int64(opts.Algorithm)))
 	dst = appendU64(dst, uint64(int64(opts.Dist)))
@@ -91,7 +96,13 @@ func AppendRequest(dst []byte, d int, opts core.Options, a *sparse.CSC) []byte {
 	if opts.TuneBlockN {
 		flags |= 2
 	}
-	dst = append(dst, flags)
+	return append(dst, flags)
+}
+
+// AppendRequest appends the request payload for (d, opts, a) to dst.
+func AppendRequest(dst []byte, d int, opts core.Options, a *sparse.CSC) []byte {
+	dst = appendU64(dst, uint64(d))
+	dst = appendSketchOpts(dst, opts)
 	return AppendCSC(dst, a)
 }
 

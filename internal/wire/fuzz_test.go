@@ -94,6 +94,53 @@ func FuzzWireRoundtrip(f *testing.F) {
 	f.Add(mustFrame(MsgMatrixInfo, AppendMatrixInfo(nil, &MatrixInfo{
 		Status: StatusNotFound, Detail: "no such matrix",
 	})))
+	// Solve messages (v4): sync and async requests over inline and by-ref
+	// matrices, solution and factor responses, and job-status envelopes.
+	// Rejection shapes (bad method, bad flags, bad job state) are committed
+	// corpus seeds under testdata/fuzz/FuzzWireRoundtrip.
+	f.Add(mustFrame(MsgSolveRequest, AppendSolveRequest(nil, &SolveRequest{
+		Method: SolveSAPQR, Gamma: 4, Atol: 1e-12, MaxIters: 50,
+		Opts: core.Options{Dist: rng.Rademacher, Seed: 9},
+		B:    []float64{1, -2, 0.5}, A: shapes["emptycols"],
+	})))
+	f.Add(mustFrame(MsgSolveRequest, AppendSolveRequest(nil, &SolveRequest{
+		Method: SolveRandSVD, Async: true, Rank: 3, Oversample: 2, PowerIters: 1,
+		Opts: core.Options{Dist: rng.Gaussian}, A: shapes["degenerate-0xn"],
+	})))
+	f.Add(mustFrame(MsgSolveRequest, AppendSolveRequest(nil, &SolveRequest{
+		Method: SolveMinNorm, ByRef: true, Fp: shapes["emptycols"].Fingerprint(),
+		B: []float64{2},
+	})))
+	f.Add(mustFrame(MsgSolveResponse, AppendSolveResponse(nil, &SolveResponse{
+		Status: StatusOK, Info: SolveInfo{
+			Method: SolveSAPQR, Converged: true, PrecondCached: true,
+			SketchNS: 100, IterNS: 50, TotalNS: 200, Iters: 7, MemoryBytes: 64,
+			Residual: 1e-14,
+		}, X: []float64{3, -0.25},
+	})))
+	f.Add(mustFrame(MsgSolveResponse, AppendSolveResponse(nil, &SolveResponse{
+		Status: StatusOK, Info: SolveInfo{Method: SolveRandSVD},
+		Factors: &RSVDFactors{
+			U:     dense.NewMatrixFrom(2, 1, []float64{1, 0}),
+			V:     dense.NewMatrixFrom(3, 1, []float64{0, 1, 0}),
+			Sigma: []float64{2.5},
+		},
+	})))
+	f.Add(mustFrame(MsgSolveResponse, AppendSolveResponse(nil, &SolveResponse{
+		Status: StatusBadOptions, Detail: "rank deficient",
+	})))
+	f.Add(mustFrame(MsgJobStatus, AppendJobStatus(nil, &JobStatus{
+		Status: StatusOK, ID: "a1b2c3", State: 1, Iters: 12, Resid: 0.125,
+	})))
+	f.Add(mustFrame(MsgJobStatus, AppendJobStatus(nil, &JobStatus{
+		Status: StatusOK, ID: "deadbeef-00", State: 2, Iters: 40,
+		Result: &SolveResponse{Status: StatusOK, Info: SolveInfo{
+			Method: SolveLSQRD, Converged: true, Iters: 40,
+		}, X: []float64{1}},
+	})))
+	f.Add(mustFrame(MsgJobStatus, AppendJobStatus(nil, &JobStatus{
+		Status: StatusJobNotFound, Detail: "job expired",
+	})))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		const limit = 1 << 22
@@ -172,6 +219,24 @@ func FuzzWireRoundtrip(f *testing.F) {
 			if d, err := DecodeMatrixDelta(payload); err == nil {
 				if !bytes.Equal(AppendMatrixDelta(nil, d), payload) {
 					t.Fatal("matrix-delta re-encode differs from accepted payload")
+				}
+			}
+		case MsgSolveRequest:
+			if req, err := DecodeSolveRequest(payload); err == nil {
+				if !bytes.Equal(AppendSolveRequest(nil, req), payload) {
+					t.Fatal("solve request re-encode differs from accepted payload")
+				}
+			}
+		case MsgSolveResponse:
+			if resp, err := DecodeSolveResponse(payload); err == nil {
+				if !bytes.Equal(AppendSolveResponse(nil, resp), payload) {
+					t.Fatal("solve response re-encode differs from accepted payload")
+				}
+			}
+		case MsgJobStatus:
+			if js, err := DecodeJobStatus(payload); err == nil {
+				if !bytes.Equal(AppendJobStatus(nil, js), payload) {
+					t.Fatal("job status re-encode differs from accepted payload")
 				}
 			}
 		}

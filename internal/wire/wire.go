@@ -12,9 +12,9 @@
 //
 //	offset  size  field
 //	0       3     magic "SKW"
-//	3       1     version (currently 3)
+//	3       1     version (currently 4)
 //	4       1     message type (MsgType)
-//	5       1     flags (must be 0 in version 3)
+//	5       1     flags (must be 0 in version 4)
 //	6       2     reserved (must be 0)
 //	8       4     payload length (uint32)
 //	12      ...   payload
@@ -59,6 +59,14 @@
 // applies a sparse ΔA to a stored matrix, and MsgMatrixInfo answers the put
 // and delta messages with the (possibly new) stored identity.
 //
+// Solve messages (version 4, solve.go): MsgSolveRequest carries a
+// least-squares / RandSVD solve (method, gamma/tolerance/rank options, RHS
+// vector, and either an inline CSC or a stored fingerprint),
+// MsgSolveResponse answers with the solution vector or low-rank factors
+// plus the solver's Info measurements, and MsgJobStatus reports an async
+// job's lifecycle state, progress, and — once terminal — its embedded
+// result.
+//
 // # Error taxonomy
 //
 // Statuses are the wire form of the typed errors the lower layers already
@@ -79,6 +87,7 @@ import (
 	"io"
 
 	"sketchsp/internal/core"
+	"sketchsp/internal/jobs"
 	"sketchsp/internal/service"
 	"sketchsp/internal/store"
 )
@@ -86,9 +95,10 @@ import (
 // Version is the frame format version this package encodes and accepts.
 // Version 2 added the request sparsity field (sparse sketch family);
 // version 3 added the by-reference messages (matrix put / sketch-by-ref /
-// delta) and StatusNotFound. Old frames are rejected by the version check,
-// never misparsed.
-const Version = 3
+// delta) and StatusNotFound; version 4 added the solve messages
+// (solve-request / solve-response / job-status) and StatusJobNotFound.
+// Old frames are rejected by the version check, never misparsed.
+const Version = 4
 
 // HeaderSize is the fixed frame-header length preceding every payload.
 const HeaderSize = 12
@@ -140,6 +150,17 @@ const (
 	// by its fingerprint (PATCH /v1/matrix/{fp}); answered with
 	// MsgMatrixInfo carrying the post-update identity.
 	MsgMatrixDelta MsgType = 12
+	// MsgSolveRequest is a least-squares or RandSVD solve request
+	// (POST /v1/solve); answered with MsgSolveResponse, or MsgJobStatus
+	// when the solve is admitted as an async job.
+	MsgSolveRequest MsgType = 13
+	// MsgSolveResponse is the outcome of a solve: solution vector or
+	// low-rank factors plus timing/iteration Info, or an error status.
+	MsgSolveResponse MsgType = 14
+	// MsgJobStatus reports an async job (GET/DELETE /v1/jobs/{id} and the
+	// 202 Accepted answer of POST /v1/solve): lifecycle state, iteration
+	// progress, and the embedded solve result once terminal.
+	MsgJobStatus MsgType = 15
 )
 
 // String implements fmt.Stringer for MsgType.
@@ -169,6 +190,12 @@ func (t MsgType) String() string {
 		return "sketch-ref"
 	case MsgMatrixDelta:
 		return "matrix-delta"
+	case MsgSolveRequest:
+		return "solve-request"
+	case MsgSolveResponse:
+		return "solve-response"
+	case MsgJobStatus:
+		return "job-status"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -228,10 +255,14 @@ const (
 	// 404-then-upload fallback PUTs the matrix and reissues the reference
 	// once.
 	StatusNotFound Status = 12
+	// StatusJobNotFound: the job ID named no resident job record
+	// (jobs.ErrNotFound) — it never existed, or its result aged out of the
+	// TTL/byte-budgeted retention. Not retryable: the result is gone.
+	StatusJobNotFound Status = 13
 )
 
 // maxStatus is the last defined status; decoders reject anything above it.
-const maxStatus = StatusNotFound
+const maxStatus = StatusJobNotFound
 
 // String implements fmt.Stringer for Status.
 func (s Status) String() string {
@@ -262,6 +293,8 @@ func (s Status) String() string {
 		return "internal"
 	case StatusNotFound:
 		return "not-found"
+	case StatusJobNotFound:
+		return "job-not-found"
 	default:
 		return fmt.Sprintf("Status(%d)", uint8(s))
 	}
@@ -282,6 +315,12 @@ func StatusOf(err error) Status {
 		return StatusOK
 	case errors.Is(err, store.ErrNotFound):
 		return StatusNotFound
+	case errors.Is(err, jobs.ErrNotFound):
+		return StatusJobNotFound
+	case errors.Is(err, jobs.ErrQueueFull):
+		// The jobs layer's saturation signal rides the same retryable
+		// status as admission-queue overload.
+		return StatusOverloaded
 	case errors.Is(err, service.ErrOverloaded):
 		return StatusOverloaded
 	case errors.Is(err, service.ErrClosed):
@@ -332,6 +371,8 @@ func (s Status) sentinel() error {
 		return ErrMalformed
 	case StatusNotFound:
 		return store.ErrNotFound
+	case StatusJobNotFound:
+		return jobs.ErrNotFound
 	default:
 		return ErrInternal
 	}

@@ -31,12 +31,14 @@
 package sketchsp
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"sketchsp/internal/client"
 	"sketchsp/internal/core"
 	"sketchsp/internal/dense"
+	"sketchsp/internal/jobs"
 	"sketchsp/internal/obs"
 	"sketchsp/internal/rng"
 	"sketchsp/internal/service"
@@ -44,6 +46,7 @@ import (
 	"sketchsp/internal/solver"
 	"sketchsp/internal/sparse"
 	"sketchsp/internal/store"
+	"sketchsp/internal/wire"
 )
 
 // Typed errors. Construction surfaces (Sketch, NewPlan, NewSketcher, the
@@ -259,6 +262,50 @@ type (
 // "http://127.0.0.1:7464".
 func NewClient(baseURL string, cfg ClientConfig) *Client { return client.New(baseURL, cfg) }
 
+// Served-solve protocol re-exports. Build a SolveRequest (inline CSC or a
+// stored matrix's fingerprint with ByRef), send it with Client.Solve —
+// which transparently rides the async job surface when the server queues
+// the request — or drive the job lifecycle yourself with Client.SolveAsync,
+// Client.JobStatus, Client.JobWait and Client.CancelJob.
+type (
+	// SolveRequest is the POST /v1/solve request body: method, solver
+	// knobs, sketch options, the right-hand side, and the matrix (inline
+	// or by fingerprint reference).
+	SolveRequest = wire.SolveRequest
+	// SolveResponse carries the solution (or RandSVD factors) plus the
+	// server-side timing/iteration breakdown.
+	SolveResponse = wire.SolveResponse
+	// SolveJobStatus reports one async solve job: its lifecycle state,
+	// live iteration progress, and — once terminal — the embedded result.
+	SolveJobStatus = wire.JobStatus
+	// SolveMethod selects the algorithm on the wire (it maps onto Method;
+	// Direct has no wire form).
+	SolveMethod = wire.SolveMethod
+	// JobState is an async solve job's lifecycle state.
+	JobState = jobs.State
+)
+
+// Wire solve methods.
+const (
+	WireSAPQR   = wire.SolveSAPQR
+	WireSAPSVD  = wire.SolveSAPSVD
+	WireMinNorm = wire.SolveMinNorm
+	WireLSQRD   = wire.SolveLSQRD
+	WireRandSVD = wire.SolveRandSVD
+)
+
+// Async solve job lifecycle states.
+const (
+	JobPending   = jobs.StatePending
+	JobRunning   = jobs.StateRunning
+	JobDone      = jobs.StateDone
+	JobFailed    = jobs.StateFailed
+	JobCancelled = jobs.StateCancelled
+)
+
+// ErrJobNotFound: a job ID named an unknown, expired or evicted job.
+var ErrJobNotFound = jobs.ErrNotFound
+
 // Content-addressed serving re-exports. Matrices repeat in serving
 // workloads, so the upload can be split from the request: PutMatrix stores
 // A under its structural fingerprint once, and every later sketch names
@@ -351,6 +398,13 @@ const (
 	LSQRD = solver.MethodLSQRD
 	// Direct is the sparse-QR direct solver.
 	Direct = solver.MethodDirect
+	// MinNorm is the minimum-norm solver for underdetermined systems
+	// (SolveMinNorm's method, for the served-solve request surface).
+	MinNorm = solver.MethodMinNorm
+	// RandSVDMethod names the randomized SVD on the served-solve request
+	// surface; SolveLeastSquares rejects it (RandSVD returns factors, not a
+	// least-squares solution — call RandSVD or serve it via Client.Solve).
+	RandSVDMethod = solver.MethodRandSVD
 )
 
 // SolveLeastSquares solves min ‖A·x − b‖₂ with the chosen method.
@@ -364,6 +418,18 @@ func SolveLeastSquares(method Method, a *CSC, b []float64, opts SolveOptions) ([
 // extension).
 func SolveMinNorm(a *CSC, b []float64, opts SolveOptions) ([]float64, SolveInfo, error) {
 	return solver.SolveMinNorm(a, b, opts)
+}
+
+// SolveLeastSquaresContext is SolveLeastSquares with cancellation: ctx is
+// observed between LSQR iterations (and by the sketching engine), and
+// SolveOptions.Progress receives per-iteration residual estimates.
+func SolveLeastSquaresContext(ctx context.Context, method Method, a *CSC, b []float64, opts SolveOptions) ([]float64, SolveInfo, error) {
+	return solver.SolveContext(ctx, method, a, b, opts)
+}
+
+// SolveMinNormContext is SolveMinNorm with cancellation.
+func SolveMinNormContext(ctx context.Context, a *CSC, b []float64, opts SolveOptions) ([]float64, SolveInfo, error) {
+	return solver.SolveMinNormContext(ctx, a, b, opts)
 }
 
 // RSVDResult is a rank-k approximation A ≈ U·diag(Sigma)·Vᵀ from RandSVD.
