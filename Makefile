@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci build test vet race bench bench-json fuzz-smoke
+.PHONY: ci build test vet race bench bench-json fuzz-smoke test-shard-faults
 
-ci: vet test race fuzz-smoke
+ci: vet test race test-shard-faults fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,14 @@ race:
 	$(GO) test -race ./internal/shard/...
 	$(GO) test -race -count=2 ./internal/store/...
 	$(GO) test -race -count=2 ./internal/jobs/...
+
+# The coordinator fault suite: hedging (fires/wins/loser-cancelled/
+# duplicate-rejected), dynamic membership mid-fan-out, churn under load,
+# ring movement properties, and batch fan-out — twice under the race
+# detector, because every one of these paths is timer-vs-response
+# concurrency and a lucky first interleaving must not green the gate.
+test-shard-faults:
+	$(GO) test -race -count=2 -run 'TestHedge|TestDuplicate|TestMembership|TestWatchPeers|TestBatch|TestRing' ./internal/shard/
 
 # Short coverage-guided run of the wire fuzzer (v4 frames: solve and
 # job-status messages included); the committed corpus seeds always replay,
@@ -62,3 +70,4 @@ bench-json:
 	$(GO) run ./cmd/spmmbench -skew -scale 0.05 -json BENCH_PR7.json
 	$(GO) run ./cmd/spmmbench -byref -requests 200 -json BENCH_PR8.json
 	$(GO) run ./cmd/spmmbench -serve-solve -json BENCH_PR9.json
+	$(GO) run ./cmd/spmmbench -serve-shard-faults -json BENCH_PR10.json

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"context"
+	"time"
+
+	"sketchsp/internal/core"
+	"sketchsp/internal/dense"
+	"sketchsp/internal/service"
+	"sketchsp/internal/sparse"
+)
+
+// delayBackend is the -fault-delay straggler: a real service whose every
+// sketch call arrives late. It exists for hedging A/B benchmarks and the
+// cluster fault e2e — one worker started with -fault-delay 60ms turns a
+// healthy cluster into the tail-at-scale scenario the coordinator's
+// hedging is built for, without touching any production code path. The
+// sleep is context-aware so a hedged-away (cancelled) request releases
+// immediately instead of occupying an execute slot.
+type delayBackend struct {
+	inner service.Backend
+	delay time.Duration
+}
+
+func (b *delayBackend) sleep(ctx context.Context) error {
+	t := time.NewTimer(b.delay)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+func (b *delayBackend) Sketch(ctx context.Context, a *sparse.CSC, d int, opts core.Options) (*dense.Matrix, core.Stats, error) {
+	if err := b.sleep(ctx); err != nil {
+		return nil, core.Stats{}, err
+	}
+	return b.inner.Sketch(ctx, a, d, opts)
+}
+
+func (b *delayBackend) SketchBatch(ctx context.Context, reqs []service.Request) []service.Response {
+	if err := b.sleep(ctx); err != nil {
+		resps := make([]service.Response, len(reqs))
+		for i := range resps {
+			resps[i] = service.Response{Err: err}
+		}
+		return resps
+	}
+	return b.inner.SketchBatch(ctx, reqs)
+}
+
+func (b *delayBackend) Close() { b.inner.Close() }

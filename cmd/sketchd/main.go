@@ -66,9 +66,16 @@ func main() {
 		jobTTL       = flag.Duration("job-ttl", 0, "how long a finished job's result stays fetchable (0 = default 10m)")
 		jobResultMB  = flag.Int64("job-results-mb", 0, "summed result budget of finished jobs in MiB (0 = default 256, negative = unbounded)")
 
-		peers        = flag.String("peers", "", "comma-separated worker base URLs; non-empty switches to coordinator mode")
-		shards       = flag.Int("shards", 0, "column shards per request in coordinator mode (0 = one per peer)")
-		peerCooldown = flag.Duration("peer-cooldown", 5*time.Second, "how long a failed peer is avoided by shard routing")
+		peers         = flag.String("peers", "", "comma-separated worker base URLs; non-empty switches to coordinator mode")
+		peersFile     = flag.String("peers-file", "", "file of worker base URLs (newline/comma separated, # comments); switches to coordinator mode, mutually exclusive with -peers")
+		peersWatch    = flag.Duration("peers-watch", 2*time.Second, "poll interval for -peers-file membership updates (0 = read once)")
+		shards        = flag.Int("shards", 0, "column shards per request in coordinator mode (0 = one per peer)")
+		peerCooldown  = flag.Duration("peer-cooldown", 5*time.Second, "how long a failed peer is avoided by shard routing")
+		hedgeQuantile = flag.Float64("hedge-quantile", 0, "latency quantile after which a slow shard RPC is hedged to the next peer (0 = off; try 0.95)")
+		hedgeMaxDelay = flag.Duration("hedge-max-delay", 100*time.Millisecond, "hedge delay cap, also used while a peer's latency window is cold")
+		shardBatch    = flag.Bool("shard-batch", true, "group same-peer shards of a request into one batch frame")
+
+		faultDelay = flag.Duration("fault-delay", 0, "TESTING: delay every sketch on this worker (straggler injection for hedging benchmarks)")
 	)
 	flag.Parse()
 	if args := flag.Args(); len(args) != 0 {
@@ -97,25 +104,42 @@ func main() {
 			MaxResultBytes: *jobResultMB << 20,
 		},
 	}
-	if *peers != "" {
+	if *peers != "" && *peersFile != "" {
+		log.Fatalf("sketchd: -peers and -peers-file are mutually exclusive")
+	}
+	if *peers != "" || *peersFile != "" {
 		var peerList []string
-		for _, p := range strings.Split(*peers, ",") {
-			if p = strings.TrimSpace(p); p != "" {
-				peerList = append(peerList, p)
+		if *peersFile != "" {
+			var err error
+			if peerList, err = shard.ReadPeersFile(*peersFile); err != nil {
+				log.Fatalf("sketchd: peers-file: %v", err)
+			}
+		} else {
+			for _, p := range strings.Split(*peers, ",") {
+				if p = strings.TrimSpace(p); p != "" {
+					peerList = append(peerList, p)
+				}
 			}
 		}
 		coord, err := shard.New(shard.Config{
-			Peers:        peerList,
-			Shards:       *shards,
-			PeerCooldown: *peerCooldown,
-			StoreBytes:   *storeMB << 20,
+			Peers:         peerList,
+			Shards:        *shards,
+			PeerCooldown:  *peerCooldown,
+			HedgeQuantile: *hedgeQuantile,
+			HedgeMaxDelay: *hedgeMaxDelay,
+			DisableBatch:  !*shardBatch,
+			StoreBytes:    *storeMB << 20,
 		})
 		if err != nil {
 			log.Fatalf("sketchd: coordinator: %v", err)
 		}
 		cfg.Metrics = coord.Registry()
 		srv = server.NewBackend(coord, cfg)
-		cleanup = coord.Close
+		stopWatch := func() {}
+		if *peersFile != "" && *peersWatch > 0 {
+			stopWatch = coord.WatchPeersFile(*peersFile, *peersWatch)
+		}
+		cleanup = func() { stopWatch(); coord.Close() }
 		mode = fmt.Sprintf("coordinator over %d peers, %d shards/request", len(coord.Peers()), *shards)
 	} else {
 		svc := service.New(service.Config{
@@ -127,9 +151,18 @@ func main() {
 			SketchCacheBytes:  *sketchCacheMB << 20,
 			PrecondCacheBytes: *precondMB << 20,
 		})
-		srv = server.New(svc, cfg)
+		if *faultDelay > 0 {
+			// Straggler injection for hedging A/Bs: same service, same
+			// handler, every sketch just arrives late. Metrics still come
+			// from the real service underneath.
+			cfg.Metrics = svc.Registry()
+			srv = server.NewBackend(&delayBackend{inner: svc, delay: *faultDelay}, cfg)
+			mode = fmt.Sprintf("worker (cache=%d inflight=%d queue=%d fault-delay=%v)", *cache, *maxInFlight, *maxQueue, *faultDelay)
+		} else {
+			srv = server.New(svc, cfg)
+			mode = fmt.Sprintf("worker (cache=%d inflight=%d queue=%d)", *cache, *maxInFlight, *maxQueue)
+		}
 		cleanup = svc.Close
-		mode = fmt.Sprintf("worker (cache=%d inflight=%d queue=%d)", *cache, *maxInFlight, *maxQueue)
 	}
 
 	l, err := net.Listen("tcp", *addr)

@@ -48,7 +48,7 @@ var (
 
 func main() {
 	flag.Parse()
-	if !*all && *table == 0 && *fig == 0 && !*skew && !*serve && !*serveHTTP && !*serveShard && !*byref && !*serveSolve {
+	if !*all && *table == 0 && *fig == 0 && !*skew && !*serve && !*serveHTTP && !*serveShard && !*serveShardFaults && !*byref && !*serveSolve {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -81,6 +81,9 @@ func main() {
 	}
 	if *serveShard {
 		serveShardSuite()
+	}
+	if *serveShardFaults {
+		serveShardFaultsSuite()
 	}
 	if *byref {
 		byrefSuite()

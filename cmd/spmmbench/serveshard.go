@@ -96,8 +96,9 @@ func buildSketchdBin() (string, func(), error) {
 }
 
 // startShardWorker launches one sketchd worker and returns its URL and a
-// stop function (SIGTERM, bounded wait).
-func startShardWorker(bin string, cache int) (string, func(), error) {
+// stop function (SIGTERM, bounded wait). Extra flags (e.g. -fault-delay
+// for the straggler A/B) are appended verbatim.
+func startShardWorker(bin string, cache int, extra ...string) (string, func(), error) {
 	dir, err := os.MkdirTemp("", "spmmbench-worker")
 	if err != nil {
 		return "", nil, err
@@ -106,10 +107,11 @@ func startShardWorker(bin string, cache int) (string, func(), error) {
 	// The generous queue keeps admission control out of the measurement:
 	// with the default tiny queue a single worker sheds most of the fan-in
 	// and the curve would conflate retry storms with cache behaviour.
-	cmd := exec.Command(bin,
+	args := append([]string{
 		"-addr", "127.0.0.1:0", "-addr-file", addrFile,
 		"-cache", fmt.Sprint(cache),
-		"-max-queue", "64")
+		"-max-queue", "64"}, extra...)
+	cmd := exec.Command(bin, args...)
 	cmd.Stderr = os.Stderr
 	if err := cmd.Start(); err != nil {
 		os.RemoveAll(dir)
@@ -140,12 +142,16 @@ func startShardWorker(bin string, cache int) (string, func(), error) {
 	}
 }
 
-func serveShardSuite() {
-	// The replay mix shares -scale with -serve, but the shard suite defaults
-	// larger: plan-build cost grows as m·n while the fixed per-request cost
-	// (wire transfer, decode, execute) grows as nnz, so the bigger default
-	// keeps the cache-miss penalty — the thing the worker count amortises —
-	// comfortably above the transport floor. An explicit -scale still wins.
+// shardSuiteDefaults applies the shard suites' flag defaults. The replay
+// mix shares -scale with -serve, but the shard suites default larger:
+// plan-build cost grows as m·n while the fixed per-request cost (wire
+// transfer, decode, execute) grows as nnz, so the bigger default keeps the
+// cache-miss penalty — the thing the worker count amortises — comfortably
+// above the transport floor. An explicit -scale still wins. -clients
+// defaults lower too: enough concurrency to keep the single CPU fed, few
+// enough that the one-worker point measures cache thrash rather than
+// fan-in queueing.
+func shardSuiteDefaults() {
 	scaleSet, clientsSet := false, false
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
@@ -158,61 +164,88 @@ func serveShardSuite() {
 	if !scaleSet {
 		*scale = 0.12
 	}
-	// Enough concurrency to keep the single CPU fed, few enough clients
-	// that the one-worker point measures cache thrash rather than fan-in
-	// queueing (8 clients × 4 shards against one worker is a queueing
-	// benchmark, not a cache one).
 	if !clientsSet {
 		*clients = 4
 	}
+}
+
+// shardReplayMix is the Zipf-weighted replay shared by -serve-shard and
+// -serve-shard-faults: the -serve matrices under a plan-build-heavy option
+// set (Algorithm 4 with a tiny BlockN maximises per-plan conversion work,
+// the small fixed -shard-d keeps the execute cheap — so a cache miss costs
+// a multiple of a hit).
+type shardReplayMix struct {
+	wls  []serveWorkload
+	opts core.Options
+	pick func(r *rand.Rand) int
+}
+
+func newShardReplayMix() shardReplayMix {
 	wls := serveWorkloads()
-	// Plan-build-heavy override of the replay mix: Algorithm 4 with a tiny
-	// BlockN maximises per-plan conversion work, the small fixed d keeps
-	// the execute (and response encode) cheap — so a cache miss costs a
-	// multiple of a hit and aggregate cache capacity is the lever the
-	// worker count pulls.
-	opts := core.Options{
-		Algorithm: core.Alg4, Seed: uint64(*seed),
-		BlockN: 1, Workers: 1, Sched: core.SchedWeighted,
-	}
-
-	bin, cleanupBin, err := buildSketchdBin()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "spmmbench:", err)
-		os.Exit(1)
-	}
-	defer cleanupBin()
-
-	var counts []int
-	for _, s := range strings.Split(*shardCounts, ",") {
-		var n int
-		if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &n); err != nil || n < 1 {
-			fmt.Fprintf(os.Stderr, "spmmbench: bad -shard-workers entry %q\n", s)
-			os.Exit(1)
-		}
-		counts = append(counts, n)
-	}
-
 	cum := make([]float64, len(wls))
 	total := 0.0
 	for i, w := range wls {
 		total += w.weight
 		cum[i] = total
 	}
-	pick := func(r *rand.Rand) int {
-		x := r.Float64() * total
-		for i, c := range cum {
-			if x < c {
-				return i
+	return shardReplayMix{
+		wls: wls,
+		opts: core.Options{
+			Algorithm: core.Alg4, Seed: uint64(*seed),
+			BlockN: 1, Workers: 1, Sched: core.SchedWeighted,
+		},
+		pick: func(r *rand.Rand) int {
+			x := r.Float64() * total
+			for i, c := range cum {
+				if x < c {
+					return i
+				}
 			}
-		}
-		return len(wls) - 1
+			return len(wls) - 1
+		},
 	}
+}
 
-	fmt.Printf("\nSERVE-SHARD SUITE — %d requests/point, %d clients, %d shards/request, per-worker cache %d, %d shard-plan keys, GOMAXPROCS=%d\n",
-		*requests, *clients, *shardsPerReq, *shardWorkerCache, *shardsPerReq*len(wls), runtime.GOMAXPROCS(0))
-	fmt.Printf("  (single-core host: the curve measures aggregate plan-cache capacity + shard routing affinity, not compute parallelism)\n")
+// replayThroughCoordinator replays nRequests draws of the mix through an
+// existing coordinator with nClients goroutines and returns the sorted
+// per-request latencies, the wall time, and the failure count.
+func replayThroughCoordinator(coord *shard.Coordinator, mix shardReplayMix, nRequests, nClients int) ([]time.Duration, time.Duration, int64) {
+	ctx := context.Background()
+	var issued, failed atomic.Int64
+	budget := int64(nRequests)
+	lats := make([][]time.Duration, nClients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < nClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(*seed)*1000 + int64(c)))
+			for issued.Add(1) <= budget {
+				w := mix.wls[mix.pick(r)]
+				t0 := time.Now()
+				if _, _, err := coord.Sketch(ctx, w.a, *shardD, mix.opts); err != nil {
+					failed.Add(1)
+					continue
+				}
+				lats[c] = append(lats[c], time.Since(t0))
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	var all []time.Duration
+	for _, ls := range lats {
+		all = append(all, ls...)
+	}
+	sortDurations(all)
+	return all, wall, failed.Load()
+}
 
+// runShardCurve measures one scaling curve: for each worker count, start
+// that many sketchd processes, replay the mix through a fresh coordinator,
+// and record throughput/latency plus fleet-wide cache traffic.
+func runShardCurve(bin string, mix shardReplayMix, counts []int, shardCfg shard.Config) []shardCurvePoint {
 	var curve []shardCurvePoint
 	for _, nw := range counts {
 		urls := make([]string, nw)
@@ -226,11 +259,11 @@ func serveShardSuite() {
 			urls[i] = url
 			stops[i] = stop
 		}
-		coord, err := shard.New(shard.Config{
-			Peers:  urls,
-			Shards: *shardsPerReq,
-			Client: client.Config{MaxRetries: 20, BaseBackoff: time.Millisecond, MaxBackoff: 50 * time.Millisecond},
-		})
+		cfg := shardCfg
+		cfg.Peers = urls
+		cfg.Shards = *shardsPerReq
+		cfg.Client = client.Config{MaxRetries: 20, BaseBackoff: time.Millisecond, MaxBackoff: 50 * time.Millisecond}
+		coord, err := shard.New(cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "spmmbench:", err)
 			os.Exit(1)
@@ -241,36 +274,14 @@ func serveShardSuite() {
 		// deployment lives in, and the regime the capacity argument is
 		// about.
 		ctx := context.Background()
-		for _, w := range wls {
-			if _, _, err := coord.Sketch(ctx, w.a, *shardD, opts); err != nil {
+		for _, w := range mix.wls {
+			if _, _, err := coord.Sketch(ctx, w.a, *shardD, mix.opts); err != nil {
 				fmt.Fprintln(os.Stderr, "spmmbench: warmup:", err)
 				os.Exit(1)
 			}
 		}
 
-		var issued, failed atomic.Int64
-		budget := int64(*requests)
-		lats := make([][]time.Duration, *clients)
-		start := time.Now()
-		var wg sync.WaitGroup
-		for c := 0; c < *clients; c++ {
-			wg.Add(1)
-			go func(c int) {
-				defer wg.Done()
-				r := rand.New(rand.NewSource(int64(*seed)*1000 + int64(c)))
-				for issued.Add(1) <= budget {
-					w := wls[pick(r)]
-					t0 := time.Now()
-					if _, _, err := coord.Sketch(ctx, w.a, *shardD, opts); err != nil {
-						failed.Add(1)
-						continue
-					}
-					lats[c] = append(lats[c], time.Since(t0))
-				}
-			}(c)
-		}
-		wg.Wait()
-		wall := time.Since(start)
+		all, wall, nfailed := replayThroughCoordinator(coord, mix, *requests, *clients)
 
 		// Worker-side cache traffic, summed over the fleet.
 		var hits, misses, builds float64
@@ -285,16 +296,11 @@ func serveShardSuite() {
 			hitRate = hits / (hits + misses)
 		}
 
-		var all []time.Duration
-		for _, ls := range lats {
-			all = append(all, ls...)
-		}
-		sortDurations(all)
 		done := int64(len(all))
 		pt := shardCurvePoint{
 			Workers:     nw,
 			Requests:    done,
-			Errors:      failed.Load(),
+			Errors:      nfailed,
 			WallMS:      float64(wall.Microseconds()) / 1000,
 			ThroughputS: float64(done) / wall.Seconds(),
 			E2EP50us:    quantileExact(all, 0.50).Microseconds(),
@@ -318,6 +324,40 @@ func serveShardSuite() {
 			stop()
 		}
 	}
+	return curve
+}
+
+func parseWorkerCounts() []int {
+	var counts []int
+	for _, s := range strings.Split(*shardCounts, ",") {
+		var n int
+		if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &n); err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "spmmbench: bad -shard-workers entry %q\n", s)
+			os.Exit(1)
+		}
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+func serveShardSuite() {
+	shardSuiteDefaults()
+	mix := newShardReplayMix()
+
+	bin, cleanupBin, err := buildSketchdBin()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spmmbench:", err)
+		os.Exit(1)
+	}
+	defer cleanupBin()
+
+	counts := parseWorkerCounts()
+
+	fmt.Printf("\nSERVE-SHARD SUITE — %d requests/point, %d clients, %d shards/request, per-worker cache %d, %d shard-plan keys, GOMAXPROCS=%d\n",
+		*requests, *clients, *shardsPerReq, *shardWorkerCache, *shardsPerReq*len(mix.wls), runtime.GOMAXPROCS(0))
+	fmt.Printf("  (single-core host: the curve measures aggregate plan-cache capacity + shard routing affinity, not compute parallelism)\n")
+
+	curve := runShardCurve(bin, mix, counts, shard.Config{})
 
 	speedup := 0.0
 	if len(curve) > 1 && curve[0].ThroughputS > 0 {
@@ -334,10 +374,10 @@ func serveShardSuite() {
 			Shards:        *shardsPerReq,
 			Scale:         *scale,
 			WorkerCache:   *shardWorkerCache,
-			ShardPlanKeys: *shardsPerReq * len(wls),
+			ShardPlanKeys: *shardsPerReq * len(mix.wls),
 			D:             *shardD,
 			Clients:       *clients,
-			Matrices:      len(wls),
+			Matrices:      len(mix.wls),
 			Curve:         curve,
 			Speedup4v1:    speedup,
 		}

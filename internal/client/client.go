@@ -206,6 +206,41 @@ func (c *Client) SketchShard(ctx context.Context, req *wire.ShardRequest) (*wire
 	return resp, nil
 }
 
+// SketchShardBatch issues several column shards of one sketch as a single
+// MsgShardBatchRequest — the coordinator's per-peer fan-out frame — and
+// returns the index-aligned shard responses. Retry semantics mirror
+// SketchBatch: the batch is reissued as a whole only while every item's
+// failure is retryable; per-item outcomes land in the returned slice.
+func (c *Client) SketchShardBatch(ctx context.Context, reqs []wire.ShardRequest) ([]wire.ShardResponse, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	for i := range reqs {
+		if reqs[i].A == nil {
+			return nil, fmt.Errorf("%w: shard batch item %d", core.ErrNilMatrix, i)
+		}
+	}
+	body, err := wire.EncodeShardBatchRequestFrame(reqs)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := c.do(ctx, http.MethodPost, "/v1/sketch", body)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := wire.DecodeShardBatchResponse(payload)
+	if err != nil {
+		return nil, err
+	}
+	if len(rs) != len(reqs) {
+		if len(rs) == 1 && rs[0].Status != wire.StatusOK {
+			return nil, rs[0].Err()
+		}
+		return nil, fmt.Errorf("%w: shard batch response count %d for %d requests", wire.ErrMalformed, len(rs), len(reqs))
+	}
+	return rs, nil
+}
+
 // do sends the frame in body to path until it gets a decodable
 // response payload, a non-retryable failure, or runs out of retries. The
 // response payload is returned undecoded so single and batch callers share
@@ -296,7 +331,8 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte) 
 	}
 	switch t {
 	case wire.MsgSketchResponse, wire.MsgBatchResponse, wire.MsgShardResponse,
-		wire.MsgMatrixInfo, wire.MsgSolveResponse, wire.MsgJobStatus:
+		wire.MsgShardBatchResponse, wire.MsgMatrixInfo, wire.MsgSolveResponse,
+		wire.MsgJobStatus:
 	default:
 		return 0, nil, fmt.Errorf("%w: unexpected response frame type %v", wire.ErrMalformed, t)
 	}

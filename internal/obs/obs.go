@@ -158,6 +158,51 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.buckets[BucketIndex(d)].Add(1)
 }
 
+// ValueBucketCeiling returns the inclusive upper edge of value-histogram
+// bucket i: bucket i counts observations in (2^(i-1), 2^i], with bucket 0
+// absorbing everything ≤ 1. Out-of-range indices clamp.
+func ValueBucketCeiling(i int) int64 {
+	if i < 0 {
+		i = 0
+	}
+	if i >= HistBuckets {
+		i = HistBuckets - 1
+	}
+	return 1 << uint(i)
+}
+
+// ValueBucketIndex returns the bucket an observation of n lands in.
+func ValueBucketIndex(n int64) int {
+	if n <= 1 {
+		return 0
+	}
+	i := bits.Len64(uint64(n - 1)) // smallest i with 2^i >= n
+	if i >= HistBuckets {
+		i = HistBuckets - 1
+	}
+	return i
+}
+
+// ObserveValue records one dimensionless integer observation (a batch size,
+// a shard count) into the log₂ value-bucket geometry. A histogram must be
+// observed through exactly one of Observe/ObserveValue for its lifetime —
+// the registry enforces this by registering duration and value histograms
+// as distinct kinds. Sum and max are kept in raw units, not nanoseconds.
+func (h *Histogram) ObserveValue(n int64) {
+	if n < 0 {
+		n = 0
+	}
+	h.count.Add(1)
+	h.sumNS.Add(n)
+	for {
+		cur := h.maxNS.Load()
+		if n <= cur || h.maxNS.CompareAndSwap(cur, n) {
+			break
+		}
+	}
+	h.buckets[ValueBucketIndex(n)].Add(1)
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 

@@ -250,3 +250,71 @@ func TestBucketGeometry(t *testing.T) {
 		}
 	}
 }
+
+// TestValueHistogram pins the dimensionless histogram geometry introduced
+// for the shard batch-size metric: power-of-two integer le edges, raw-unit
+// sum, and bucket indexing where bucket i covers (2^(i-1), 2^i].
+func TestValueHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.ValueHistogram("t_batch_size", "shards per batch frame")
+
+	for want, ns := range map[int][]int64{
+		0: {0, 1},
+		1: {2},
+		2: {3, 4},
+		3: {5, 8},
+		4: {9, 16},
+	} {
+		for _, n := range ns {
+			if got := ValueBucketIndex(n); got != want {
+				t.Errorf("ValueBucketIndex(%d) = %d, want %d", n, got, want)
+			}
+		}
+	}
+	if got := ValueBucketIndex(1 << 40); got != HistBuckets-1 {
+		t.Errorf("ValueBucketIndex(2^40) = %d, want clamp to %d", got, HistBuckets-1)
+	}
+	if got := ValueBucketCeiling(3); got != 8 {
+		t.Errorf("ValueBucketCeiling(3) = %d, want 8", got)
+	}
+
+	for _, n := range []int64{1, 2, 4, 5} {
+		h.ObserveValue(n)
+	}
+	if h.Count() != 4 || h.SumNS() != 12 || h.MaxNS() != 5 {
+		t.Fatalf("count/sum/max = %d/%d/%d, want 4/12/5", h.Count(), h.SumNS(), h.MaxNS())
+	}
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE t_batch_size histogram\n",
+		"t_batch_size_bucket{le=\"1\"} 1\n",
+		"t_batch_size_bucket{le=\"2\"} 2\n",
+		"t_batch_size_bucket{le=\"4\"} 3\n",
+		"t_batch_size_bucket{le=\"8\"} 4\n",
+		"t_batch_size_bucket{le=\"+Inf\"} 4\n",
+		"t_batch_size_sum 12\n",
+		"t_batch_size_count 4\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+
+	// ObserveValue must stay hot-path clean like Observe.
+	if allocs := testing.AllocsPerRun(100, func() { h.ObserveValue(3) }); allocs != 0 {
+		t.Errorf("ObserveValue allocates %v/op, want 0", allocs)
+	}
+
+	// Duration and value geometries are distinct kinds on one name.
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a value histogram as a duration histogram did not panic")
+		}
+	}()
+	r.Histogram("t_batch_size", "wrong kind")
+}

@@ -21,6 +21,7 @@ const (
 	kindGaugeFunc
 	kindFloatGauge
 	kindHistogram
+	kindValueHistogram
 )
 
 func (k metricKind) String() string {
@@ -29,7 +30,7 @@ func (k metricKind) String() string {
 		return "counter"
 	case kindGauge, kindGaugeFunc, kindFloatGauge:
 		return "gauge"
-	case kindHistogram:
+	case kindHistogram, kindValueHistogram:
 		return "histogram"
 	default:
 		return "untyped"
@@ -170,6 +171,23 @@ func (r *Registry) Histogram(name, help string) *Histogram {
 	return h
 }
 
+// ValueHistogram registers (or returns the existing) unlabeled
+// dimensionless histogram with the log₂ value-bucket geometry (le edges are
+// powers of two, not seconds). Feed it through ObserveValue, never Observe;
+// the two geometries are distinct registration kinds, so mixing them on one
+// name panics at construction time rather than rendering nonsense edges.
+func (r *Registry) ValueHistogram(name, help string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, s := r.lookup(name, help, kindValueHistogram, "")
+	if s != nil {
+		return s.h
+	}
+	h := new(Histogram)
+	f.samples = append(f.samples, sample{h: h})
+	return h
+}
+
 // WriteText renders the registry as Prometheus text exposition format
 // version 0.0.4: one # HELP/# TYPE block per metric family in registration
 // order, counters and gauges as single samples, histograms as cumulative
@@ -197,6 +215,8 @@ func (r *Registry) WriteText(w io.Writer) error {
 				writeSample(bw, f.name, s.labels, strconv.FormatFloat(s.fg.Value(), 'g', -1, 64))
 			case kindHistogram:
 				writeHistogram(bw, f.name, s.h)
+			case kindValueHistogram:
+				writeValueHistogram(bw, f.name, s.h)
 			}
 		}
 	}
@@ -232,6 +252,23 @@ func writeHistogram(w *bufio.Writer, name string, h *Histogram) {
 	cum += b[HistBuckets-1]
 	writeSample(w, name+"_bucket", `le="+Inf"`, formatInt(cum))
 	writeSample(w, name+"_sum", "", strconv.FormatFloat(float64(h.SumNS())/1e9, 'g', -1, 64))
+	writeSample(w, name+"_count", "", formatInt(cum))
+}
+
+// writeValueHistogram mirrors writeHistogram for the dimensionless
+// geometry: integer power-of-two le edges and an integer sum (the raw-unit
+// total, e.g. summed batch sizes).
+func writeValueHistogram(w *bufio.Writer, name string, h *Histogram) {
+	var b [HistBuckets]int64
+	h.Snapshot(&b)
+	var cum int64
+	for i := 0; i < HistBuckets-1; i++ {
+		cum += b[i]
+		writeSample(w, name+"_bucket", `le="`+formatInt(ValueBucketCeiling(i))+`"`, formatInt(cum))
+	}
+	cum += b[HistBuckets-1]
+	writeSample(w, name+"_bucket", `le="+Inf"`, formatInt(cum))
+	writeSample(w, name+"_sum", "", formatInt(h.SumNS()))
 	writeSample(w, name+"_count", "", formatInt(cum))
 }
 

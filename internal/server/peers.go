@@ -1,0 +1,123 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"sketchsp/internal/service"
+)
+
+// The /v1/peers admin endpoint is mounted only when the backend implements
+// service.PeerAdmin (the shard coordinator). It is the operational face of
+// dynamic membership: a worker can be drained out of the ring, replaced,
+// and rejoined without restarting the coordinator or dropping in-flight
+// requests.
+//
+//	GET    /v1/peers                 {"peers": ["http://w1:7464", ...]}
+//	POST   /v1/peers  {"peer": url}  add url to the ring (idempotent)
+//	DELETE /v1/peers?peer=url        remove url from the ring
+//
+// Every mutation answers with the post-change peer list, so a caller
+// always observes the state its change produced. Errors are JSON
+// {"error": "..."}: 404 for removing a non-member, 400 for everything
+// else (empty peer name, removing the last worker).
+
+// peersBodyLimit bounds the admin request body; a peer list is URLs, not
+// matrices.
+const peersBodyLimit = 1 << 20
+
+func (s *Server) handlePeers(w http.ResponseWriter, r *http.Request) {
+	pa, ok := s.backend.(service.PeerAdmin)
+	if !ok {
+		// Unreachable through the mux (the route is mounted conditionally),
+		// kept for embedders calling the handler directly.
+		s.peersError(w, http.StatusNotFound, errors.New("backend has no peer administration"))
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		s.peersOK(w, pa)
+	case http.MethodPost:
+		peer, err := s.peerFromRequest(r)
+		if err != nil {
+			s.peersError(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := pa.AddPeer(peer); err != nil {
+			s.peersError(w, http.StatusBadRequest, err)
+			return
+		}
+		s.peersOK(w, pa)
+	case http.MethodDelete:
+		peer, err := s.peerFromRequest(r)
+		if err != nil {
+			s.peersError(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := pa.RemovePeer(peer); err != nil {
+			code := http.StatusBadRequest
+			if errors.Is(err, service.ErrUnknownPeer) {
+				code = http.StatusNotFound
+			}
+			s.peersError(w, code, err)
+			return
+		}
+		s.peersOK(w, pa)
+	default:
+		w.Header().Set("Allow", "GET, POST, DELETE")
+		s.met.countCode(http.StatusMethodNotAllowed)
+		http.Error(w, "GET, POST or DELETE only", http.StatusMethodNotAllowed)
+	}
+}
+
+// peerFromRequest extracts the target peer from the ?peer= query parameter
+// or a {"peer": "..."} JSON body — DELETE callers typically use the query,
+// POST callers the body, but both forms work for both methods.
+func (s *Server) peerFromRequest(r *http.Request) (string, error) {
+	if p := r.URL.Query().Get("peer"); p != "" {
+		return p, nil
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, peersBodyLimit))
+	if err != nil {
+		return "", fmt.Errorf("reading body: %v", err)
+	}
+	if len(body) == 0 {
+		return "", errors.New("no peer named: use ?peer= or a {\"peer\": ...} body")
+	}
+	var req struct {
+		Peer string `json:"peer"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		return "", fmt.Errorf("bad JSON body: %v", err)
+	}
+	if req.Peer == "" {
+		return "", errors.New("empty peer in body")
+	}
+	return req.Peer, nil
+}
+
+func (s *Server) peersOK(w http.ResponseWriter, pa service.PeerAdmin) {
+	buf, err := json.Marshal(struct {
+		Peers []string `json:"peers"`
+	}{Peers: pa.Peers()})
+	if err != nil {
+		s.peersError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	s.met.countCode(http.StatusOK)
+	w.Write(append(buf, '\n'))
+}
+
+func (s *Server) peersError(w http.ResponseWriter, code int, err error) {
+	buf, _ := json.Marshal(struct {
+		Error string `json:"error"`
+	}{Error: err.Error()})
+	w.Header().Set("Content-Type", "application/json")
+	s.met.countCode(code)
+	w.WriteHeader(code)
+	w.Write(append(buf, '\n'))
+}

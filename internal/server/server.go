@@ -176,6 +176,9 @@ func newServer(b service.Backend, cfg Config) *Server {
 	s.mux.HandleFunc("/v1/jobs/", s.handleJob)
 	s.mux.HandleFunc("/v1/matrix", s.handleMatrixPut)
 	s.mux.HandleFunc("/v1/matrix/", s.handleMatrixPatch)
+	if _, ok := b.(service.PeerAdmin); ok {
+		s.mux.HandleFunc("/v1/peers", s.handlePeers)
+	}
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.Handle("/metrics", cfg.Metrics.Handler())
@@ -316,6 +319,8 @@ func (s *Server) handleSketch(w http.ResponseWriter, r *http.Request) {
 		s.serveBatch(ctx, w, payload, dsp)
 	case wire.MsgShardRequest:
 		s.serveShard(ctx, w, sc, payload, dsp)
+	case wire.MsgShardBatchRequest:
+		s.serveShardBatch(ctx, w, payload, dsp)
 	case wire.MsgSketchRef:
 		s.serveSketchRef(ctx, w, sc, payload, dsp)
 	default:
@@ -423,6 +428,101 @@ func (s *Server) serveShard(ctx context.Context, w http.ResponseWriter, sc *reqS
 	esp.End()
 }
 
+// serveShardBatch handles one MsgShardBatchRequest payload: several column
+// shards of one sketch, batched by the coordinator because they all route
+// here. The items run through the same backend SketchBatch path as a plain
+// batch — grouped by plan key, so same-matrix shards resolve the cache once
+// — and each response echoes its shard's J0 for the coordinator's placement
+// check.
+//
+// Decoding is deliberately per-item, not the strict whole-batch decoder: a
+// batch-level StatusMalformed is what a pre-batch server answers for the
+// unknown frame type, and the coordinator demotes it to failover — so it
+// must mean "this peer cannot read the frame", never "one item was bad".
+// An item that fails to decode gets its own StatusMalformed response
+// (fail-fast at the coordinator, like the single-shard path) and is never
+// executed, so it cannot contribute coverage. Only envelope corruption and
+// cross-item placement violations — one matrix, sorted pairwise-disjoint
+// column ranges, which a real coordinator never produces — are rejected at
+// batch level.
+func (s *Server) serveShardBatch(ctx context.Context, w http.ResponseWriter, payload []byte, dsp obs.Span) {
+	items, err := wire.SplitBatchPayload(payload)
+	if err == nil && len(items) == 0 {
+		err = fmt.Errorf("%w: empty shard batch", wire.ErrMalformed)
+	}
+	if err != nil {
+		dsp.End()
+		s.met.badRequests.Inc()
+		s.writeError(w, wire.MsgShardBatchResponse, wire.StatusMalformed, err.Error())
+		return
+	}
+	reqs := make([]wire.ShardRequest, len(items))
+	itemErr := make([]error, len(items))
+	nTotal, nextJ0 := -1, 0
+	for i, item := range items {
+		if derr := wire.DecodeShardRequestInto(&reqs[i], item); derr != nil {
+			itemErr[i] = derr
+			continue
+		}
+		if nTotal == -1 {
+			nTotal = reqs[i].NTotal
+		}
+		if reqs[i].NTotal != nTotal || reqs[i].J0 < nextJ0 {
+			dsp.End()
+			s.met.badRequests.Inc()
+			s.writeError(w, wire.MsgShardBatchResponse, wire.StatusMalformed,
+				fmt.Sprintf("shard batch item %d: placement overlaps or mixes matrices", i))
+			return
+		}
+		nextJ0 = reqs[i].J0 + reqs[i].A.N
+	}
+	dsp.End()
+	s.met.requests.Add(int64(len(reqs)))
+	sreqs := make([]service.Request, len(reqs))
+	oversize := make([]bool, len(reqs))
+	for i := range reqs {
+		if itemErr[i] != nil {
+			continue
+		}
+		if err := s.checkSketchSize(reqs[i].D, reqs[i].A.N); err != nil {
+			oversize[i] = true
+			continue
+		}
+		sreqs[i] = service.Request{A: reqs[i].A, D: reqs[i].D, Opts: reqs[i].Opts}
+	}
+	xsp := obs.StartSpan(s.met.execute)
+	sresps := s.backend.SketchBatch(ctx, sreqs)
+	xsp.End()
+	out := make([]wire.ShardResponse, len(reqs))
+	for i := range out {
+		switch {
+		case itemErr[i] != nil:
+			out[i] = wire.ShardResponse{Status: wire.StatusMalformed, Detail: itemErr[i].Error()}
+		case oversize[i]:
+			out[i] = wire.ShardResponse{Status: wire.StatusBadOptions,
+				Detail: fmt.Sprintf("sketch %dx%d exceeds MaxSketchBytes %d", reqs[i].D, reqs[i].A.N, s.cfg.MaxSketchBytes)}
+		case sresps[i].Err != nil:
+			err := sresps[i].Err
+			if ctx.Err() != nil {
+				err = ctx.Err()
+			}
+			out[i] = wire.ShardResponse{Status: wire.StatusOf(err), Detail: err.Error()}
+		default:
+			out[i] = wire.ShardResponse{Status: wire.StatusOK, J0: reqs[i].J0,
+				Stats: sresps[i].Stats, Partial: sresps[i].Ahat}
+		}
+	}
+	esp := obs.StartSpan(s.met.encode)
+	frame, err := wire.AppendFrame(nil, wire.MsgShardBatchResponse, wire.AppendShardBatchResponse(nil, out))
+	if err != nil {
+		esp.End()
+		s.writeError(w, wire.MsgShardBatchResponse, wire.StatusInternal, "shard batch response too large to frame: "+err.Error())
+		return
+	}
+	s.writeFrame(w, http.StatusOK, frame)
+	esp.End()
+}
+
 // serveBatch handles one MsgBatchRequest payload: the requests are mapped
 // onto service.SketchBatch, which groups them by plan key so a batch of
 // same-matrix sketches resolves the cache once and executes back-to-back
@@ -515,6 +615,8 @@ func (s *Server) writeError(w http.ResponseWriter, typ wire.MsgType, st wire.Sta
 	switch typ {
 	case wire.MsgBatchResponse:
 		payload = wire.AppendBatchResponse(nil, []wire.SketchResponse{resp})
+	case wire.MsgShardBatchResponse:
+		payload = wire.AppendShardBatchResponse(nil, []wire.ShardResponse{{Status: st, Detail: detail}})
 	case wire.MsgMatrixInfo:
 		payload = wire.AppendMatrixInfo(nil, &wire.MatrixInfo{Status: st, Detail: detail})
 	case wire.MsgSolveResponse:

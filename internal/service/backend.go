@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"errors"
 
 	"sketchsp/internal/core"
 	"sketchsp/internal/dense"
@@ -66,6 +67,27 @@ type RefBackend interface {
 type SolveBackend interface {
 	Solve(ctx context.Context, req *SolveRequest) (*SolveResult, error)
 }
+
+// PeerAdmin is the dynamic-membership surface a Backend may additionally
+// offer; the shard coordinator implements it, and the HTTP server mounts
+// GET/POST/DELETE /v1/peers when the backend does. The contract (pinned by
+// the shard membership suite):
+//
+//   - AddPeer is idempotent: adding a member returns nil without change.
+//   - RemovePeer of a non-member fails with an error unwrapping to
+//     ErrUnknownPeer; removing the last member is refused (a coordinator
+//     with no workers can serve nothing).
+//   - Changes re-route new requests only — requests already in flight
+//     complete against the membership they started with.
+type PeerAdmin interface {
+	AddPeer(peer string) error
+	RemovePeer(peer string) error
+	Peers() []string
+}
+
+// ErrUnknownPeer is returned by PeerAdmin.RemovePeer when the named peer is
+// not a member.
+var ErrUnknownPeer = errors.New("service: unknown peer")
 
 // The local service is the reference Backend, RefBackend and SolveBackend.
 var (

@@ -60,10 +60,7 @@ func (c *Coordinator) SketchRef(ctx context.Context, fp sparse.Fingerprint, d in
 		return nil, core.Stats{}, err
 	}
 	defer h.Release()
-	run := func(fctx context.Context, sh *Shard) (*wire.ShardResponse, error) {
-		return c.sketchShardByRef(fctx, sh, d, opts)
-	}
-	ahat, stats, err := c.fanMerge(ctx, h.Matrix(), d, run)
+	ahat, stats, err := c.fanMerge(ctx, h.Matrix(), d, c.byRefCaller(d, opts))
 	if err != nil {
 		c.met.failures.Inc()
 		return nil, core.Stats{}, err
@@ -72,18 +69,23 @@ func (c *Coordinator) SketchRef(ctx context.Context, fp sparse.Fingerprint, d in
 	return ahat, stats, nil
 }
 
-// sketchShardByRef runs one shard through the ring by reference: the
-// routed worker gets a fingerprint-only request, and the client's
-// SketchCached fallback uploads the shard bytes only on the worker's first
-// sight of the content (or after its store evicted it).
-func (c *Coordinator) sketchShardByRef(ctx context.Context, sh *Shard, d int, opts core.Options) (*wire.ShardResponse, error) {
-	return c.walkPeers(ctx, sh, wire.SketchRefWireSize, func(ctx context.Context, p *peer) (*wire.ShardResponse, error) {
-		partial, st, err := p.cli.SketchCached(ctx, sh.A, d, opts)
-		if err != nil {
-			return nil, err
-		}
-		return &wire.ShardResponse{Status: wire.StatusOK, J0: sh.J0, Stats: st, Partial: partial}, nil
-	})
+// byRefCaller runs shards through the ring by reference: the routed
+// worker gets a fingerprint-only request, and the client's SketchCached
+// fallback uploads the shard bytes only on the worker's first sight of
+// the content (or after its store evicted it). No batch strategy: the
+// upload-on-miss fallback is inherently per-shard, so by-ref shards stay
+// on single RPCs (hedging and failover apply unchanged).
+func (c *Coordinator) byRefCaller(d int, opts core.Options) *shardCaller {
+	return &shardCaller{
+		bytes: func(*Shard) int64 { return wire.SketchRefWireSize },
+		call: func(ctx context.Context, p *peer, sh *Shard) (*wire.ShardResponse, error) {
+			partial, st, err := p.cli.SketchCached(ctx, sh.A, d, opts)
+			if err != nil {
+				return nil, err
+			}
+			return &wire.ShardResponse{Status: wire.StatusOK, J0: sh.J0, Stats: st, Partial: partial}, nil
+		},
+	}
 }
 
 // PatchMatrix applies ΔA to the stored matrix fp: the merged matrix enters
@@ -121,9 +123,10 @@ func (c *Coordinator) PatchMatrix(ctx context.Context, fp sparse.Fingerprint, de
 		return store.Info{}, err
 	}
 
+	mem := c.mem.Load()
 	k := c.cfg.Shards
 	if k <= 0 {
-		k = len(c.peers)
+		k = len(mem.peers)
 	}
 	oldShards, newShards := Split(old, k), Split(sum, k)
 	if len(oldShards) != len(newShards) {
@@ -141,8 +144,8 @@ func (c *Coordinator) PatchMatrix(ctx context.Context, fp sparse.Fingerprint, de
 		// Forward to the peer the *new* shard routes to — the one future
 		// by-ref sketches will ask. Errors (worker never saw the old shard,
 		// worker down) are swallowed: best-effort by design.
-		order := c.ring.Order(nsh.A.Fingerprint().Hash)
-		p := c.peers[order[0]]
+		order := mem.ring.Order(nsh.A.Fingerprint().Hash)
+		p := mem.peers[order[0]]
 		if _, err := p.cli.PatchMatrix(ctx, osh.A.Fingerprint(), dslice); err != nil {
 			if ctx.Err() != nil {
 				return info, nil

@@ -4,7 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -24,9 +24,9 @@ var ErrNoPeers = errors.New("shard: no peers configured")
 // Config tunes the coordinator. The zero value of every field selects a
 // default; only Peers is mandatory.
 type Config struct {
-	// Peers are the worker base URLs (e.g. "http://10.0.0.7:7464"). The
-	// list is canonicalised (sorted, deduped) so routing is independent
-	// of flag order.
+	// Peers are the initial worker base URLs (e.g. "http://10.0.0.7:7464").
+	// The list is canonicalised (sorted, deduped) so routing is independent
+	// of flag order; AddPeer/RemovePeer/SetPeers change it at runtime.
 	Peers []string
 	// Replicas is the vnode count per peer on the hash ring (0 selects
 	// DefaultReplicas).
@@ -38,12 +38,27 @@ type Config struct {
 	Shards int
 	// MaxPeersPerShard bounds the failover walk: a shard is attempted on
 	// at most this many distinct peers before the request fails (0 means
-	// every peer). 1 disables failover entirely.
+	// every peer). 1 disables failover (and with it hedging) entirely.
 	MaxPeersPerShard int
 	// PeerCooldown is how long a peer that failed a shard RPC is avoided
 	// by routing (down peers are still used when every candidate for a
 	// shard is down). 0 selects 5s.
 	PeerCooldown time.Duration
+	// HedgeQuantile enables tail hedging when positive: a shard RPC still
+	// unanswered after the backup peer's recent latency at this quantile
+	// is re-sent to that backup, first valid answer wins. 0 disables
+	// hedging. 0.95 is a reasonable production setting (~5% duplicate
+	// work ceiling).
+	HedgeQuantile float64
+	// HedgeMaxDelay caps the hedge delay and is used outright while a
+	// backup's latency window is cold (fewer than 8 observations).
+	// 0 selects 100ms.
+	HedgeMaxDelay time.Duration
+	// DisableBatch turns off per-peer batch fan-out, forcing one HTTP call
+	// per shard (the pre-batch wire behaviour). The zero value — batching
+	// on — is right except for A/B measurement and talking to pre-batch
+	// workers without paying the per-request fallback round trip.
+	DisableBatch bool
 	// StoreBytes bounds the coordinator's own content-addressed matrix
 	// store behind PutMatrix/SketchRef/PatchMatrix. 0 selects
 	// store.DefaultMaxBytes; negative means unbounded.
@@ -57,75 +72,66 @@ type Config struct {
 	Metrics *obs.Registry
 }
 
-// peer is one worker endpoint with its routing health and metric handles.
+// peer is one worker endpoint with its routing health, latency window and
+// metric handles. Handles are cached by name across membership changes
+// (membership.go), so a rejoining worker resumes its series and client.
 type peer struct {
 	name      string
 	cli       *client.Client
 	downUntil atomic.Int64 // unix nanos; routing avoids the peer before this
+	lat       latWindow    // recent successful RPC latencies (hedge delays)
 	met       peerMetrics
 }
 
-// Coordinator fans sketch requests out over column shards to a fixed set
+// Coordinator fans sketch requests out over column shards to a dynamic set
 // of worker peers and merges the exact partial sketches. It implements
-// service.Backend, so server.NewBackend turns it into a sketchd process:
-// same handler, codec, deadline and drain behaviour as a worker, with
-// shard fan-out as the execution strategy.
+// service.Backend (and service.PeerAdmin), so server.NewBackend turns it
+// into a sketchd process: same handler, codec, deadline and drain
+// behaviour as a worker, with shard fan-out as the execution strategy.
 type Coordinator struct {
-	cfg    Config
-	ring   *Ring
-	peers  []*peer // indexed like ring.Peers()
-	reg    *obs.Registry
-	met    *metrics
-	store  *store.Store // content-addressed surface (byref.go)
-	closed atomic.Bool
+	cfg     Config
+	mem     atomic.Pointer[membership] // current routing snapshot (RCU)
+	peerMu  sync.Mutex                 // serialises membership mutations
+	handles map[string]*peer           // peer handles by name, kept across leave/rejoin
+	reg     *obs.Registry
+	met     *metrics
+	store   *store.Store // content-addressed surface (byref.go)
+	closed  atomic.Bool
 }
 
 var _ service.Backend = (*Coordinator)(nil)
 
-// New builds a coordinator over cfg.Peers. The peer set is fixed for the
-// coordinator's lifetime.
+// New builds a coordinator over cfg.Peers. The peer set can change at
+// runtime through the PeerAdmin surface or a watched peers file.
 func New(cfg Config) (*Coordinator, error) {
 	if cfg.PeerCooldown <= 0 {
 		cfg.PeerCooldown = 5 * time.Second
 	}
+	if cfg.HedgeMaxDelay <= 0 {
+		cfg.HedgeMaxDelay = 100 * time.Millisecond
+	}
 	if cfg.Metrics == nil {
 		cfg.Metrics = obs.NewRegistry()
 	}
-	peers := make([]string, 0, len(cfg.Peers))
-	for _, p := range cfg.Peers {
-		if p = strings.TrimSpace(p); p != "" {
-			peers = append(peers, p)
-		}
-	}
-	ring := NewRing(peers, cfg.Replicas)
-	names := ring.Peers()
-	if len(names) == 0 {
-		return nil, ErrNoPeers
-	}
 	c := &Coordinator{
-		cfg:   cfg,
-		ring:  ring,
-		peers: make([]*peer, len(names)),
-		reg:   cfg.Metrics,
-		met:   newMetrics(cfg.Metrics),
-		store: store.New(store.Config{MaxBytes: cfg.StoreBytes, Metrics: cfg.Metrics}),
+		cfg:     cfg,
+		handles: make(map[string]*peer),
+		reg:     cfg.Metrics,
+		met:     newMetrics(cfg.Metrics),
+		store:   store.New(store.Config{MaxBytes: cfg.StoreBytes, Metrics: cfg.Metrics}),
 	}
-	for i, name := range names {
-		c.peers[i] = &peer{
-			name: name,
-			cli:  client.New(name, cfg.Client),
-			met:  newPeerMetrics(cfg.Metrics, name),
-		}
+	if _, err := c.setPeersLocked(cfg.Peers); err != nil {
+		return nil, err
 	}
-	registerPeersDown(cfg.Metrics, c.peers)
+	registerPeersDown(cfg.Metrics, func() []*peer { return c.mem.Load().peers })
 	return c, nil
 }
 
 // Registry returns the metrics registry the shard families live on.
 func (c *Coordinator) Registry() *obs.Registry { return c.reg }
 
-// Peers returns the canonical peer list.
-func (c *Coordinator) Peers() []string { return c.ring.Peers() }
+// Peers returns the canonical peer list of the current membership.
+func (c *Coordinator) Peers() []string { return c.mem.Load().ring.Peers() }
 
 // Close makes subsequent requests fail with service.ErrClosed. Idempotent;
 // in-flight fan-outs complete.
@@ -177,37 +183,106 @@ func (c *Coordinator) sketch(ctx context.Context, a *sparse.CSC, d int, opts cor
 		return nil, core.Stats{}, fmt.Errorf("%w: %v", core.ErrInvalidMatrix, err)
 	}
 
-	run := func(fctx context.Context, sh *Shard) (*wire.ShardResponse, error) {
-		return c.sketchShard(fctx, sh, a.N, d, opts)
+	shardReq := func(sh *Shard) *wire.ShardRequest {
+		return &wire.ShardRequest{
+			J0:     sh.J0,
+			NTotal: a.N,
+			SketchRequest: wire.SketchRequest{
+				D:    d,
+				Opts: opts,
+				A:    sh.A,
+			},
+		}
 	}
-	return c.fanMerge(ctx, a, d, run)
+	caller := &shardCaller{
+		bytes: func(sh *Shard) int64 {
+			return int64(wire.ShardRequestWireSize(shardReq(sh)))
+		},
+		call: func(ctx context.Context, p *peer, sh *Shard) (*wire.ShardResponse, error) {
+			return p.cli.SketchShard(ctx, shardReq(sh))
+		},
+		batch: func(ctx context.Context, p *peer, group []*Shard) *batchCall {
+			return c.launchBatch(ctx, p, group, a.N, d, opts)
+		},
+	}
+	return c.fanMerge(ctx, a, d, caller)
+}
+
+// shardCaller is the per-path RPC strategy fanMerge hands to runShard:
+// inline sharding ships the shard's CSC (and can group shards into batch
+// frames), by-reference ships its fingerprint (and cannot — the upload
+// fallback is per-shard). Placement, hedging, failover and merging are
+// shared; only the wire call differs.
+type shardCaller struct {
+	bytes func(sh *Shard) int64
+	call  func(ctx context.Context, p *peer, sh *Shard) (*wire.ShardResponse, error)
+	batch func(ctx context.Context, p *peer, group []*Shard) *batchCall // nil: path cannot batch
 }
 
 // fanMerge is the shard fan-out and exact merge shared by the inline and
-// by-reference paths: split a into nnz-balanced column shards, run each
-// through the supplied per-shard call concurrently, and accumulate the
-// partials into Â. The call differs — inline ships the shard's CSC, by-ref
-// ships its fingerprint — but placement and merging cannot.
-func (c *Coordinator) fanMerge(ctx context.Context, a *sparse.CSC, d int, run func(ctx context.Context, sh *Shard) (*wire.ShardResponse, error)) (*dense.Matrix, core.Stats, error) {
+// by-reference paths: load one membership snapshot, split a into
+// nnz-balanced column shards, resolve each shard's candidate peers,
+// group same-primary shards into batch frames where the caller supports
+// it, run every shard through runShard concurrently, and accumulate the
+// partials into Â. The whole fan-out completes against the snapshot it
+// loaded — membership changes re-route only subsequent requests.
+func (c *Coordinator) fanMerge(ctx context.Context, a *sparse.CSC, d int, caller *shardCaller) (*dense.Matrix, core.Stats, error) {
+	mem := c.mem.Load()
 	k := c.cfg.Shards
 	if k <= 0 {
-		k = len(c.peers)
+		k = len(mem.peers)
 	}
 	fsp := obs.StartSpan(c.met.fanout)
 	shards := Split(a, k)
+	cands := make([][]*peer, len(shards))
+	for i := range shards {
+		cands[i] = mem.candidates(shards[i].A.Fingerprint().Hash, c.cfg.MaxPeersPerShard)
+	}
+
+	// Fan-out: one goroutine per shard. The shared context is canceled on
+	// the first hard failure so surviving RPCs stop burning worker time.
+	fctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Per-peer batching: shards sharing a primary candidate ride one wire
+	// frame. Singleton groups stay on the single-shard RPC — a one-item
+	// batch saves nothing and costs a layer of framing.
+	type batchRef struct {
+		bc  *batchCall
+		idx int
+	}
+	batchOf := make([]batchRef, len(shards))
+	if caller.batch != nil && !c.cfg.DisableBatch {
+		groups := make(map[*peer][]int)
+		for i := range shards {
+			p := cands[i][0]
+			groups[p] = append(groups[p], i)
+		}
+		for p, idxs := range groups {
+			if len(idxs) < 2 {
+				continue
+			}
+			group := make([]*Shard, len(idxs))
+			for gi, si := range idxs {
+				group[gi] = &shards[si]
+			}
+			bc := caller.batch(fctx, p, group)
+			for gi, si := range idxs {
+				batchOf[si] = batchRef{bc, gi}
+			}
+		}
+	}
+
 	type result struct {
 		idx  int
 		resp *wire.ShardResponse
 		err  error
 	}
-	// Fan-out: one goroutine per shard. The shared context is canceled on
-	// the first hard failure so surviving RPCs stop burning worker time.
-	fctx, cancel := context.WithCancel(ctx)
-	defer cancel()
 	results := make(chan result, len(shards))
 	for i := range shards {
 		go func(i int) {
-			resp, err := run(fctx, &shards[i])
+			br := batchOf[i]
+			resp, err := c.runShard(fctx, &shards[i], cands[i], caller, br.bc, br.idx)
 			results <- result{i, resp, err}
 		}(i)
 	}
@@ -264,6 +339,9 @@ func (c *Coordinator) fanMerge(ctx context.Context, a *sparse.CSC, d int, run fu
 }
 
 // place validates one worker's partial against its shard and merges it.
+// Together with the Accumulator's coverage check this is the duplicate/
+// misplacement rejection layer: a partial whose echoed j0 or width
+// disagrees with the shard fails the request rather than corrupting Â.
 func (c *Coordinator) place(acc *Accumulator, sh *Shard, resp *wire.ShardResponse) error {
 	width := sh.J1 - sh.J0
 	if resp.J0 != sh.J0 {
@@ -277,76 +355,6 @@ func (c *Coordinator) place(acc *Accumulator, sh *Shard, resp *wire.ShardRespons
 		return fmt.Errorf("shard: partial has %d columns for shard [%d:%d)", cols, sh.J0, sh.J1)
 	}
 	return acc.Add(sh.J0, resp.Partial)
-}
-
-// sketchShard runs one shard to completion: route by the shard's matrix
-// fingerprint, try peers in ring order with failover, and classify
-// failures — input errors fail fast (resending an invalid matrix to a
-// different peer cannot help), everything else marks the peer down for
-// PeerCooldown and moves to the next candidate. Peers in cooldown are
-// skipped on the first pass and only tried when every candidate is down.
-func (c *Coordinator) sketchShard(ctx context.Context, sh *Shard, nTotal, d int, opts core.Options) (*wire.ShardResponse, error) {
-	req := &wire.ShardRequest{
-		J0:     sh.J0,
-		NTotal: nTotal,
-		SketchRequest: wire.SketchRequest{
-			D:    d,
-			Opts: opts,
-			A:    sh.A,
-		},
-	}
-	wireBytes := int64(wire.ShardRequestWireSize(req))
-	return c.walkPeers(ctx, sh, wireBytes, func(ctx context.Context, p *peer) (*wire.ShardResponse, error) {
-		return p.cli.SketchShard(ctx, req)
-	})
-}
-
-// walkPeers routes one shard across the ring with failover: peers are tried
-// in ring order (keyed by the shard's content fingerprint), skipping peers
-// in cooldown on the first pass and only falling back to them when every
-// candidate is down. try performs the actual RPC — inline shard request or
-// by-reference — and its classification is shared: input-class failures
-// fail fast, peer-health failures mark the peer down and move on.
-func (c *Coordinator) walkPeers(ctx context.Context, sh *Shard, wireBytes int64, try func(ctx context.Context, p *peer) (*wire.ShardResponse, error)) (*wire.ShardResponse, error) {
-	order := c.ring.Order(sh.A.Fingerprint().Hash)
-	if m := c.cfg.MaxPeersPerShard; m > 0 && m < len(order) {
-		order = order[:m]
-	}
-	var lastErr error
-	lastPeer := c.peers[order[0]].name
-	attempted := make([]bool, len(order))
-	for pass := 0; pass < 2; pass++ {
-		for oi, pi := range order {
-			if attempted[oi] {
-				continue
-			}
-			p := c.peers[pi]
-			if pass == 0 && p.downUntil.Load() > time.Now().UnixNano() {
-				continue // healthy-first pass skips peers in cooldown
-			}
-			attempted[oi] = true
-			if lastErr != nil {
-				c.met.failovers.Inc()
-			}
-			lastPeer = p.name
-			c.met.subrequests.Inc()
-			p.met.requests.Inc()
-			p.met.bytes.Add(wireBytes)
-			resp, err := try(ctx, p)
-			if err == nil {
-				return resp, nil
-			}
-			if ctx.Err() != nil {
-				return nil, ctx.Err()
-			}
-			if failFast(err) {
-				return nil, &ShardError{J0: sh.J0, J1: sh.J1, Peer: p.name, Err: err}
-			}
-			p.downUntil.Store(time.Now().Add(c.cfg.PeerCooldown).UnixNano())
-			lastErr = err
-		}
-	}
-	return nil, &ShardError{J0: sh.J0, J1: sh.J1, Peer: lastPeer, Err: lastErr}
 }
 
 // failFast reports whether err is an input-class failure that no failover
@@ -380,7 +388,7 @@ func (c *Coordinator) SketchBatch(ctx context.Context, reqs []service.Request) [
 	resps := make([]service.Response, len(reqs))
 	// Modest parallelism across items: the per-item fan-out already uses
 	// every peer, so running more items than peers mostly adds queueing.
-	sem := make(chan struct{}, len(c.peers))
+	sem := make(chan struct{}, len(c.mem.Load().peers))
 	done := make(chan int, len(reqs))
 	for i := range reqs {
 		go func(i int) {

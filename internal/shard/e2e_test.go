@@ -1,11 +1,18 @@
 package shard
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
+	"io"
+	"math"
+	"net/http"
+	"net/url"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"syscall"
 	"testing"
@@ -13,6 +20,7 @@ import (
 
 	"sketchsp/internal/client"
 	"sketchsp/internal/core"
+	"sketchsp/internal/dense"
 	"sketchsp/internal/rng"
 	"sketchsp/internal/sparse"
 )
@@ -42,6 +50,13 @@ func moduleRoot(t *testing.T) string {
 // waits for its -addr-file, and returns its base URL. The process gets a
 // SIGTERM (graceful drain) at cleanup.
 func startSketchd(t *testing.T, bin string, extra ...string) string {
+	url, _ := startSketchdProc(t, bin, extra...)
+	return url
+}
+
+// startSketchdProc is startSketchd returning the process handle too, for
+// tests that kill a worker mid-run.
+func startSketchdProc(t *testing.T, bin string, extra ...string) (string, *exec.Cmd) {
 	t.Helper()
 	addrFile := filepath.Join(t.TempDir(), "addr")
 	args := append([]string{"-addr", "127.0.0.1:0", "-addr-file", addrFile}, extra...)
@@ -65,7 +80,7 @@ func startSketchd(t *testing.T, bin string, extra ...string) string {
 	deadline := time.Now().Add(15 * time.Second)
 	for {
 		if b, err := os.ReadFile(addrFile); err == nil {
-			return "http://" + strings.TrimSpace(string(b))
+			return "http://" + strings.TrimSpace(string(b)), cmd
 		}
 		if time.Now().After(deadline) {
 			t.Fatalf("sketchd never published %s", addrFile)
@@ -136,5 +151,223 @@ func TestE2EThreeWorkerCluster(t *testing.T) {
 func TestE2ECoordinatorRejectsNoPeers(t *testing.T) {
 	if _, err := New(Config{Peers: []string{" ", ""}}); !errors.Is(err, ErrNoPeers) {
 		t.Fatalf("blank peers: %v", err)
+	}
+}
+
+// bitEqual is assertBitIdentical's non-fataling form, for goroutines that
+// cannot call t.Fatalf.
+func bitEqual(got, want *dense.Matrix) bool {
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		return false
+	}
+	for j := 0; j < want.Cols; j++ {
+		for i := 0; i < want.Rows; i++ {
+			if math.Float64bits(got.At(i, j)) != math.Float64bits(want.At(i, j)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// scrapeMetric fetches /metrics from a daemon and returns the value of one
+// sample line (counter or gauge), or -1 if the line is absent.
+func scrapeMetric(t *testing.T, baseURL, name string) float64 {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape %s: %v", baseURL, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("scrape %s: %v", baseURL, err)
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == name {
+			v, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				t.Fatalf("metric %s: bad value %q", name, fields[1])
+			}
+			return v
+		}
+	}
+	return -1
+}
+
+// adminPeers drives the coordinator daemon's /v1/peers admin endpoint.
+func adminPeers(t *testing.T, coordURL, method, peerURL string) {
+	t.Helper()
+	var req *http.Request
+	var err error
+	switch method {
+	case http.MethodPost:
+		body, _ := json.Marshal(map[string]string{"peer": peerURL})
+		req, err = http.NewRequest(method, coordURL+"/v1/peers", bytes.NewReader(body))
+		if req != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+	case http.MethodDelete:
+		req, err = http.NewRequest(method, coordURL+"/v1/peers?peer="+url.QueryEscape(peerURL), nil)
+	default:
+		t.Fatalf("adminPeers: unsupported method %s", method)
+	}
+	if err != nil {
+		t.Fatalf("admin %s: %v", method, err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("admin %s %s: %v", method, peerURL, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("admin %s %s: HTTP %d: %s", method, peerURL, resp.StatusCode, body)
+	}
+}
+
+// TestE2EKillAndRejoin is the cluster fault acceptance run: a client
+// replays sketches through a coordinator daemon while one worker process
+// is SIGTERMed mid-replay, administratively removed, and replaced via
+// POST /v1/peers — and not a single client request may fail or return
+// different bits. Afterwards the coordinator's /metrics must show the two
+// membership changes and a recovered (zero) peers-down gauge.
+func TestE2EKillAndRejoin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process e2e skipped in -short")
+	}
+	bin := buildSketchd(t)
+	type worker struct {
+		url string
+		cmd *exec.Cmd
+	}
+	var workers [3]worker
+	for i := range workers {
+		workers[i].url, workers[i].cmd = startSketchdProc(t, bin, "-cache", "16")
+	}
+	urls := []string{workers[0].url, workers[1].url, workers[2].url}
+	// Short cooldown so the routing table forgives the killed peer's
+	// failures quickly once the replacement is in place.
+	coordURL := startSketchd(t, bin,
+		"-peers", strings.Join(urls, ","),
+		"-shards", "4",
+		"-peer-cooldown", "500ms")
+
+	a := sparse.PowerLaw(400, 64, 2500, 1.3, 91)
+	const d = 16
+	opts := core.Options{Dist: rng.Rademacher, Seed: 2024, Workers: 1}
+	want := directSketch(t, a, d, opts)
+	cli := client.New(coordURL, client.Config{})
+
+	// Replay runs in its own goroutine so the kill genuinely lands
+	// mid-traffic; every iteration must succeed bit-identically.
+	stop := make(chan struct{})
+	type tally struct {
+		total  int
+		failed int
+		first  error
+	}
+	done := make(chan tally, 1)
+	go func() {
+		var tl tally
+		for {
+			select {
+			case <-stop:
+				done <- tl
+				return
+			default:
+			}
+			got, _, err := cli.Sketch(context.Background(), a, d, opts)
+			tl.total++
+			if err == nil && !bitEqual(got, want) {
+				err = errors.New("replay sketch not bit-identical to direct plan")
+			}
+			if err != nil {
+				tl.failed++
+				if tl.first == nil {
+					tl.first = err
+				}
+			}
+		}
+	}()
+
+	waitRequests := func(n int) {
+		deadline := time.Now().Add(20 * time.Second)
+		for scrapeMetric(t, coordURL, "sketchsp_shard_requests_total") < float64(n) {
+			if time.Now().After(deadline) {
+				t.Fatalf("replay never reached %d requests", n)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	// Phase 1: healthy traffic, then SIGTERM worker 1 mid-replay. The
+	// coordinator must ride it out via cooldown + failover.
+	waitRequests(5)
+	victim := workers[1]
+	if err := victim.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM worker: %v", err)
+	}
+	victim.cmd.Wait()
+
+	// Phase 2: traffic against the degraded cluster, then administratively
+	// remove the dead peer and add a freshly started replacement.
+	waitRequests(10)
+	adminPeers(t, coordURL, http.MethodDelete, victim.url)
+	replacementURL := startSketchd(t, bin, "-cache", "16")
+	adminPeers(t, coordURL, http.MethodPost, replacementURL)
+
+	// Phase 3: traffic against the healed cluster.
+	waitRequests(20)
+	close(stop)
+	tl := <-done
+
+	if tl.failed != 0 {
+		t.Fatalf("%d of %d replay requests failed across kill+rejoin; first: %v",
+			tl.failed, tl.total, tl.first)
+	}
+	if tl.total < 20 {
+		t.Fatalf("replay only issued %d requests", tl.total)
+	}
+	if got := scrapeMetric(t, coordURL, "sketchsp_shard_peer_changes_total"); got < 2 {
+		t.Fatalf("sketchsp_shard_peer_changes_total = %v, want >= 2 (remove + add)", got)
+	}
+	// Cooldown recovery: with the dead peer out of membership and the
+	// replacement healthy, the down gauge must return to zero.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if down := scrapeMetric(t, coordURL, "sketchsp_shard_peers_down"); down == 0 {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("sketchsp_shard_peers_down = %v, never recovered to 0", down)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// The admin listing must reflect the final membership: replacement in,
+	// victim out.
+	resp, err := http.Get(coordURL + "/v1/peers")
+	if err != nil {
+		t.Fatalf("GET /v1/peers: %v", err)
+	}
+	defer resp.Body.Close()
+	var listing struct {
+		Peers []string `json:"peers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+		t.Fatalf("decode /v1/peers: %v", err)
+	}
+	hasReplacement := false
+	for _, p := range listing.Peers {
+		if p == victim.url {
+			t.Fatalf("removed peer %s still listed in %v", victim.url, listing.Peers)
+		}
+		if p == replacementURL {
+			hasReplacement = true
+		}
+	}
+	if !hasReplacement {
+		t.Fatalf("replacement %s missing from peer listing %v", replacementURL, listing.Peers)
 	}
 }

@@ -1,0 +1,249 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"sketchsp/internal/client"
+	"sketchsp/internal/service"
+)
+
+// Dynamic membership. The coordinator's peer set is no longer fixed at
+// construction: AddPeer/RemovePeer/SetPeers re-canonicalise the ring while
+// requests are in flight. The concurrency design is RCU-shaped:
+//
+//   - The routing state lives in one immutable membership snapshot (ring +
+//     peer handles, index-aligned) behind an atomic pointer. A fan-out
+//     loads the snapshot once and completes against it — a membership
+//     change re-routes *new* requests only, so nothing in flight ever sees
+//     a half-updated ring.
+//   - Mutations serialise on peerMu, build a complete replacement snapshot,
+//     and publish it with a single atomic store.
+//   - peer handles are cached by name across leave/rejoin (handles map):
+//     a rejoining worker keeps its labeled metric series (counters resume,
+//     not reset — re-registering the same label would panic the registry)
+//     and its wire client with warm connections.
+//
+// Routing stability across changes is the ring's own property: adding or
+// removing one peer moves only the arcs that peer owns (pinned by the ring
+// minimal-movement property test), so worker plan caches stay hot through
+// churn.
+
+// membership is one immutable routing snapshot: the canonical ring and the
+// peer handles indexed like ring.Peers(). Never mutated after publication.
+type membership struct {
+	ring  *Ring
+	peers []*peer
+}
+
+// candidates returns the failover candidate list for a shard key: ring
+// order, truncated to max when max > 0, stably partitioned healthy-first
+// (peers in cooldown keep their relative order but move to the back, so
+// they are still tried when every healthy candidate fails).
+func (m *membership) candidates(key uint64, max int) []*peer {
+	order := m.ring.Order(key)
+	if max > 0 && max < len(order) {
+		order = order[:max]
+	}
+	now := time.Now().UnixNano()
+	healthy := make([]*peer, 0, len(order))
+	var down []*peer
+	for _, pi := range order {
+		p := m.peers[pi]
+		if p.downUntil.Load() > now {
+			down = append(down, p)
+		} else {
+			healthy = append(healthy, p)
+		}
+	}
+	return append(healthy, down...)
+}
+
+var _ service.PeerAdmin = (*Coordinator)(nil)
+
+// AddPeer adds one worker to the ring. Idempotent: adding a current member
+// returns nil without counting a change. A peer that left and rejoins gets
+// its failure cooldown cleared — the add is an operator's assertion that
+// the worker is back.
+func (c *Coordinator) AddPeer(name string) error {
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return errors.New("shard: empty peer name")
+	}
+	c.peerMu.Lock()
+	defer c.peerMu.Unlock()
+	cur := c.mem.Load().ring.Peers()
+	for _, p := range cur {
+		if p == name {
+			return nil
+		}
+	}
+	next := make([]string, 0, len(cur)+1)
+	next = append(next, cur...)
+	next = append(next, name)
+	changed, err := c.setPeersLocked(next)
+	if err != nil {
+		return err
+	}
+	if changed {
+		c.met.peerChanges.Inc()
+	}
+	return nil
+}
+
+// RemovePeer drains one worker out of the ring. Removing a non-member
+// fails with service.ErrUnknownPeer; removing the last member is refused
+// (a coordinator with no workers can serve nothing). In-flight requests
+// holding the old snapshot may still reach the peer; only new routing
+// stops.
+func (c *Coordinator) RemovePeer(name string) error {
+	name = strings.TrimSpace(name)
+	c.peerMu.Lock()
+	defer c.peerMu.Unlock()
+	cur := c.mem.Load().ring.Peers()
+	next := make([]string, 0, len(cur))
+	for _, p := range cur {
+		if p != name {
+			next = append(next, p)
+		}
+	}
+	if len(next) == len(cur) {
+		return fmt.Errorf("%w: %s", service.ErrUnknownPeer, name)
+	}
+	if len(next) == 0 {
+		return fmt.Errorf("%w: refusing to remove last peer %s", ErrNoPeers, name)
+	}
+	changed, err := c.setPeersLocked(next)
+	if err != nil {
+		return err
+	}
+	if changed {
+		c.met.peerChanges.Inc()
+	}
+	return nil
+}
+
+// SetPeers replaces the whole peer set (the watched-peers-file path). A
+// list that canonicalises to the current membership is a no-op; an empty
+// list fails with ErrNoPeers and leaves the membership untouched.
+func (c *Coordinator) SetPeers(names []string) error {
+	c.peerMu.Lock()
+	defer c.peerMu.Unlock()
+	changed, err := c.setPeersLocked(names)
+	if err != nil {
+		return err
+	}
+	if changed {
+		c.met.peerChanges.Inc()
+	}
+	return nil
+}
+
+// setPeersLocked builds and publishes the snapshot for names. Caller holds
+// peerMu. Reports whether the canonical membership actually changed.
+func (c *Coordinator) setPeersLocked(names []string) (bool, error) {
+	clean := make([]string, 0, len(names))
+	for _, n := range names {
+		if n = strings.TrimSpace(n); n != "" {
+			clean = append(clean, n)
+		}
+	}
+	ring := NewRing(clean, c.cfg.Replicas)
+	canon := ring.Peers()
+	if len(canon) == 0 {
+		return false, ErrNoPeers
+	}
+	old := c.mem.Load()
+	oldSet := map[string]bool{}
+	if old != nil {
+		oldNames := old.ring.Peers()
+		if len(oldNames) == len(canon) {
+			same := true
+			for i := range canon {
+				if oldNames[i] != canon[i] {
+					same = false
+					break
+				}
+			}
+			if same {
+				return false, nil
+			}
+		}
+		for _, n := range oldNames {
+			oldSet[n] = true
+		}
+	}
+	peers := make([]*peer, len(canon))
+	for i, name := range canon {
+		p := c.handles[name]
+		if p == nil {
+			p = &peer{
+				name: name,
+				cli:  client.New(name, c.cfg.Client),
+				met:  newPeerMetrics(c.reg, name),
+			}
+			c.handles[name] = p
+		}
+		if !oldSet[name] {
+			p.downUntil.Store(0) // joining (or rejoining) clears cooldown
+		}
+		peers[i] = p
+	}
+	c.mem.Store(&membership{ring: ring, peers: peers})
+	return true, nil
+}
+
+// ReadPeersFile parses a peers file: peer URLs separated by newlines,
+// commas or whitespace; '#' starts a comment to end of line. An existing
+// but empty file yields an empty list (which SetPeers then refuses, so a
+// truncated-mid-write file cannot empty the cluster).
+func ReadPeersFile(path string) ([]string, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var peers []string
+	for _, line := range strings.Split(string(buf), "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		for _, tok := range strings.FieldsFunc(line, func(r rune) bool {
+			return r == ',' || r == ' ' || r == '\t' || r == '\r'
+		}) {
+			peers = append(peers, tok)
+		}
+	}
+	return peers, nil
+}
+
+// WatchPeersFile polls path every interval and applies its peer list via
+// SetPeers. Unreadable, unparseable or empty reads are skipped — the last
+// good membership keeps serving. Returns a stop function (idempotent).
+func (c *Coordinator) WatchPeersFile(path string, interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				names, err := ReadPeersFile(path)
+				if err != nil || len(names) == 0 {
+					continue
+				}
+				_ = c.SetPeers(names)
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}

@@ -1,0 +1,120 @@
+package shard
+
+import (
+	"testing"
+
+	"sketchsp/internal/sparse"
+)
+
+// Minimal-movement property tests: consistent hashing's reason to exist is
+// that membership changes move only the arcs the changed peer owns. These
+// pin that property for the exact ring the coordinator routes with, so
+// dynamic membership cannot silently degrade into rehash-the-world (which
+// would cold-start every worker plan cache on every join).
+
+// movementKeys is a deterministic well-spread key sample.
+func movementKeys(n int) []uint64 {
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = mix64(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+	return keys
+}
+
+func ownerNames(r *Ring, keys []uint64) []string {
+	out := make([]string, len(keys))
+	for i, k := range keys {
+		out[i] = r.Peers()[r.Lookup(k)]
+	}
+	return out
+}
+
+// TestRingMinimalMovementOnJoin: every key that changes owner when a peer
+// joins must change *to the joining peer*, and the moved fraction must be
+// near the joiner's fair share (1/(P+1)), not a reshuffle.
+func TestRingMinimalMovementOnJoin(t *testing.T) {
+	peers := []string{"http://w0", "http://w1", "http://w2", "http://w3", "http://w4"}
+	const joiner = "http://w9"
+	keys := movementKeys(4000)
+
+	before := ownerNames(NewRing(peers, 0), keys)
+	after := ownerNames(NewRing(append(append([]string{}, peers...), joiner), 0), keys)
+
+	moved := 0
+	for i := range keys {
+		if before[i] == after[i] {
+			continue
+		}
+		moved++
+		if after[i] != joiner {
+			t.Fatalf("key %d moved %s -> %s on join of %s: only the joiner may gain keys",
+				i, before[i], after[i], joiner)
+		}
+	}
+	fair := len(keys) / (len(peers) + 1)
+	if moved == 0 {
+		t.Fatal("no keys moved to the joiner — it owns nothing")
+	}
+	if moved > 3*fair {
+		t.Fatalf("%d of %d keys moved on one join; fair share is ~%d — movement is not minimal",
+			moved, len(keys), fair)
+	}
+}
+
+// TestRingMinimalMovementOnLeave: only keys the leaver owned may change
+// owner when it leaves.
+func TestRingMinimalMovementOnLeave(t *testing.T) {
+	peers := []string{"http://w0", "http://w1", "http://w2", "http://w3", "http://w4"}
+	const leaver = "http://w2"
+	keys := movementKeys(4000)
+
+	before := ownerNames(NewRing(peers, 0), keys)
+	var without []string
+	for _, p := range peers {
+		if p != leaver {
+			without = append(without, p)
+		}
+	}
+	after := ownerNames(NewRing(without, 0), keys)
+
+	for i := range keys {
+		if before[i] != after[i] && before[i] != leaver {
+			t.Fatalf("key %d moved %s -> %s though %s left: survivors' keys must not move",
+				i, before[i], after[i], leaver)
+		}
+		if after[i] == leaver {
+			t.Fatalf("key %d still routes to departed peer %s", i, leaver)
+		}
+	}
+}
+
+// TestRingShardAffinitySurvivesJoin is the end-to-end regression for the
+// property the plan caches depend on: after a peer joins, every shard of a
+// real split either keeps its worker (cache stays hot) or moves to the
+// joiner (whose cache is cold anyway) — no shard lands on a different old
+// worker.
+func TestRingShardAffinitySurvivesJoin(t *testing.T) {
+	a := sparse.PowerLaw(400, 80, 3000, 1.3, 71)
+	shards := Split(a, 16)
+	peers := []string{"http://w0", "http://w1", "http://w2", "http://w3"}
+	const joiner = "http://wnew"
+
+	r1 := NewRing(peers, 0)
+	r2 := NewRing(append(append([]string{}, peers...), joiner), 0)
+	movedToJoiner := 0
+	for i := range shards {
+		h := shards[i].A.Fingerprint().Hash
+		p1 := r1.Peers()[r1.Lookup(h)]
+		p2 := r2.Peers()[r2.Lookup(h)]
+		if p1 == p2 {
+			continue
+		}
+		if p2 != joiner {
+			t.Fatalf("shard %d rerouted %s -> %s on join: affinity broken for an old worker", i, p1, p2)
+		}
+		movedToJoiner++
+	}
+	if movedToJoiner == len(shards) {
+		t.Fatal("every shard moved to the joiner — distribution, not affinity")
+	}
+}

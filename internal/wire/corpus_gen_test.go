@@ -38,6 +38,17 @@ import (
 //   - jobstatus-bad-state: a job status whose state byte is past
 //     StateCancelled.
 //
+// The shard batch messages add three more:
+//
+//   - shardbatch-truncated: a valid two-shard batch with the last payload
+//     byte cut off — the final item claims more bytes than remain.
+//   - shardbatch-overlapping-ranges: two shards both starting at j0=0, the
+//     duplicate-coverage shape the decoder (and one layer up, the
+//     Accumulator) must reject.
+//   - shardbatch-oversized-count: a count field of ~4 billion over a
+//     two-item payload — the count guard must refuse before allocating
+//     item views.
+//
 // The seeds are generated deterministically from the codec itself; run
 //
 //	WIRE_CORPUS_WRITE=1 go test ./internal/wire -run TestCommittedCorpusSeeds
@@ -102,13 +113,42 @@ func corpusSeeds(t *testing.T) map[string][]byte {
 	jp[1] = 9
 	badState := mustFrame(MsgJobStatus, jp)
 
+	// Seed 7: two-shard batch, truncated one byte short of the payload end.
+	shardA, err := sparse.NewCSC(4, 2, []int{0, 1, 2}, []int{1, 0}, []float64{1, -2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := []ShardRequest{
+		{J0: 0, NTotal: 8, SketchRequest: SketchRequest{D: 3, Opts: core.Options{
+			Dist: rng.Rademacher, Seed: 5,
+		}, A: shardA}},
+		{J0: 4, NTotal: 8, SketchRequest: SketchRequest{D: 3, Opts: core.Options{
+			Dist: rng.Rademacher, Seed: 5,
+		}, A: shardA}},
+	}
+	bp := AppendShardBatchRequest(nil, batch)
+	batchTruncated := mustFrame(MsgShardBatchRequest, bp[:len(bp)-1])
+
+	// Seed 8: both shards start at j0=0 — overlapping column coverage.
+	overlapBatch := []ShardRequest{batch[0], batch[0]}
+	batchOverlap := mustFrame(MsgShardBatchRequest, AppendShardBatchRequest(nil, overlapBatch))
+
+	// Seed 9: count patched to ~2^32 over the two-item payload (count is
+	// payload bytes 0..4).
+	cp := AppendShardBatchRequest(nil, batch)
+	copy(cp[0:4], appendU32(nil, 1<<32-2))
+	batchCount := mustFrame(MsgShardBatchRequest, cp)
+
 	return map[string][]byte{
-		"ref-truncated-fingerprint": truncated,
-		"delta-overlapping-rows":    overlapping,
-		"put-oversized-nnz":         oversized,
-		"solve-bad-method":          badMethod,
-		"solve-bad-flags":           badFlags,
-		"jobstatus-bad-state":       badState,
+		"ref-truncated-fingerprint":     truncated,
+		"delta-overlapping-rows":        overlapping,
+		"put-oversized-nnz":             oversized,
+		"solve-bad-method":              badMethod,
+		"solve-bad-flags":               badFlags,
+		"jobstatus-bad-state":           badState,
+		"shardbatch-truncated":          batchTruncated,
+		"shardbatch-overlapping-ranges": batchOverlap,
+		"shardbatch-oversized-count":    batchCount,
 	}
 }
 
@@ -132,6 +172,8 @@ func TestCommittedCorpusSeeds(t *testing.T) {
 			_, err = DecodeSolveRequest(payload)
 		case MsgJobStatus:
 			_, err = DecodeJobStatus(payload)
+		case MsgShardBatchRequest:
+			_, err = DecodeShardBatchRequest(payload)
 		default:
 			t.Fatalf("%s: unexpected type %v", name, typ)
 		}

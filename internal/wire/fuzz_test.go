@@ -141,6 +141,26 @@ func FuzzWireRoundtrip(f *testing.F) {
 	f.Add(mustFrame(MsgJobStatus, AppendJobStatus(nil, &JobStatus{
 		Status: StatusJobNotFound, Detail: "job expired",
 	})))
+	// Shard batch messages: multi-shard and single-shard batches with
+	// disjoint sorted ranges, and a mixed-outcome response. Rejection
+	// shapes (truncated batch, overlapping j0 ranges, oversized count) are
+	// committed corpus seeds under testdata/fuzz/FuzzWireRoundtrip.
+	f.Add(mustFrame(MsgShardBatchRequest, AppendShardBatchRequest(nil, []ShardRequest{
+		{J0: 0, NTotal: 64, SketchRequest: SketchRequest{D: 4, Opts: core.Options{
+			Dist: rng.Rademacher, Seed: 3,
+		}, A: shapes["emptycols"]}},
+		{J0: 40, NTotal: 64, SketchRequest: SketchRequest{D: 4, Opts: core.Options{
+			Dist: rng.Rademacher, Seed: 3,
+		}, A: shapes["emptycols"]}},
+	})))
+	f.Add(mustFrame(MsgShardBatchRequest, AppendShardBatchRequest(nil, []ShardRequest{
+		{J0: 2, NTotal: 9, SketchRequest: SketchRequest{D: 1, A: shapes["degenerate-0xn"]}},
+	})))
+	f.Add(mustFrame(MsgShardBatchResponse, AppendShardBatchResponse(nil, []ShardResponse{
+		{Status: StatusOK, J0: 5, Stats: core.Stats{Samples: 2, Flops: 6},
+			Partial: dense.NewMatrixFrom(2, 1, []float64{-0.5, 4})},
+		{Status: StatusOverloaded, Detail: "queue full"},
+	})))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		const limit = 1 << 22
@@ -237,6 +257,18 @@ func FuzzWireRoundtrip(f *testing.F) {
 			if js, err := DecodeJobStatus(payload); err == nil {
 				if !bytes.Equal(AppendJobStatus(nil, js), payload) {
 					t.Fatal("job status re-encode differs from accepted payload")
+				}
+			}
+		case MsgShardBatchRequest:
+			if reqs, err := DecodeShardBatchRequest(payload); err == nil {
+				if !bytes.Equal(AppendShardBatchRequest(nil, reqs), payload) {
+					t.Fatal("shard batch request re-encode differs from accepted payload")
+				}
+			}
+		case MsgShardBatchResponse:
+			if rs, err := DecodeShardBatchResponse(payload); err == nil {
+				if !bytes.Equal(AppendShardBatchResponse(nil, rs), payload) {
+					t.Fatal("shard batch response re-encode differs from accepted payload")
 				}
 			}
 		}

@@ -127,3 +127,117 @@ func TestShardRequestFrame(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestShardBatchRequestRoundtrip(t *testing.T) {
+	shapes := testCSCs()
+	a := shapes["uniform-200x40"]
+	reqs := []ShardRequest{
+		{J0: 0, NTotal: 128, SketchRequest: SketchRequest{
+			D: 6, Opts: core.Options{Dist: rng.Rademacher, Seed: 21}, A: a,
+		}},
+		{J0: 40, NTotal: 128, SketchRequest: SketchRequest{
+			D: 6, Opts: core.Options{Dist: rng.Rademacher, Seed: 21}, A: a,
+		}},
+		{J0: 80, NTotal: 128, SketchRequest: SketchRequest{
+			D: 6, Opts: core.Options{Dist: rng.Rademacher, Seed: 21}, A: shapes["degenerate-0xn"],
+		}},
+	}
+	payload := AppendShardBatchRequest(nil, reqs)
+	got, err := DecodeShardBatchRequest(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(reqs) {
+		t.Fatalf("decoded %d items, want %d", len(got), len(reqs))
+	}
+	for i := range got {
+		if got[i].J0 != reqs[i].J0 || got[i].NTotal != reqs[i].NTotal || got[i].D != reqs[i].D {
+			t.Fatalf("item %d mismatch: %+v vs %+v", i, got[i], reqs[i])
+		}
+	}
+	if !bytes.Equal(AppendShardBatchRequest(nil, got), payload) {
+		t.Fatal("re-encode differs")
+	}
+
+	frame, err := EncodeShardBatchRequestFrame(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := ShardBatchRequestWireSize(reqs); want != len(frame) {
+		t.Fatalf("ShardBatchRequestWireSize = %d, frame is %d bytes", want, len(frame))
+	}
+	typ, fp, rest, err := SplitFrame(frame, 0)
+	if err != nil || typ != MsgShardBatchRequest || len(rest) != 0 {
+		t.Fatalf("frame split: typ=%v rest=%d err=%v", typ, len(rest), err)
+	}
+	if !bytes.Equal(fp, payload) {
+		t.Fatal("frame payload differs from raw payload")
+	}
+}
+
+// TestShardBatchRequestRejections pins the cross-item invariants the batch
+// decoder adds over the single-shard decoder: non-empty, one shared nTotal,
+// items sorted by j0 with disjoint column ranges. These are the wire-level
+// face of the Accumulator's duplicate-coverage rejection — a frame that
+// batches overlapping shards is unreachable past this decoder.
+func TestShardBatchRequestRejections(t *testing.T) {
+	a := testCSCs()["uniform-200x40"] // N = 40
+	mk := func(j0, nTotal int) ShardRequest {
+		return ShardRequest{J0: j0, NTotal: nTotal, SketchRequest: SketchRequest{D: 2, A: a}}
+	}
+	cases := map[string][]ShardRequest{
+		"empty-batch":        {},
+		"overlapping-ranges": {mk(0, 100), mk(39, 100)},
+		"duplicate-j0":       {mk(0, 100), mk(0, 100)},
+		"unsorted":           {mk(40, 100), mk(0, 100)},
+		"mixed-ntotal":       {mk(0, 100), mk(40, 101)},
+	}
+	for name, reqs := range cases {
+		payload := AppendShardBatchRequest(nil, reqs)
+		if _, err := DecodeShardBatchRequest(payload); !errors.Is(err, ErrMalformed) {
+			t.Errorf("%s: decoded cleanly, want ErrMalformed (got %v)", name, err)
+		}
+	}
+	// Adjacent shards tiling [0, n) exactly are the legal shape.
+	if _, err := DecodeShardBatchRequest(AppendShardBatchRequest(nil, []ShardRequest{mk(0, 80), mk(40, 80)})); err != nil {
+		t.Fatalf("adjacent tiling rejected: %v", err)
+	}
+}
+
+func TestShardBatchResponseRoundtrip(t *testing.T) {
+	rs := []ShardResponse{
+		{Status: StatusOK, J0: 0, Stats: core.Stats{Samples: 8, Flops: 16, Imbalance: 1.5},
+			Partial: dense.NewMatrixFrom(2, 2, []float64{1, -0.5, 0, 3})},
+		{Status: StatusOverloaded, Detail: "queue full"},
+		{Status: StatusOK, J0: 7, Partial: dense.NewMatrix(2, 0)},
+	}
+	payload := AppendShardBatchResponse(nil, rs)
+	got, err := DecodeShardBatchResponse(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(rs) {
+		t.Fatalf("decoded %d items, want %d", len(got), len(rs))
+	}
+	for i := range got {
+		if got[i].Status != rs[i].Status || got[i].Detail != rs[i].Detail || got[i].J0 != rs[i].J0 {
+			t.Fatalf("item %d mismatch: %+v vs %+v", i, got[i], rs[i])
+		}
+	}
+	if !bytes.Equal(AppendShardBatchResponse(nil, got), payload) {
+		t.Fatal("re-encode differs")
+	}
+	// The item payloads are byte-identical to single shard responses, so
+	// the client's batch status peek (SplitBatchPayload + PeekStatus per
+	// item) works unchanged on shard batches.
+	items, err := SplitBatchPayload(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, item := range items {
+		st, err := PeekStatus(item)
+		if err != nil || st != rs[i].Status {
+			t.Fatalf("item %d: peek = %v, %v", i, st, err)
+		}
+	}
+}

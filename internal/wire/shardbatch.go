@@ -1,0 +1,134 @@
+package wire
+
+import "fmt"
+
+// Shard batch messages collapse the coordinator's fan-out from one HTTP
+// call per shard to one call per peer: when several column shards of the
+// same request route to the same worker (consistent hashing makes this the
+// common case once shards > peers), the coordinator ships them as a single
+// MsgShardBatchRequest frame and the worker answers every shard in one
+// MsgShardBatchResponse.
+//
+// Both payloads reuse the count-prefixed batch envelope of
+// MsgBatchRequest/MsgBatchResponse around the existing shard item layouts:
+//
+//	u32 count | count × (u32 len | shard request/response payload)
+//
+// The pair rides frame version 4 unchanged: no existing payload layout or
+// status code moved, and a pre-batch server rejects the unknown message
+// type with StatusMalformed, which the coordinator treats as a per-shard
+// failover — so mixed fleets degrade to the one-call-per-shard path instead
+// of desyncing.
+//
+// The request decoder additionally enforces what the coordinator's
+// coverage-checked merge would otherwise catch one layer later: every item
+// must name the same full matrix width (nTotal), and the items must be
+// sorted by j0 with pairwise-disjoint [j0, j0+n) column ranges. A frame
+// that batches overlapping shards is structurally malformed — there is no
+// honest request it could encode — and rejecting it at decode time keeps
+// the duplicate-coverage invariant of the Accumulator (DESIGN.md §10)
+// unreachable from the network.
+
+const (
+	// MsgShardBatchRequest carries several column shards of one sketch
+	// request bound for the same worker (shardbatch.go).
+	MsgShardBatchRequest MsgType = 16
+	// MsgShardBatchResponse is the index-aligned sequence of shard
+	// responses answering a MsgShardBatchRequest.
+	MsgShardBatchResponse MsgType = 17
+)
+
+// AppendShardBatchRequest appends a shard-batch-request payload: count,
+// then each shard request length-prefixed. The encoder does not validate
+// the disjointness invariant — tests deliberately encode malformed batches
+// to pin the decoder's rejections — but every frame the coordinator builds
+// satisfies it by construction (shards tile [0, n)).
+func AppendShardBatchRequest(dst []byte, reqs []ShardRequest) []byte {
+	dst = appendU32(dst, uint32(len(reqs)))
+	for i := range reqs {
+		n := shardRequestFixedSize + requestFixedSize + cscPayloadSize(reqs[i].A)
+		dst = appendU32(dst, uint32(n))
+		dst = AppendShardRequest(dst, &reqs[i])
+	}
+	return dst
+}
+
+// DecodeShardBatchRequest decodes a shard-batch-request payload, enforcing
+// the cross-item invariants: one shared nTotal, items sorted by j0 with
+// disjoint column ranges.
+func DecodeShardBatchRequest(payload []byte) ([]ShardRequest, error) {
+	n, items, err := splitBatch(payload)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("%w: empty shard batch", ErrMalformed)
+	}
+	reqs := make([]ShardRequest, n)
+	nextJ0 := 0
+	for i, item := range items {
+		if err := DecodeShardRequestInto(&reqs[i], item); err != nil {
+			return nil, fmt.Errorf("shard batch item %d: %w", i, err)
+		}
+		if i > 0 && reqs[i].NTotal != reqs[0].NTotal {
+			return nil, fmt.Errorf("%w: shard batch item %d names nTotal %d, item 0 named %d", ErrMalformed, i, reqs[i].NTotal, reqs[0].NTotal)
+		}
+		if reqs[i].J0 < nextJ0 {
+			return nil, fmt.Errorf("%w: shard batch item %d range [%d:%d) overlaps or precedes prior end %d", ErrMalformed, i, reqs[i].J0, reqs[i].J0+reqs[i].A.N, nextJ0)
+		}
+		nextJ0 = reqs[i].J0 + reqs[i].A.N
+	}
+	return reqs, nil
+}
+
+// AppendShardBatchResponse appends a shard-batch-response payload: count,
+// then each shard response length-prefixed (lengths backpatched, matching
+// AppendBatchResponse).
+func AppendShardBatchResponse(dst []byte, rs []ShardResponse) []byte {
+	dst = appendU32(dst, uint32(len(rs)))
+	for i := range rs {
+		mark := len(dst)
+		dst = appendU32(dst, 0) // length backpatched below
+		dst = AppendShardResponse(dst, &rs[i])
+		putU32(dst[mark:mark+4], uint32(len(dst)-mark-4))
+	}
+	return dst
+}
+
+// DecodeShardBatchResponse decodes a shard-batch-response payload. Items
+// answer the request's shards index-aligned; per-item errors surface as
+// non-OK statuses, and the coordinator cross-checks each OK item's J0 echo
+// against the shard it placed, so the decoder imposes no cross-item
+// constraints of its own.
+func DecodeShardBatchResponse(payload []byte) ([]ShardResponse, error) {
+	n, items, err := splitBatch(payload)
+	if err != nil {
+		return nil, err
+	}
+	rs := make([]ShardResponse, n)
+	for i, item := range items {
+		if err := DecodeShardResponseInto(&rs[i], item); err != nil {
+			return nil, fmt.Errorf("shard batch item %d: %w", i, err)
+		}
+	}
+	return rs, nil
+}
+
+// EncodeShardBatchRequestFrame returns a complete shard-batch-request
+// frame, ready for an HTTP body. A batch whose total payload exceeds the
+// 32-bit frame length fails with ErrTooLarge.
+func EncodeShardBatchRequestFrame(reqs []ShardRequest) ([]byte, error) {
+	payload := AppendShardBatchRequest(make([]byte, 0, ShardBatchRequestWireSize(reqs)-HeaderSize), reqs)
+	return AppendFrame(make([]byte, 0, HeaderSize+len(payload)), MsgShardBatchRequest, payload)
+}
+
+// ShardBatchRequestWireSize returns the exact on-the-wire frame size of a
+// shard batch — header plus payload — without encoding, for the
+// coordinator's per-peer byte metering.
+func ShardBatchRequestWireSize(reqs []ShardRequest) int {
+	size := HeaderSize + 4
+	for i := range reqs {
+		size += 4 + shardRequestFixedSize + requestFixedSize + cscPayloadSize(reqs[i].A)
+	}
+	return size
+}

@@ -67,6 +67,12 @@
 // job's lifecycle state, progress, and — once terminal — its embedded
 // result.
 //
+// Shard batch messages (shardbatch.go): MsgShardBatchRequest groups
+// several column shards bound for one worker into a single frame (the
+// coordinator's per-peer fan-out), answered index-aligned by
+// MsgShardBatchResponse. The pair rides version 4 unchanged — no existing
+// layout or status moved.
+//
 // # Error taxonomy
 //
 // Statuses are the wire form of the typed errors the lower layers already
@@ -196,6 +202,10 @@ func (t MsgType) String() string {
 		return "solve-response"
 	case MsgJobStatus:
 		return "job-status"
+	case MsgShardBatchRequest:
+		return "shard-batch-request"
+	case MsgShardBatchResponse:
+		return "shard-batch-response"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}

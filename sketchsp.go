@@ -356,10 +356,19 @@ type (
 	// ShardError reports which column range on which peer failed, and
 	// wraps the underlying cause for errors.Is/As.
 	ShardError = shard.ShardError
+	// PeerAdmin is the dynamic-membership surface: a Backend that also
+	// implements it (the ShardCoordinator does) gets POST/DELETE
+	// /v1/peers mounted by the server, and AddPeer/RemovePeer/Peers can
+	// be called directly from Go. Membership changes re-canonicalise the
+	// routing ring without dropping in-flight requests.
+	PeerAdmin = service.PeerAdmin
 )
 
 // ErrNoShardPeers: a ShardCoordinator was configured with no usable peers.
 var ErrNoShardPeers = shard.ErrNoPeers
+
+// ErrUnknownPeer: a RemovePeer named a peer that is not in the membership.
+var ErrUnknownPeer = service.ErrUnknownPeer
 
 // NewShardCoordinator returns a coordinator fanning out over cfg.Peers.
 // Close it when done; it owns one Client per peer.
